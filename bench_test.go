@@ -1,0 +1,289 @@
+package rtosmodel_test
+
+// The benchmark harness of the reproduction: one benchmark per figure/claim
+// of the paper's evaluation, as indexed in DESIGN.md (E1..E11). Absolute
+// wall-clock numbers depend on the host; the shapes that must hold are
+// documented in EXPERIMENTS.md — chiefly that the procedural RTOS model
+// (section 4.2) simulates the same behaviour with fewer kernel thread
+// switches and less wall time than the RTOS-thread model (section 4.1).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	rtosmodel "repro"
+	"repro/internal/experiments"
+	"repro/internal/mpeg2"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// benchFigure6 runs one full Figure 6 clock cycle on the given engine.
+func benchFigure6(b *testing.B, eng rtosmodel.EngineKind) {
+	b.ReportAllocs()
+	var switches uint64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure6(experiments.Figure6Config{Engine: eng})
+		switches = r.Activations
+	}
+	b.ReportMetric(float64(switches), "switches/run")
+}
+
+// BenchmarkEngineThreaded is E1: the section 4.1 RTOS-thread model on the
+// Figure 6 workload.
+func BenchmarkEngineThreaded(b *testing.B) { benchFigure6(b, rtosmodel.EngineThreaded) }
+
+// BenchmarkEngineProcedural is E2: the section 4.2 procedure-call model on
+// the same workload; compare switches/run and ns/op with the threaded bench.
+func BenchmarkEngineProcedural(b *testing.B) { benchFigure6(b, rtosmodel.EngineProcedural) }
+
+// BenchmarkEngineComparison is E3: the section 4 comparison across task
+// counts. Sub-benchmark names carry the engine and task count; the
+// switches/op metric is the paper's "number of thread switches".
+func BenchmarkEngineComparison(b *testing.B) {
+	for _, n := range []int{2, 5, 10, 20, 50} {
+		for _, eng := range []rtosmodel.EngineKind{rtosmodel.EngineProcedural, rtosmodel.EngineThreaded} {
+			b.Run(benchName(eng, n), func(b *testing.B) {
+				b.ReportAllocs()
+				var switches uint64
+				for i := 0; i < b.N; i++ {
+					r := experiments.RunEngineComparison1(eng, n, 20*sim.Ms)
+					switches = r
+				}
+				b.ReportMetric(float64(switches), "switches/run")
+			})
+		}
+	}
+}
+
+func benchName(eng rtosmodel.EngineKind, n int) string {
+	return eng.String() + "/tasks=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkFigure6 is E4: building, simulating and extracting the annotated
+// measurements of the Figure 6 TimeLine.
+func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure6(experiments.Figure6Config{})
+		if r.F2Start-r.F1End != 15*sim.Us {
+			b.Fatal("figure 6 timing broken")
+		}
+	}
+}
+
+// BenchmarkFigure7 is E5: the mutual-exclusion blocking scenario.
+func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure7(rtos.EngineProcedural, experiments.Figure7Plain)
+		if r.ResourceWait <= 0 {
+			b.Fatal("figure 7 blocking broken")
+		}
+	}
+}
+
+// BenchmarkStatistics is E6: computing the Figure 8 statistics view from a
+// recorded trace.
+func BenchmarkStatistics(b *testing.B) {
+	r := experiments.RunFigure7(rtos.EngineProcedural, experiments.Figure7Plain)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := r.Sys.Stats(0)
+		if len(st.Tasks) == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}
+
+// BenchmarkTimelineRender benchmarks the ASCII TimeLine renderer on the
+// Figure 6 trace.
+func BenchmarkTimelineRender(b *testing.B) {
+	r := experiments.RunFigure6(experiments.Figure6Config{})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := r.Fig.Sys.Timeline(rtosmodel.TimelineOptions{Width: 110}); len(out) == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+// BenchmarkMPEG2SoC is E7: one frame of the 18-task six-processor MPEG-2
+// codec SoC per iteration.
+func BenchmarkMPEG2SoC(b *testing.B) {
+	for _, eng := range []rtosmodel.EngineKind{rtosmodel.EngineProcedural, rtosmodel.EngineThreaded} {
+		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := mpeg2.Run(mpeg2.Config{Engine: eng}, mpeg2.FramePeriod)
+				if res.TaskCount != 18 {
+					b.Fatal("topology broken")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverheadFormula is E8: the periodic task set under a
+// formula-based scheduling duration.
+func BenchmarkOverheadFormula(b *testing.B) {
+	b.ReportAllocs()
+	ov := rtosmodel.Overheads{
+		Scheduling:  rtosmodel.PerReadyTask(20*sim.Us, 20*sim.Us),
+		ContextSave: rtosmodel.Fixed(20 * sim.Us),
+		ContextLoad: rtosmodel.Fixed(20 * sim.Us),
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunOverheadSweep(ov, "formula", 100*sim.Ms)
+		if r.MeanScheduling == 0 {
+			b.Fatal("no scheduling recorded")
+		}
+	}
+}
+
+// BenchmarkPolicies is E10: the periodic task set under each scheduling
+// policy.
+func BenchmarkPolicies(b *testing.B) {
+	cases := []struct {
+		name   string
+		policy rtosmodel.Policy
+		rm     bool
+	}{
+		{"priority-rm", rtosmodel.PriorityPreemptive{}, true},
+		{"fifo", rtosmodel.FIFO{}, false},
+		{"round-robin", rtosmodel.RoundRobin{Slice: 2 * sim.Ms}, false},
+		{"edf", rtosmodel.EDF{}, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.RunPolicyComparison(c.policy, c.rm, 100*sim.Ms)
+			}
+		})
+	}
+}
+
+// BenchmarkPriorityInheritance is E11: the three-task inversion scenario
+// under each remedy.
+func BenchmarkPriorityInheritance(b *testing.B) {
+	for _, mode := range []experiments.Figure7Mode{
+		experiments.Figure7Plain, experiments.Figure7Inherit, experiments.Figure7NoPreempt,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.RunInversion(rtos.EngineProcedural, mode)
+			}
+		})
+	}
+}
+
+// BenchmarkInterrupts is E13: the interrupt-handling design ablation.
+func BenchmarkInterrupts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunInterruptAblation(200*sim.Us, 5*sim.Ms)
+		if len(res) != 3 {
+			b.Fatal("ablation broken")
+		}
+	}
+}
+
+// BenchmarkAperiodicServers is E14: the aperiodic-service ablation.
+func BenchmarkAperiodicServers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunServerAblation(int64(i), 50*sim.Ms)
+		if len(res) != 4 {
+			b.Fatal("ablation broken")
+		}
+	}
+}
+
+// BenchmarkBusInterconnect is E15: the MPEG-2 SoC with processor-crossing
+// queues routed over a shared bus.
+func BenchmarkBusInterconnect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := mpeg2.Run(mpeg2.Config{BusPerByte: 50 * sim.Ns}, mpeg2.FramePeriod)
+		if r.BusTransfers == 0 {
+			b.Fatal("no bus transfers")
+		}
+	}
+}
+
+// BenchmarkKernelProcessSwitch measures the raw cost of one kernel process
+// activation in the simulation substrate: a single process waking from a
+// timed wait once per iteration.
+func BenchmarkKernelProcessSwitch(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	k.Spawn("t", func(p *sim.Proc) {
+		for {
+			p.Wait(sim.Us)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.RunFor(sim.Us)
+	}
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkRTOSContextSwitch measures one full RTOS-level context switch
+// (block + elect + dispatch with zero overhead durations) per iteration: two
+// tasks ping-ponging through counter events.
+func BenchmarkRTOSContextSwitch(b *testing.B) {
+	for _, eng := range []rtosmodel.EngineKind{rtosmodel.EngineProcedural, rtosmodel.EngineThreaded} {
+		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			// Untraced: the trace would otherwise grow with b.N and distort
+			// the timing.
+			sys := rtos.NewUntracedSystem()
+			cpu := sys.NewProcessor("cpu", rtosmodel.Config{Engine: eng})
+			ping := rtosmodel.NewEvent(sys.Rec, "ping", rtosmodel.Counter)
+			pong := rtosmodel.NewEvent(sys.Rec, "pong", rtosmodel.Counter)
+			cpu.NewTask("a", rtosmodel.TaskConfig{Priority: 2}, func(c *rtosmodel.TaskCtx) {
+				for {
+					c.Execute(sim.Us)
+					ping.Signal(c)
+					pong.Wait(c)
+				}
+			})
+			cpu.NewTask("b", rtosmodel.TaskConfig{Priority: 1}, func(c *rtosmodel.TaskCtx) {
+				for {
+					ping.Wait(c)
+					c.Execute(sim.Us)
+					pong.Signal(c)
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.RunFor(2 * sim.Us)
+			}
+			b.StopTimer()
+			sys.Shutdown()
+		})
+	}
+}

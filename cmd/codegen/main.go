@@ -1,0 +1,52 @@
+// Command codegen generates a FreeRTOS-flavoured C implementation skeleton
+// from a JSON scenario description — the paper's stated future work
+// ("software generation for a final implementation using commercial RTOS").
+//
+// Usage:
+//
+//	codegen scenario.json > system.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/scenario"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: codegen [-o out.c] scenario.json\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	desc, err := scenario.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	code := codegen.GenerateC(desc)
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(code))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "codegen:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,156 @@
+// Command rtossim simulates a real-time system described in a JSON scenario
+// file using the generic RTOS model and reports timelines, statistics,
+// timing-constraint verdicts, and CSV/VCD trace exports.
+//
+// Usage:
+//
+//	rtossim [flags] scenario.json
+//
+// Example:
+//
+//	rtossim -timeline -stats examples/scenarios/figure6.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		until       = flag.String("until", "", "override the scenario horizon (e.g. 2ms)")
+		engine      = flag.String("engine", "", "override every processor's engine: procedural or threaded")
+		timeline    = flag.Bool("timeline", false, "print the ASCII TimeLine chart")
+		width       = flag.Int("width", 100, "timeline width in columns")
+		accesses    = flag.Bool("accesses", false, "show communication accesses on the timeline")
+		stats       = flag.Bool("stats", true, "print the statistics report")
+		chronology  = flag.Bool("chronology", false, "print the chronological event listing")
+		constraints = flag.Bool("constraints", true, "print the timing-constraint report")
+		csvPath     = flag.String("csv", "", "write the trace as CSV to this file")
+		vcdPath     = flag.String("vcd", "", "write the trace as VCD to this file")
+		jsonPath    = flag.String("json", "", "write the trace as JSON to this file")
+		svgPath     = flag.String("svg", "", "write the TimeLine chart as SVG to this file")
+		analyze     = flag.Bool("analyze", false, "print schedulability analysis for periodic tasks before simulating")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtossim [flags] scenario.json\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	desc, err := scenario.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	if *until != "" {
+		h, err := scenario.ParseDuration(*until)
+		if err != nil {
+			fatal(err)
+		}
+		desc.Horizon = scenario.Duration(h)
+	}
+	switch *engine {
+	case "":
+	case "procedural", "threaded":
+		for i := range desc.Processors {
+			desc.Processors[i].Engine = *engine
+		}
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want procedural or threaded)", *engine))
+	}
+	if *analyze {
+		fmt.Print(desc.AnalysisReport())
+		fmt.Println()
+	}
+	built, err := desc.Build()
+	if err != nil {
+		fatal(err)
+	}
+	built.Run()
+
+	sys := built.Sys
+	name := desc.Name
+	if name == "" {
+		name = flag.Arg(0)
+	}
+	fmt.Printf("scenario %s simulated to %v (%d kernel activations, %d delta cycles)\n",
+		name, sys.Now(), sys.K.Activations(), sys.K.DeltaCount())
+
+	if blocked := sys.BlockedTasks(); len(blocked) > 0 {
+		fmt.Printf("warning: %d task(s) still blocked at the end:", len(blocked))
+		for _, t := range blocked {
+			fmt.Printf(" %s(%v)", t.Name(), t.State())
+		}
+		fmt.Println()
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(sys.Timeline(trace.TimelineOptions{
+			Width:        *width,
+			ShowAccesses: *accesses,
+			Legend:       true,
+		}))
+	}
+	if *chronology {
+		fmt.Println()
+		fmt.Print(sys.Chronology())
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Print(sys.Stats(0).String())
+	}
+	if *constraints {
+		fmt.Println()
+		fmt.Print(sys.Constraints.Report())
+	}
+	if *csvPath != "" {
+		writeFile(*csvPath, sys.WriteCSV)
+	}
+	if *vcdPath != "" {
+		writeFile(*vcdPath, sys.WriteVCD)
+	}
+	if *jsonPath != "" {
+		writeFile(*jsonPath, sys.WriteJSON)
+	}
+	if *svgPath != "" {
+		writeFile(*svgPath, func(w io.Writer) error {
+			return sys.WriteSVG(w, trace.SVGOptions{ShowAccesses: *accesses})
+		})
+	}
+	if !sys.Constraints.OK() {
+		os.Exit(1)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtossim:", err)
+	os.Exit(2)
+}

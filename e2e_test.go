@@ -1,0 +1,176 @@
+package rtosmodel_test
+
+// End-to-end tests of the command-line tools: build the real binaries and
+// run them on the shipped scenarios. Skipped under -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/<name> into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestE2ERtossim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "rtossim")
+	outDir := t.TempDir()
+	svg := filepath.Join(outDir, "out.svg")
+	csv := filepath.Join(outDir, "out.csv")
+	vcd := filepath.Join(outDir, "out.vcd")
+	jsn := filepath.Join(outDir, "out.json")
+
+	cmd := exec.Command(bin,
+		"-timeline", "-accesses", "-chronology",
+		"-svg", svg, "-csv", csv, "-vcd", vcd, "-json", jsn,
+		"examples/scenarios/figure6.json")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtossim: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"scenario figure6 simulated to 900us",
+		"TimeLine",
+		"Function_1",
+		"rtos context-save",
+		"Statistics over",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rtossim output missing %q", want)
+		}
+	}
+	for _, f := range []string{svg, csv, vcd, jsn} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("export %s missing or empty (%v)", f, err)
+		}
+	}
+
+	// The full-featured SoC scenario (bus, channels, sporadic server,
+	// trace-driven execution, jitter, two processor speeds) simulates with
+	// all constraints met.
+	outSoc, err := exec.Command(bin, "-constraints=true", "-stats=false",
+		"examples/scenarios/soc_bus.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtossim soc_bus: %v\n%s", err, outSoc)
+	}
+	for _, want := range []string{"frame.e2e", "diag.turnaround", "violations 0"} {
+		if !strings.Contains(string(outSoc), want) {
+			t.Errorf("soc_bus output missing %q:\n%s", want, outSoc)
+		}
+	}
+	if strings.Contains(string(outSoc), "VIOLATION") {
+		t.Errorf("soc_bus reported violations:\n%s", outSoc)
+	}
+
+	// -analyze prints the schedulability report before simulating.
+	outA, err := exec.Command(bin, "-analyze", "-stats=false", "-constraints=false",
+		"examples/scenarios/periodic_rm.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtossim -analyze: %v\n%s", err, outA)
+	}
+	for _, want := range []string{"Fixed-priority RTA", "schedulable=true", "audio"} {
+		if !strings.Contains(string(outA), want) {
+			t.Errorf("analyze output missing %q:\n%s", want, outA)
+		}
+	}
+
+	// Engine override changes the reported activation count.
+	outP, err := exec.Command(bin, "-engine", "procedural", "-stats=false", "-constraints=false",
+		"examples/scenarios/figure6.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtossim procedural: %v\n%s", err, outP)
+	}
+	outT, err := exec.Command(bin, "-engine", "threaded", "-stats=false", "-constraints=false",
+		"examples/scenarios/figure6.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtossim threaded: %v\n%s", err, outT)
+	}
+	if string(outP) == string(outT) {
+		t.Error("engine flag had no effect on the report")
+	}
+
+	// A failing constraint must yield exit status 1.
+	badScenario := filepath.Join(outDir, "bad.json")
+	if err := os.WriteFile(badScenario, []byte(`{
+	  "horizon": "1ms",
+	  "processors": [{"name": "p"}],
+	  "constraints": [{"name": "c", "limit": "1us"}],
+	  "tasks": [{"name": "t", "processor": "p", "body": [
+	    {"op": "lat_start", "constraint": "c"},
+	    {"op": "execute", "for": "100us"},
+	    {"op": "lat_stop", "constraint": "c"}
+	  ]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = exec.Command(bin, badScenario).Run()
+	if code, ok := err.(*exec.ExitError); !ok || code.ExitCode() != 1 {
+		t.Errorf("violated constraints should exit 1, got %v", err)
+	}
+
+	// Unknown file must exit 2.
+	err = exec.Command(bin, "nope.json").Run()
+	if code, ok := err.(*exec.ExitError); !ok || code.ExitCode() != 2 {
+		t.Errorf("missing scenario should exit 2, got %v", err)
+	}
+}
+
+func TestE2ECodegen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "codegen")
+	out, err := exec.Command(bin, "examples/scenarios/interrupt.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("codegen: %v\n%s", err, out)
+	}
+	for _, want := range []string{"#include \"FreeRTOS.h\"", "void ISR_rx(void)", "int main(void)"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("codegen output missing %q", want)
+		}
+	}
+	// -o writes a file.
+	cFile := filepath.Join(t.TempDir(), "sys.c")
+	if out, err := exec.Command(bin, "-o", cFile, "examples/scenarios/figure7.json").CombinedOutput(); err != nil {
+		t.Fatalf("codegen -o: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(cFile); err != nil || fi.Size() == 0 {
+		t.Errorf("generated file missing (%v)", err)
+	}
+}
+
+func TestE2EExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "experiments")
+	out, err := exec.Command(bin, "-exp", "e4,e12").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"E4", "[ok]", "E12", "EXACT MATCH", "all exact = true"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("experiments output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "FAIL") || strings.Contains(text, "MISMATCH") {
+		t.Errorf("experiments reported failures:\n%s", text)
+	}
+}

@@ -1,0 +1,88 @@
+// Hwaccel: hardware/software co-simulation at the signal level — the
+// mixed-abstraction use case SystemC exists for and the RTOS model plugs
+// into. A software task offloads checksums to a hardware accelerator
+// modelled with signals (start/busy wires with evaluate/update semantics)
+// and a method process, while a background task keeps the processor busy:
+// the offloading task blocks through the RTOS, the CPU is reused, and the
+// accelerator's completion interrupt preempts the background work.
+//
+// Run with:
+//
+//	go run ./examples/hwaccel
+package main
+
+import (
+	"fmt"
+
+	rtosmodel "repro"
+)
+
+func main() {
+	sys := rtosmodel.NewSystem()
+	k := sys.K
+	cpu := sys.NewProcessor("cpu", rtosmodel.Config{
+		Overheads: rtosmodel.UniformOverheads(5 * rtosmodel.Us),
+	})
+
+	// --- The accelerator, modelled at signal level -----------------------
+	start := rtosmodel.NewSignal(k, "accel.start", false)
+	busy := rtosmodel.NewSignal(k, "accel.busy", false)
+	jobLen := rtosmodel.NewSignal(k, "accel.len", 0)
+	doneIRQ := rtosmodel.NewEvent(sys.Rec, "accel.done", rtosmodel.Counter)
+
+	// Control FSM: a method sensitive to the start wire kicks the datapath
+	// process, which holds busy for a data-dependent number of cycles.
+	kick := k.NewEvent("accel.kick")
+	k.NewMethod("accel.ctrl", func() {
+		if start.Read() && !busy.Read() {
+			busy.Write(true)
+			kick.Notify()
+		}
+	}, false, start.Changed())
+	hwDone := 0
+	k.Spawn("accel.datapath", func(p *rtosmodel.Proc) {
+		for {
+			p.WaitEvent(kick)
+			// 100ns per word of checksum, fully parallel to the CPU.
+			p.Wait(rtosmodel.Time(jobLen.Read()) * 100 * rtosmodel.Ns)
+			busy.Write(false)
+			hwDone++
+			doneIRQ.SignalFrom("accel.datapath")
+		}
+	})
+
+	// --- Software ---------------------------------------------------------
+	turnaround := sys.Constraints.NewLatency("offload.turnaround", 2*rtosmodel.Ms)
+	var offloads int
+	cpu.NewTask("offloader", rtosmodel.TaskConfig{Priority: 10}, func(c *rtosmodel.TaskCtx) {
+		for i := 0; i < 5; i++ {
+			c.Execute(50 * rtosmodel.Us) // prepare the buffer
+			turnaround.Start()
+			jobLen.Write(1000 + 500*i) // words
+			start.Write(true)
+			doneIRQ.Wait(c) // task blocks; CPU goes to the background task
+			start.Write(false)
+			turnaround.Stop()
+			offloads++
+			c.Execute(20 * rtosmodel.Us) // consume the result
+			c.Delay(100 * rtosmodel.Us)
+		}
+	})
+	var bgProgress rtosmodel.Time
+	cpu.NewTask("background", rtosmodel.TaskConfig{Priority: 1}, func(c *rtosmodel.TaskCtx) {
+		for {
+			c.Execute(100 * rtosmodel.Us)
+			bgProgress += 100 * rtosmodel.Us
+		}
+	})
+
+	sys.RunUntil(5 * rtosmodel.Ms)
+
+	fmt.Println("HW/SW co-simulation: signal-level accelerator + RTOS-scheduled software")
+	fmt.Printf("offloads completed: %d (hardware ran %d jobs)\n", offloads, hwDone)
+	fmt.Printf("background progress while offloading: %v of CPU work\n", bgProgress)
+	fmt.Printf("offload turnaround: worst %v, mean %v\n", turnaround.Worst(), turnaround.Mean())
+	fmt.Println()
+	fmt.Print(sys.Timeline(rtosmodel.TimelineOptions{Width: 100, Legend: true}))
+	sys.Shutdown()
+}

@@ -1,0 +1,70 @@
+// Mpeg2soc: the paper's section 5 case study — an MPEG-2 compressing and
+// decompressing SoC with 18 tasks on six processors, three of them software
+// processors running the RTOS model. The example simulates 10 frames at
+// 25 fps, then prints throughput, end-to-end latencies, per-processor load
+// and the full statistics view.
+//
+// Run with:
+//
+//	go run ./examples/mpeg2soc [-load 1.0] [-overhead 5us] [-frames 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mpeg2"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	load := flag.Float64("load", 1.0, "encoder execution-time scale factor")
+	overhead := flag.String("overhead", "5us", "uniform RTOS overhead on the software processors")
+	frames := flag.Int("frames", 10, "number of 40ms frames to simulate")
+	stats := flag.Bool("stats", false, "print the full statistics view")
+	flag.Parse()
+
+	ov, err := scenario.ParseDuration(*overhead)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	soc := mpeg2.Build(mpeg2.Config{Load: *load, Overhead: ov})
+	horizon := sim.Time(*frames) * mpeg2.FramePeriod
+	soc.Sys.RunUntil(horizon)
+
+	fmt.Printf("MPEG-2 SoC: %d tasks, 3 software processors with RTOS + hardware blocks\n", soc.TaskCount)
+	fmt.Printf("simulated %v (%d frames at 25 fps), RTOS overhead %v, encoder load x%.2f\n",
+		horizon, *frames, ov, *load)
+	fmt.Println()
+	fmt.Printf("encoded slices:   %4d (camera emitted %d)\n", soc.EncodedSlices, *frames*mpeg2.SlicesPerFrame)
+	fmt.Printf("displayed slices: %4d\n", soc.DisplayedSlices)
+	fmt.Printf("encode latency:   worst %v, mean %v (limit %v)\n",
+		soc.EncodeLatency.Worst(), soc.EncodeLatency.Mean(), 2*mpeg2.FramePeriod)
+	fmt.Printf("decode latency:   worst %v, mean %v\n", soc.DecodeLatency.Worst(), soc.DecodeLatency.Mean())
+	fmt.Println()
+
+	st := soc.Sys.Stats(horizon)
+	fmt.Println("software processors:")
+	for _, cpu := range []string{"cpu-ctrl", "cpu-enc", "cpu-dec"} {
+		if ps, ok := st.ProcessorByName(cpu); ok {
+			fmt.Printf("  %-10s load %5.1f%%  rtos %5.2f%%  idle %5.1f%%  context switches %d\n",
+				cpu, ps.LoadRatio()*100, ps.OverheadRatio()*100,
+				100*(1-ps.LoadRatio()-ps.OverheadRatio()), ps.ContextSwitches)
+		}
+	}
+	fmt.Println()
+	fmt.Print(soc.Sys.Constraints.Report())
+	if *stats {
+		fmt.Println()
+		fmt.Print(st.String())
+	}
+	soc.Sys.Shutdown()
+
+	if !soc.Sys.Constraints.OK() {
+		os.Exit(1)
+	}
+}

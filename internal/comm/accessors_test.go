@@ -1,0 +1,76 @@
+package comm_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+func TestRelationAccessors(t *testing.T) {
+	sys, cpu := fixture()
+	ev := comm.NewEvent(sys.Rec, "ev", comm.Counter)
+	if ev.Name() != "ev" || ev.Policy() != comm.Counter || ev.Waiters() != 0 {
+		t.Fatal("event accessors wrong")
+	}
+	if comm.Fugitive.String() != "fugitive" || comm.Boolean.String() != "boolean" ||
+		comm.Counter.String() != "counter" || comm.EventPolicy(9).String() != "invalid" {
+		t.Fatal("policy strings wrong")
+	}
+	q := comm.NewQueue[int](sys.Rec, "q", 3)
+	if q.Name() != "q" || q.Cap() != 3 {
+		t.Fatal("queue accessors wrong")
+	}
+	m := comm.NewInheritMutex(sys.Rec, "m")
+	if m.Name() != "m" || m.Waiters() != 0 || m.Owner() != nil {
+		t.Fatal("mutex accessors wrong")
+	}
+	sv := comm.NewShared(sys.Rec, "sv", 1)
+	if sv.Name() != "sv" {
+		t.Fatal("shared accessors wrong")
+	}
+	var waiters int
+	cpu.NewTask("a", rtos.TaskConfig{Priority: 2}, func(c *rtos.TaskCtx) {
+		sv.Write(c, 5) // one-call write path
+		m.Lock(c)
+		c.Delay(20 * sim.Us)
+		waiters = m.Waiters()
+		m.Unlock(c)
+	})
+	cpu.NewTask("b", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+		ev.Wait(c) // park to exercise Waiters()
+	})
+	cpu.NewTask("bwaiter", rtos.TaskConfig{Priority: 3, StartAt: 5 * sim.Us}, func(c *rtos.TaskCtx) {
+		m.Lock(c)
+		m.Unlock(c)
+	})
+	sys.RunUntil(100 * sim.Us)
+	if ev.Waiters() != 1 {
+		t.Fatalf("event waiters = %d, want 1", ev.Waiters())
+	}
+	if waiters != 1 {
+		t.Fatalf("mutex waiters at unlock time = %d, want 1", waiters)
+	}
+	if sv.Read(&noopActor{}) != 5 {
+		t.Fatal("Write one-call path failed")
+	}
+	sys.Shutdown()
+}
+
+// noopActor is a minimal Actor for post-run inspection reads.
+type noopActor struct{}
+
+func (noopActor) Name() string         { return "inspector" }
+func (noopActor) Priority() int        { return 0 }
+func (noopActor) Suspend(bool, string) { panic("inspector cannot block") }
+func (noopActor) Resume()              {}
+
+func TestInvalidEventPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	comm.NewEvent(nil, "bad", comm.EventPolicy(42))
+}

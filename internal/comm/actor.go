@@ -1,0 +1,68 @@
+// Package comm implements the communication relations of the MCSE
+// functional model used by the paper (section 2): events with three
+// memorization policies (fugitive, boolean, counter), bounded message queues
+// (producer/consumer), and shared variables protected by mutual exclusion.
+//
+// The relations are defined against the Actor interface, implemented both by
+// software tasks (rtos.TaskCtx) and hardware tasks (rtos.HWCtx), so hardware
+// and software parts of a co-simulated system communicate through the same
+// objects — a hardware task signalling an event that wakes a software task
+// models a hardware interrupt.
+package comm
+
+// Actor is a behaviour that can block on and wake through communication
+// relations. rtos.TaskCtx and rtos.HWCtx implement it; blocking a software
+// task goes through its processor's RTOS model (context-switch overheads
+// included), while blocking a hardware task merely parks its simulation
+// process.
+type Actor interface {
+	// Name identifies the actor in traces.
+	Name() string
+	// Priority orders actors in priority-ordered wait queues (mutexes).
+	Priority() int
+	// Suspend blocks the actor until Resume; resource selects the
+	// waiting-for-resource trace state over plain waiting. It must be called
+	// on the actor's own simulation thread.
+	Suspend(resource bool, object string)
+	// Resume unblocks the actor. It may be called from any simulation
+	// context and never consumes the caller's simulated time.
+	Resume()
+}
+
+// PriorityBooster is optionally implemented by actors that support priority
+// inheritance (rtos.TaskCtx does). A Mutex with inheritance enabled boosts
+// the lock owner to a blocked waiter's priority to bound priority-inversion
+// time.
+type PriorityBooster interface {
+	// BoostPriority raises the actor's effective priority to at least p.
+	BoostPriority(p int)
+	// UnboostPriority undoes the most recent boost.
+	UnboostPriority()
+}
+
+// waitQueue is a FIFO of blocked actors.
+type waitQueue struct {
+	actors []Actor
+}
+
+func (q *waitQueue) push(a Actor) { q.actors = append(q.actors, a) }
+func (q *waitQueue) empty() bool  { return len(q.actors) == 0 }
+func (q *waitQueue) len() int     { return len(q.actors) }
+func (q *waitQueue) popFIFO() Actor {
+	a := q.actors[0]
+	q.actors = q.actors[1:]
+	return a
+}
+
+// popPriority removes the highest-priority actor, FIFO among equals.
+func (q *waitQueue) popPriority() Actor {
+	best := 0
+	for i, a := range q.actors[1:] {
+		if a.Priority() > q.actors[best].Priority() {
+			best = i + 1
+		}
+	}
+	a := q.actors[best]
+	q.actors = append(q.actors[:best], q.actors[best+1:]...)
+	return a
+}

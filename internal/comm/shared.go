@@ -1,0 +1,98 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Shared is an MCSE shared-variable relation: "it exchanges data without any
+// synchronization except mutual exclusion" (paper section 2). Actors must
+// hold the variable's lock around accesses; an access that takes processor
+// time (the read operation of the paper's Figure 7) is modelled by calling
+// the task's Execute between Lock and Unlock, during which the task may be
+// preempted while still holding the lock — exactly the blocking situation
+// the figure illustrates.
+type Shared[T any] struct {
+	mu    *Mutex
+	rec   *trace.Recorder
+	name  string
+	value T
+
+	reads, writes uint64
+}
+
+// NewShared creates a shared variable with an initial value. rec may be nil
+// to disable tracing.
+func NewShared[T any](rec *trace.Recorder, name string, initial T) *Shared[T] {
+	return &Shared[T]{
+		mu:    NewMutex(rec, name),
+		rec:   rec,
+		name:  name,
+		value: initial,
+	}
+}
+
+// NewInheritShared creates a shared variable whose lock applies the
+// priority-inheritance protocol.
+func NewInheritShared[T any](rec *trace.Recorder, name string, initial T) *Shared[T] {
+	s := NewShared(rec, name, initial)
+	s.mu.inherit = true
+	return s
+}
+
+// Name returns the variable's name.
+func (s *Shared[T]) Name() string { return s.name }
+
+// Mutex exposes the variable's lock for explicit Lock/Unlock sequences.
+func (s *Shared[T]) Mutex() *Mutex { return s.mu }
+
+// Lock acquires the variable's lock for actor a.
+func (s *Shared[T]) Lock(a Actor) { s.mu.Lock(a) }
+
+// Unlock releases the variable's lock.
+func (s *Shared[T]) Unlock(a Actor) { s.mu.Unlock(a) }
+
+// Get returns the value; a must hold the lock.
+func (s *Shared[T]) Get(a Actor) T {
+	s.checkOwner(a, "read")
+	s.reads++
+	s.rec.Access(a.Name(), s.name, trace.AccessRead)
+	return s.value
+}
+
+// Set stores v; a must hold the lock.
+func (s *Shared[T]) Set(a Actor, v T) {
+	s.checkOwner(a, "write")
+	s.writes++
+	s.rec.Access(a.Name(), s.name, trace.AccessWrite)
+	s.value = v
+}
+
+// Read locks, reads and unlocks in one call (an access with negligible
+// duration).
+func (s *Shared[T]) Read(a Actor) T {
+	s.mu.Lock(a)
+	v := s.Get(a)
+	s.mu.Unlock(a)
+	return v
+}
+
+// Write locks, writes and unlocks in one call.
+func (s *Shared[T]) Write(a Actor, v T) {
+	s.mu.Lock(a)
+	s.Set(a, v)
+	s.mu.Unlock(a)
+}
+
+// Reads returns the total number of reads.
+func (s *Shared[T]) Reads() uint64 { return s.reads }
+
+// Writes returns the total number of writes.
+func (s *Shared[T]) Writes() uint64 { return s.writes }
+
+func (s *Shared[T]) checkOwner(a Actor, op string) {
+	if s.mu.owner != a {
+		panic(fmt.Sprintf("comm: actor %q %ss shared variable %q without holding its lock", a.Name(), op, s.name))
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// CompareResult is one row of the section 4 engine comparison (E3): the same
+// workload simulated with the RTOS-thread model (4.1) and the procedure-call
+// model (4.2).
+type CompareResult struct {
+	Tasks int
+	// Activations is the kernel thread-switch count per engine — the
+	// quantity the paper's Figures 3 and 5 illustrate.
+	Activations map[rtos.EngineKind]uint64
+	// Wall is the host execution time per engine.
+	Wall map[rtos.EngineKind]time.Duration
+	// SimulatedEnd is the final simulated time per engine; the two must be
+	// identical (the optimization does not alter the model).
+	SimulatedEnd map[rtos.EngineKind]sim.Time
+	// TraceEqual reports whether the two engines produced the same number
+	// of task dispatches (a cheap behavioural fingerprint; the full trace
+	// equality is asserted by the test suite).
+	Dispatches map[rtos.EngineKind]uint64
+}
+
+// Speedup returns threaded wall time divided by procedural wall time.
+func (r CompareResult) Speedup() float64 {
+	p := r.Wall[rtos.EngineProcedural]
+	if p <= 0 {
+		return 0
+	}
+	return float64(r.Wall[rtos.EngineThreaded]) / float64(p)
+}
+
+// SwitchRatio returns threaded activations divided by procedural ones.
+func (r CompareResult) SwitchRatio() float64 {
+	p := r.Activations[rtos.EngineProcedural]
+	if p == 0 {
+		return 0
+	}
+	return float64(r.Activations[rtos.EngineThreaded]) / float64(p)
+}
+
+// interruptWorkload builds an interrupt-driven workload of n tasks: task i
+// waits on its own event, executes, signals the next event; a hardware timer
+// drives event 0. This maximizes scheduling actions per unit of simulated
+// time, the regime where the engine difference matters most.
+func interruptWorkload(eng rtos.EngineKind, n int, horizon sim.Time) (*rtos.System, *rtos.Processor) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{
+		Engine:    eng,
+		Overheads: rtos.UniformOverheads(2 * sim.Us),
+	})
+	events := make([]*comm.Event, n)
+	for i := range events {
+		events[i] = comm.NewEvent(sys.Rec, fmt.Sprintf("ev%d", i), comm.Counter)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		cpu.NewTask(fmt.Sprintf("t%d", i), rtos.TaskConfig{Priority: n - i}, func(c *rtos.TaskCtx) {
+			for {
+				events[i].Wait(c)
+				c.Execute(5 * sim.Us)
+				if i+1 < n {
+					events[i+1].Signal(c)
+				}
+			}
+		})
+	}
+	sys.NewHWTask("timer", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for {
+			c.Wait(sim.Time(n) * 20 * sim.Us)
+			events[0].Signal(c)
+		}
+	})
+	return sys, cpu
+}
+
+// RunEngineComparison1 runs the interrupt-driven workload on one engine and
+// returns the kernel activation count (for the benchmark harness).
+func RunEngineComparison1(eng rtos.EngineKind, nTasks int, horizon sim.Time) uint64 {
+	sys, _ := interruptWorkload(eng, nTasks, horizon)
+	sys.RunUntil(horizon)
+	acts := sys.K.Activations()
+	sys.Shutdown()
+	return acts
+}
+
+// RunEngineComparison measures both engines on the interrupt-driven workload
+// with the given task count.
+func RunEngineComparison(nTasks int, horizon sim.Time) CompareResult {
+	r := CompareResult{
+		Tasks:        nTasks,
+		Activations:  map[rtos.EngineKind]uint64{},
+		Wall:         map[rtos.EngineKind]time.Duration{},
+		SimulatedEnd: map[rtos.EngineKind]sim.Time{},
+		Dispatches:   map[rtos.EngineKind]uint64{},
+	}
+	for _, eng := range []rtos.EngineKind{rtos.EngineProcedural, rtos.EngineThreaded} {
+		sys, cpu := interruptWorkload(eng, nTasks, horizon)
+		start := time.Now()
+		sys.RunUntil(horizon)
+		r.Wall[eng] = time.Since(start)
+		r.Activations[eng] = sys.K.Activations()
+		r.SimulatedEnd[eng] = sys.Now()
+		r.Dispatches[eng] = cpu.Dispatches()
+		sys.Shutdown()
+	}
+	return r
+}

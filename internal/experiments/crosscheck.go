@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// SimulatedResponses runs the periodic task set on the RTOS model with a
+// synchronous release at time zero (the critical instant) and returns the
+// worst observed response time per task plus the number of deadline misses.
+func SimulatedResponses(set []analysis.TaskSpec, eng rtos.EngineKind, ov rtos.Overheads, horizon sim.Time) (map[string]sim.Time, int) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Engine: eng, Overheads: ov})
+	worst := map[string]sim.Time{}
+	for _, spec := range set {
+		spec := spec
+		cpu.NewPeriodicTask(spec.Name, rtos.TaskConfig{
+			Period:   spec.Period,
+			Deadline: spec.D(),
+			Priority: spec.Priority,
+		}, func(c *rtos.TaskCtx, cycle int) {
+			c.Execute(spec.WCET)
+			// Release = cycle*period as long as no overrun happened; for
+			// schedulable sets that always holds, and for unschedulable
+			// ones the miss count is what matters.
+			response := c.Now() - sim.Time(cycle)*spec.Period
+			if response > worst[spec.Name] {
+				worst[spec.Name] = response
+			}
+		})
+	}
+	sys.RunUntil(horizon)
+	misses := len(sys.Constraints.Violations())
+	sys.Shutdown()
+	return worst, misses
+}
+
+// CrossCheckResult compares the analytical response-time analysis with the
+// simulation for one task set.
+type CrossCheckResult struct {
+	Set         []analysis.TaskSpec
+	Utilization float64
+	// Analytical holds the RTA fixed points; Simulated the observed worsts.
+	Analytical map[string]sim.Time
+	Simulated  map[string]sim.Time
+	// RTASchedulable / SimMisses: the two verdicts.
+	RTASchedulable bool
+	SimMisses      int
+	// Exact is true when every simulated worst equals the RTA value.
+	Exact bool
+}
+
+// RandomTaskSet builds a pseudo-random periodic task set with RM priorities
+// and utilization roughly targetU.
+func RandomTaskSet(seed int64, n int, targetU float64) []analysis.TaskSpec {
+	rng := rand.New(rand.NewSource(seed))
+	periods := []sim.Time{4 * sim.Ms, 5 * sim.Ms, 8 * sim.Ms, 10 * sim.Ms, 20 * sim.Ms, 25 * sim.Ms, 40 * sim.Ms}
+	var set []analysis.TaskSpec
+	for i := 0; i < n; i++ {
+		period := periods[rng.Intn(len(periods))]
+		share := targetU / float64(n) * (0.6 + 0.8*rng.Float64())
+		wcet := period.Scale(share)
+		if wcet <= 0 {
+			wcet = sim.Us
+		}
+		if wcet > period {
+			wcet = period / 2
+		}
+		set = append(set, analysis.TaskSpec{
+			Name:   fmt.Sprintf("task%d", i),
+			Period: period,
+			WCET:   wcet,
+		})
+	}
+	return analysis.AssignRM(set)
+}
+
+// RunRTACrossCheck validates the simulation model against exact
+// response-time analysis: with zero RTOS overhead, a synchronous release and
+// fixed-priority preemptive scheduling, the worst simulated response of
+// every task must equal the RTA fixed point exactly (E12). For sets RTA
+// declares unschedulable, the simulation must also miss a deadline.
+func RunRTACrossCheck(seed int64, n int, targetU float64, eng rtos.EngineKind) (CrossCheckResult, error) {
+	set := RandomTaskSet(seed, n, targetU)
+	rta, err := analysis.ResponseTimes(set, 0)
+	if err != nil {
+		return CrossCheckResult{}, err
+	}
+	horizon := analysis.Hyperperiod(set)
+	if horizon > 400*sim.Ms {
+		horizon = 400 * sim.Ms
+	}
+	simulated, misses := SimulatedResponses(set, eng, rtos.Overheads{}, horizon)
+	res := CrossCheckResult{
+		Set:            set,
+		Utilization:    analysis.Utilization(set),
+		Analytical:     rta.Response,
+		Simulated:      simulated,
+		RTASchedulable: rta.Schedulable,
+		SimMisses:      misses,
+		Exact:          true,
+	}
+	if rta.Schedulable {
+		for _, t := range set {
+			if simulated[t.Name] != rta.Response[t.Name] {
+				res.Exact = false
+			}
+		}
+	} else {
+		res.Exact = misses > 0 // verdicts must agree
+	}
+	return res, nil
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// TestRTACrossCheckClassic validates the model against the textbook set
+// (1/4, 2/6, 3/10): the simulated worst responses under a synchronous
+// release must equal the exact RTA fixed points 1, 3, 10 ms.
+func TestRTACrossCheckClassic(t *testing.T) {
+	set := analysis.AssignRM([]analysis.TaskSpec{
+		{Name: "t1", Period: 4 * sim.Ms, WCET: 1 * sim.Ms},
+		{Name: "t2", Period: 6 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "t3", Period: 10 * sim.Ms, WCET: 3 * sim.Ms},
+	})
+	rta, err := analysis.ResponseTimes(set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []rtos.EngineKind{rtos.EngineProcedural, rtos.EngineThreaded} {
+		simulated, misses := SimulatedResponses(set, eng, rtos.Overheads{}, analysis.Hyperperiod(set))
+		if misses != 0 {
+			t.Fatalf("engine %v: unexpected misses %d", eng, misses)
+		}
+		for _, task := range set {
+			if simulated[task.Name] != rta.Response[task.Name] {
+				t.Errorf("engine %v: worst simulated response of %s = %v, RTA says %v",
+					eng, task.Name, simulated[task.Name], rta.Response[task.Name])
+			}
+		}
+	}
+}
+
+// TestRTACrossCheckRandom sweeps random task sets at several utilizations:
+// analysis and simulation must agree exactly (E12). This exercises the
+// scheduler, the time-accurate preemption and the periodic machinery against
+// an independent mathematical oracle.
+func TestRTACrossCheckRandom(t *testing.T) {
+	checked, exact := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		for _, u := range []float64{0.5, 0.8, 1.1} {
+			res, err := RunRTACrossCheck(seed, 2+int(seed%4), u, rtos.EngineProcedural)
+			if err != nil {
+				t.Fatalf("seed %d u %v: %v", seed, u, err)
+			}
+			checked++
+			if res.Exact {
+				exact++
+			} else {
+				t.Errorf("seed %d u=%.1f: mismatch\n  set: %+v\n  RTA: %v (schedulable=%v)\n  sim: %v (misses=%d)",
+					seed, u, res.Set, res.Analytical, res.RTASchedulable, res.Simulated, res.SimMisses)
+			}
+		}
+	}
+	if exact != checked {
+		t.Fatalf("only %d/%d cross-checks exact", exact, checked)
+	}
+}
+
+// TestEDFSimAgreesWithDemandTest: implicit-deadline sets under EDF meet all
+// deadlines in simulation iff utilization <= 1, matching the exact
+// analytical test.
+func TestEDFSimAgreesWithDemandTest(t *testing.T) {
+	run := func(set []analysis.TaskSpec) int {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Policy: rtos.EDF{}})
+		for _, spec := range set {
+			spec := spec
+			cpu.NewPeriodicTask(spec.Name, rtos.TaskConfig{
+				Period: spec.Period, Deadline: spec.D(),
+			}, func(c *rtos.TaskCtx, cycle int) {
+				c.Execute(spec.WCET)
+			})
+		}
+		sys.RunUntil(200 * sim.Ms)
+		misses := len(sys.Constraints.Violations())
+		sys.Shutdown()
+		return misses
+	}
+	feasible := []analysis.TaskSpec{
+		{Name: "a", Period: 4 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "b", Period: 8 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "c", Period: 16 * sim.Ms, WCET: 4 * sim.Ms}, // U = 1.0 exactly
+	}
+	if ok, _ := analysis.EDFSchedulable(feasible); !ok {
+		t.Fatal("analysis rejects the U=1 set")
+	}
+	if m := run(feasible); m != 0 {
+		t.Errorf("EDF missed %d deadlines on a feasible set", m)
+	}
+	infeasible := []analysis.TaskSpec{
+		{Name: "a", Period: 4 * sim.Ms, WCET: 3 * sim.Ms},
+		{Name: "b", Period: 8 * sim.Ms, WCET: 3 * sim.Ms}, // U = 1.125
+	}
+	if ok, _ := analysis.EDFSchedulable(infeasible); ok {
+		t.Fatal("analysis accepts the overloaded set")
+	}
+	if m := run(infeasible); m == 0 {
+		t.Error("EDF met all deadlines on an infeasible set")
+	}
+}
+
+// TestJitterRTAIsSafeBound cross-validates the jitter-aware analysis: with
+// deterministic release jitter in [0, J], the simulated worst responses
+// (measured from the nominal release, as the analysis defines them) never
+// exceed the Audsley bound R = w + J.
+func TestJitterRTAIsSafeBound(t *testing.T) {
+	const J = 800 * sim.Us
+	base := []analysis.TaskSpec{
+		{Name: "t1", Period: 4 * sim.Ms, WCET: 1 * sim.Ms, Jitter: J},
+		{Name: "t2", Period: 6 * sim.Ms, WCET: 1500 * sim.Us, Jitter: J},
+		{Name: "t3", Period: 12 * sim.Ms, WCET: 2 * sim.Ms, Jitter: J},
+	}
+	set := analysis.AssignRM(base)
+	rta, err := analysis.ResponseTimes(set, 0)
+	if err != nil || !rta.Schedulable {
+		t.Fatalf("analysis: %+v, %v", rta, err)
+	}
+	// The jitter bound must strictly dominate the jitter-free one.
+	noJ := analysis.AssignRM([]analysis.TaskSpec{
+		{Name: "t1", Period: 4 * sim.Ms, WCET: 1 * sim.Ms},
+		{Name: "t2", Period: 6 * sim.Ms, WCET: 1500 * sim.Us},
+		{Name: "t3", Period: 12 * sim.Ms, WCET: 2 * sim.Ms},
+	})
+	plain, _ := analysis.ResponseTimes(noJ, 0)
+	for _, task := range set {
+		if rta.Response[task.Name] <= plain.Response[task.Name] {
+			t.Errorf("%s: jitter bound %v not above plain %v",
+				task.Name, rta.Response[task.Name], plain.Response[task.Name])
+		}
+	}
+
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	worst := map[string]sim.Time{}
+	for _, spec := range set {
+		spec := spec
+		cpu.NewPeriodicTask(spec.Name, rtos.TaskConfig{
+			Period: spec.Period, Deadline: spec.D(), Priority: spec.Priority,
+			Jitter: spec.Jitter,
+		}, func(c *rtos.TaskCtx, cycle int) {
+			c.Execute(spec.WCET)
+			resp := c.Now() - sim.Time(cycle)*spec.Period
+			if resp > worst[spec.Name] {
+				worst[spec.Name] = resp
+			}
+		})
+	}
+	sys.RunUntil(200 * sim.Ms)
+	misses := len(sys.Constraints.Violations())
+	sys.Shutdown()
+	if misses != 0 {
+		t.Fatalf("misses = %d on a schedulable jittered set", misses)
+	}
+	for _, spec := range set {
+		if worst[spec.Name] > rta.Response[spec.Name] {
+			t.Errorf("%s: simulated worst %v exceeds jitter-aware bound %v",
+				spec.Name, worst[spec.Name], rta.Response[spec.Name])
+		}
+	}
+}
+
+// TestBlockingRTAHoldsUnderCeilingMutex cross-validates the blocking-aware
+// RTA: tasks sharing a ceiling-protocol lock never exceed the analytical
+// bound with B set to the longest lower-priority critical section.
+func TestBlockingRTAHoldsUnderCeilingMutex(t *testing.T) {
+	const crit = 800 * sim.Us // low-priority critical section
+	set := analysis.AssignRM([]analysis.TaskSpec{
+		{Name: "hi", Period: 5 * sim.Ms, WCET: 1 * sim.Ms},
+		{Name: "mid", Period: 10 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "lo", Period: 25 * sim.Ms, WCET: 4 * sim.Ms},
+	})
+	rta, err := analysis.ResponseTimesWithBlocking(set, map[string]sim.Time{
+		"hi":  crit, // both can be blocked by lo's critical section
+		"mid": crit,
+	}, 0)
+	if err != nil || !rta.Schedulable {
+		t.Fatalf("analysis: %+v, %v", rta, err)
+	}
+
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	ceiling := 0
+	for _, s := range set {
+		if s.Priority > ceiling {
+			ceiling = s.Priority
+		}
+	}
+	mu := comm.NewCeilingMutex(sys.Rec, "res", ceiling)
+	worst := map[string]sim.Time{}
+	for _, spec := range set {
+		spec := spec
+		cpu.NewPeriodicTask(spec.Name, rtos.TaskConfig{
+			Period: spec.Period, Deadline: spec.D(), Priority: spec.Priority,
+		}, func(c *rtos.TaskCtx, cycle int) {
+			switch spec.Name {
+			case "lo":
+				// The critical section sits inside lo's budget.
+				c.Execute(spec.WCET - crit)
+				mu.Lock(c)
+				c.Execute(crit)
+				mu.Unlock(c)
+			case "hi":
+				mu.Lock(c)
+				c.Execute(100 * sim.Us)
+				mu.Unlock(c)
+				c.Execute(spec.WCET - 100*sim.Us)
+			default:
+				c.Execute(spec.WCET)
+			}
+			resp := c.Now() - sim.Time(cycle)*spec.Period
+			if resp > worst[spec.Name] {
+				worst[spec.Name] = resp
+			}
+		})
+	}
+	sys.RunUntil(100 * sim.Ms)
+	misses := len(sys.Constraints.Violations())
+	sys.Shutdown()
+	if misses != 0 {
+		t.Fatalf("misses = %d", misses)
+	}
+	for _, spec := range set {
+		if worst[spec.Name] > rta.Response[spec.Name] {
+			t.Errorf("%s: simulated worst %v exceeds blocking-aware bound %v",
+				spec.Name, worst[spec.Name], rta.Response[spec.Name])
+		}
+	}
+}
+
+// TestRTAWithOverheadIsSafeBound: with RTOS overheads on, the simulated
+// responses never exceed the RTA bound computed with the inflated costs
+// C' = C + 2*(save+sched+load).
+func TestRTAWithOverheadIsSafeBound(t *testing.T) {
+	ov := 20 * sim.Us
+	set := analysis.AssignRM([]analysis.TaskSpec{
+		{Name: "t1", Period: 4 * sim.Ms, WCET: 1 * sim.Ms},
+		{Name: "t2", Period: 6 * sim.Ms, WCET: 2 * sim.Ms},
+		{Name: "t3", Period: 12 * sim.Ms, WCET: 2 * sim.Ms},
+	})
+	rta, err := analysis.ResponseTimes(set, 3*ov) // save+sched+load per switch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rta.Schedulable {
+		t.Fatal("bound analysis unschedulable; pick a lighter set")
+	}
+	simulated, misses := SimulatedResponses(set, rtos.EngineProcedural,
+		rtos.UniformOverheads(ov), analysis.Hyperperiod(set))
+	if misses != 0 {
+		t.Fatalf("misses = %d", misses)
+	}
+	for _, task := range set {
+		if simulated[task.Name] > rta.Response[task.Name] {
+			t.Errorf("simulated response of %s (%v) exceeds the analytical bound (%v)",
+				task.Name, simulated[task.Name], rta.Response[task.Name])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// TestPropertyEDFExactness: for implicit-deadline periodic sets, EDF is an
+// optimal scheduler — U <= 1 is exactly feasible. The property must hold in
+// simulation over a full hyperperiod for random task sets on both sides of
+// the boundary: feasible sets never miss; over-utilized sets always miss.
+func TestPropertyEDFExactness(t *testing.T) {
+	periods := []sim.Time{4 * sim.Ms, 8 * sim.Ms, 16 * sim.Ms, 32 * sim.Ms}
+
+	makeSet := func(rng *rand.Rand, targetU float64) []analysis.TaskSpec {
+		n := 2 + rng.Intn(3)
+		var set []analysis.TaskSpec
+		remaining := targetU
+		for i := 0; i < n; i++ {
+			period := periods[rng.Intn(len(periods))]
+			share := remaining / float64(n-i)
+			if i < n-1 {
+				share *= 0.5 + rng.Float64() // spread unevenly
+			}
+			if share > remaining {
+				share = remaining
+			}
+			wcet := period.Scale(share)
+			if wcet <= 0 {
+				wcet = sim.Us
+			}
+			remaining -= float64(wcet) / float64(period)
+			set = append(set, analysis.TaskSpec{
+				Name: fmt.Sprintf("t%d", i), Period: period, WCET: wcet,
+			})
+		}
+		return set
+	}
+
+	simulateMisses := func(set []analysis.TaskSpec) int {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Policy: rtos.EDF{}})
+		for _, spec := range set {
+			spec := spec
+			cpu.NewPeriodicTask(spec.Name, rtos.TaskConfig{
+				Period: spec.Period, Deadline: spec.Period,
+			}, func(c *rtos.TaskCtx, cycle int) {
+				c.Execute(spec.WCET)
+			})
+		}
+		sys.RunUntil(analysis.Hyperperiod(set) + sim.Ms)
+		misses := len(sys.Constraints.Violations())
+		sys.Shutdown()
+		return misses
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		feasible := makeSet(rng, 0.85+0.14*rng.Float64()) // U in [0.85, 0.99]
+		if u := analysis.Utilization(feasible); u > 1 {
+			return true // construction overshot; skip
+		}
+		if m := simulateMisses(feasible); m != 0 {
+			t.Logf("seed %d: feasible set missed %d deadlines: %+v", seed, m, feasible)
+			return false
+		}
+		// Overload the same set by inflating one task past U=1.
+		over := append([]analysis.TaskSpec(nil), feasible...)
+		deficit := 1.05 - analysis.Utilization(over)
+		over[0].WCET += over[0].Period.Scale(deficit)
+		if over[0].WCET > over[0].Period {
+			over[0].WCET = over[0].Period // cap at full utilization of its period
+		}
+		if analysis.Utilization(over) <= 1.0 {
+			return true // couldn't overload within constraints; skip
+		}
+		if m := simulateMisses(over); m == 0 {
+			t.Logf("seed %d: overloaded set (U=%.3f) missed nothing: %+v",
+				seed, analysis.Utilization(over), over)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

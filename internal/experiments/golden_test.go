@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestFigure6GoldenChronology pins the complete Figure 6 event chronology
+// against a golden file: any unintended change to scheduler decisions,
+// overhead charging or trace recording shows up as a diff. Regenerate with
+// `go test ./internal/experiments -run Golden -update` after an intentional
+// model change.
+func TestFigure6GoldenChronology(t *testing.T) {
+	for _, eng := range []rtos.EngineKind{rtos.EngineProcedural, rtos.EngineThreaded} {
+		t.Run(eng.String(), func(t *testing.T) {
+			f := BuildFigure6(Figure6Config{Engine: eng})
+			f.Sys.RunUntil(900 * sim.Us)
+			f.Sys.Shutdown()
+			checkGolden(t, "figure6_"+eng.String()+".golden", f.Sys.Chronology())
+		})
+	}
+}
+
+// TestFigure7GoldenChronology pins the mutual-exclusion scenario the same
+// way, covering the lock/unlock and waiting-resource paths.
+func TestFigure7GoldenChronology(t *testing.T) {
+	for _, eng := range []rtos.EngineKind{rtos.EngineProcedural, rtos.EngineThreaded} {
+		t.Run(eng.String(), func(t *testing.T) {
+			r := RunFigure7(eng, Figure7Plain)
+			checkGolden(t, "figure7_"+eng.String()+".golden", r.Sys.Chronology())
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("chronology diverged from golden file %s;\nregenerate with -update if intentional.\n--- got ---\n%s", path, got)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// InterruptResult is one row of the E13 interrupt-handling ablation: the
+// same device load handled with different ISR/handler splits.
+type InterruptResult struct {
+	Variant string
+	// HandlerWorst is the worst device-event-to-handler-completion latency.
+	HandlerWorst sim.Time
+	// WorkerSlowdown is how much the background task's completion slipped
+	// versus an interrupt-free run.
+	WorkerSlowdown sim.Time
+	// ISRLoad is the fraction of processor time spent in interrupt context.
+	ISRLoad float64
+	// ContextSwitches counts full RTOS context switches.
+	ContextSwitches int
+}
+
+// RunInterruptAblation measures three interrupt-handling designs under a
+// periodic device raising an IRQ every period:
+//
+//   - "all-in-isr": the whole 20us of processing happens in the ISR
+//     (lowest latency, every microsecond stolen from tasks at top priority);
+//   - "split": a 3us ISR defers to a high-priority handler task
+//     (the classical design: slightly higher latency, scheduler-visible);
+//   - "polling": no interrupt at all; a periodic task polls the device
+//     (no ISR load, worst latency up to one polling period).
+func RunInterruptAblation(period sim.Time, horizon sim.Time) []InterruptResult {
+	type setup struct {
+		variant string
+		build   func(sys *rtos.System, cpu *rtos.Processor, done *rtos.Constraint, raise func(func()))
+	}
+	work := 20 * sim.Us
+
+	setups := []setup{
+		{"all-in-isr", func(sys *rtos.System, cpu *rtos.Processor, done *rtos.Constraint, raise func(func())) {
+			irq := cpu.Interrupts().NewIRQ("dev", 10, 2*sim.Us, func(c *rtos.ISRCtx) {
+				c.Execute(work)
+				done.Stop()
+			})
+			raise(irq.Raise)
+		}},
+		{"split", func(sys *rtos.System, cpu *rtos.Processor, done *rtos.Constraint, raise func(func())) {
+			evt := comm.NewEvent(sys.Rec, "rx", comm.Counter)
+			irq := cpu.Interrupts().NewIRQ("dev", 10, 2*sim.Us, func(c *rtos.ISRCtx) {
+				c.Execute(3 * sim.Us)
+				evt.Signal(c)
+			})
+			cpu.NewTask("handler", rtos.TaskConfig{Priority: 50}, func(c *rtos.TaskCtx) {
+				for {
+					evt.Wait(c)
+					c.Execute(work - 3*sim.Us)
+					done.Stop()
+				}
+			})
+			raise(irq.Raise)
+		}},
+		{"polling", func(sys *rtos.System, cpu *rtos.Processor, done *rtos.Constraint, raise func(func())) {
+			pending := 0
+			// A polling period deliberately non-harmonic with the device
+			// period, so the observed latencies sweep the full [0, poll
+			// period] range instead of phase-locking.
+			cpu.NewPeriodicTask("poller", rtos.TaskConfig{Priority: 50, Period: period * 7 / 20}, func(c *rtos.TaskCtx, cycle int) {
+				c.Execute(2 * sim.Us) // the poll itself
+				for pending > 0 {
+					pending--
+					c.Execute(work)
+					done.Stop()
+				}
+			})
+			raise(func() { pending++ })
+		}},
+	}
+
+	// Interrupt-free baseline for the worker's completion time.
+	baseline := func() sim.Time {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+		var end sim.Time
+		cpu.NewTask("worker", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+			c.Execute(horizon / 4)
+			end = c.Now()
+		})
+		sys.RunUntil(horizon)
+		sys.Shutdown()
+		return end
+	}()
+
+	var out []InterruptResult
+	for _, s := range setups {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+		done := sys.Constraints.NewLatency("service", horizon)
+		var raiser func()
+		s.build(sys, cpu, done, func(f func()) { raiser = f })
+		var workerEnd sim.Time
+		cpu.NewTask("worker", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+			c.Execute(horizon / 4)
+			workerEnd = c.Now()
+		})
+		sys.NewHWTask("device", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+			for {
+				c.Wait(period)
+				done.Start()
+				raiser()
+			}
+		})
+		sys.RunUntil(horizon)
+		st := sys.Stats(horizon)
+		res := InterruptResult{
+			Variant:        s.variant,
+			HandlerWorst:   done.Worst(),
+			WorkerSlowdown: workerEnd - baseline,
+		}
+		if cs, ok := st.ProcessorByName("cpu"); ok {
+			res.ContextSwitches = cs.ContextSwitches
+		}
+		var isrTime sim.Time
+		for _, task := range sys.Rec.Tasks() {
+			if len(task) > 4 && task[:4] == "isr:" {
+				if ts, ok := st.TaskByName(task); ok {
+					isrTime += ts.Running
+				}
+			}
+		}
+		res.ISRLoad = float64(isrTime) / float64(horizon)
+		sys.Shutdown()
+		out = append(out, res)
+	}
+	return out
+}

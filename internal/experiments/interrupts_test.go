@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestInterruptAblation verifies the E13 shape: ISR-only handling has the
+// lowest service latency, the split design lies between ISR-only and
+// polling, and polling has zero ISR load but the worst latency.
+func TestInterruptAblation(t *testing.T) {
+	res := RunInterruptAblation(200*sim.Us, 20*sim.Ms)
+	if len(res) != 3 {
+		t.Fatalf("variants = %d", len(res))
+	}
+	byName := map[string]InterruptResult{}
+	for _, r := range res {
+		byName[r.Variant] = r
+	}
+	isr, split, poll := byName["all-in-isr"], byName["split"], byName["polling"]
+
+	if !(isr.HandlerWorst < split.HandlerWorst && split.HandlerWorst < poll.HandlerWorst) {
+		t.Errorf("latency ordering broken: isr %v, split %v, poll %v",
+			isr.HandlerWorst, split.HandlerWorst, poll.HandlerWorst)
+	}
+	if isr.ISRLoad <= split.ISRLoad || poll.ISRLoad != 0 {
+		t.Errorf("ISR load ordering broken: isr %.3f, split %.3f, poll %.3f",
+			isr.ISRLoad, split.ISRLoad, poll.ISRLoad)
+	}
+	if isr.ContextSwitches >= split.ContextSwitches {
+		t.Errorf("switch counts broken: isr %d, split %d", isr.ContextSwitches, split.ContextSwitches)
+	}
+	for _, r := range res {
+		if r.WorkerSlowdown <= 0 {
+			t.Errorf("%s: worker slowdown %v, want positive", r.Variant, r.WorkerSlowdown)
+		}
+	}
+}

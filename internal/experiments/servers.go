@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// ServerResult is one row of the E14 aperiodic-service ablation.
+type ServerResult struct {
+	Variant string
+	// MeanResponse / WorstResponse of the aperiodic jobs.
+	MeanResponse  sim.Time
+	WorstResponse sim.Time
+	// PeriodicMisses counts deadline misses of the periodic foreground.
+	PeriodicMisses int
+	// Served is the number of aperiodic jobs completed.
+	Served uint64
+}
+
+// RunServerAblation compares three ways of serving random aperiodic work
+// next to a periodic task set: in background (lowest priority, no server),
+// through a polling server and through a deferrable server — the classical
+// comparison from Buttazzo ch. 5 (the paper's reference [10]).
+func RunServerAblation(seed int64, horizon sim.Time) []ServerResult {
+	type variant struct {
+		name  string
+		build func(cpu *rtos.Processor) *rtos.Server
+	}
+	cfg := rtos.ServerConfig{Priority: 40, Period: 2 * sim.Ms, Budget: 600 * sim.Us}
+	variants := []variant{
+		{"background", nil},
+		{"polling-server", func(cpu *rtos.Processor) *rtos.Server {
+			return cpu.NewPollingServer("server", cfg)
+		}},
+		{"deferrable-server", func(cpu *rtos.Processor) *rtos.Server {
+			return cpu.NewDeferrableServer("server", cfg)
+		}},
+		{"sporadic-server", func(cpu *rtos.Processor) *rtos.Server {
+			return cpu.NewSporadicServer("server", cfg)
+		}},
+	}
+
+	var out []ServerResult
+	for _, v := range variants {
+		rng := rand.New(rand.NewSource(seed))
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+
+		// Periodic foreground at ~55% utilization.
+		for _, spec := range []struct {
+			name   string
+			period sim.Time
+			exec   sim.Time
+			prio   int
+		}{
+			{"ctl", 5 * sim.Ms, 1 * sim.Ms, 30},
+			{"io", 10 * sim.Ms, 2 * sim.Ms, 20},
+			{"log", 20 * sim.Ms, 3 * sim.Ms, 10},
+		} {
+			spec := spec
+			cpu.NewPeriodicTask(spec.name, rtos.TaskConfig{
+				Priority: spec.prio, Period: spec.period, Deadline: spec.period,
+			}, func(c *rtos.TaskCtx, cycle int) {
+				c.Execute(spec.exec)
+			})
+		}
+
+		resp := sys.Constraints.NewLatency("aperiodic", horizon)
+		var served uint64
+
+		var submit func(work sim.Time)
+		if v.build == nil {
+			// Background processing: a lowest-priority task draining a
+			// software queue.
+			var pending []sim.Time
+			var bgCtx *rtos.TaskCtx
+			arrive := sys.K.NewEvent("bg.arrive")
+			cpu.NewTask("bgserver", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+				bgCtx = c
+				for {
+					for len(pending) == 0 {
+						c.Suspend(false, "bg.queue")
+					}
+					work := pending[0]
+					pending = pending[1:]
+					c.Execute(work)
+					resp.Stop()
+					served++
+				}
+			})
+			sys.K.NewMethod("bg.wake", func() {
+				if bgCtx != nil {
+					bgCtx.Resume()
+				}
+			}, false, arrive)
+			submit = func(work sim.Time) {
+				pending = append(pending, work)
+				arrive.Notify()
+			}
+		} else {
+			srv := v.build(cpu)
+			submit = func(work sim.Time) {
+				srv.Submit(rtos.AperiodicJob{Work: work, Done: func() {
+					resp.Stop()
+					served++
+				}})
+			}
+		}
+
+		// Poisson-ish aperiodic arrivals: mean inter-arrival 4ms, work
+		// 100-400us (~6% load).
+		sys.NewHWTask("source", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+			for {
+				c.Wait(sim.Time(1+rng.Intn(7)) * sim.Ms / 1)
+				work := sim.Time(100+rng.Intn(300)) * sim.Us
+				resp.Start()
+				submit(work)
+			}
+		})
+
+		sys.RunUntil(horizon)
+		misses := 0
+		for _, viol := range sys.Constraints.Violations() {
+			if viol.Name != "aperiodic" {
+				misses++
+			}
+		}
+		out = append(out, ServerResult{
+			Variant:        v.name,
+			MeanResponse:   resp.Mean(),
+			WorstResponse:  resp.Worst(),
+			PeriodicMisses: misses,
+			Served:         served,
+		})
+		sys.Shutdown()
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+// Package mpeg2 models the paper's section 5 case study: "a video MPEG-2
+// compressing and decompressing SoC. The system is composed of 18 tasks
+// implemented on six processors, three of them are software processors with
+// a RTOS model."
+//
+// The pipeline is synthetic — the paper publishes no numbers for it, only
+// that the RTOS model scales to it — but the topology is faithful: three
+// software processors running the RTOS model (controller, encoder, decoder)
+// plus hardware blocks (video in/out DMA, bitstream I/O, memory arbiter),
+// 18 tasks in total, communicating through MCSE queues, events and shared
+// variables. Task durations are annotated times for a 25 fps stream
+// processed in 8 slices per frame.
+package mpeg2
+
+import (
+	"repro/internal/bus"
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// FramePeriod is the 25 fps frame period.
+const FramePeriod = 40 * sim.Ms
+
+// SlicesPerFrame is the number of slices (macroblock rows) per frame.
+const SlicesPerFrame = 8
+
+// SlicePeriod is the cadence at which the camera emits slices.
+const SlicePeriod = FramePeriod / SlicesPerFrame
+
+// Slice is the unit of work flowing through the pipelines.
+type Slice struct {
+	Frame int
+	Index int
+	// Stamp is the capture time, used for end-to-end latency constraints.
+	Stamp sim.Time
+}
+
+// SoC is the elaborated system with the observation points used by the
+// experiments and the example.
+type SoC struct {
+	Sys *rtos.System
+
+	CtrlCPU, EncCPU, DecCPU *rtos.Processor
+
+	// EncodedSlices / DisplayedSlices count pipeline completions.
+	EncodedSlices   int
+	DisplayedSlices int
+
+	// EncodeLatency and DecodeLatency monitor the end-to-end pipeline
+	// latency constraints.
+	EncodeLatency *rtos.Constraint
+	DecodeLatency *rtos.Constraint
+
+	// Interconnect is the shared on-chip bus, nil when the configuration
+	// keeps zero-time queues.
+	Interconnect *bus.Bus
+
+	// TaskCount is the total number of tasks (software + hardware).
+	TaskCount int
+}
+
+// SliceBytes is the modelled payload of one slice crossing the on-chip
+// interconnect.
+const SliceBytes = 8192
+
+// Config parameterizes the SoC build.
+type Config struct {
+	Engine rtos.EngineKind
+	// Overhead is the uniform RTOS overhead on the three software
+	// processors; defaults to 5µs.
+	Overhead sim.Time
+	// QuantScale stresses the encoder: execution times of the quantizer
+	// scale with it. 1.0 by default.
+	Load float64
+	// BusPerByte, when positive, routes every processor-crossing queue over
+	// a shared on-chip bus with that transfer time per byte (plus a 1µs
+	// arbitration cost); zero keeps the functional model's zero-time
+	// queues. At 8KiB per slice, 1ns/byte costs ~8.2µs of bus per hop.
+	BusPerByte sim.Time
+}
+
+// link abstracts a slice conduit: a zero-time MCSE queue within one
+// processor domain, or a bus-backed channel across domains.
+type link interface {
+	put(a comm.Actor, s Slice)
+	get(a comm.Actor) Slice
+}
+
+type queueLink struct{ q *comm.Queue[Slice] }
+
+func (l queueLink) put(a comm.Actor, s Slice) { l.q.Put(a, s) }
+func (l queueLink) get(a comm.Actor) Slice    { return l.q.Get(a) }
+
+type busLink struct{ ch *bus.Channel[Slice] }
+
+func (l busLink) put(a comm.Actor, s Slice) { l.ch.Send(a, s) }
+func (l busLink) get(a comm.Actor) Slice    { return l.ch.Recv(a) }
+
+// Build elaborates the SoC without running it.
+func Build(cfg Config) *SoC {
+	if cfg.Overhead == 0 {
+		cfg.Overhead = 5 * sim.Us
+	}
+	if cfg.Load == 0 {
+		cfg.Load = 1.0
+	}
+	scale := func(d sim.Time) sim.Time { return d.Scale(cfg.Load) }
+
+	s := &SoC{Sys: rtos.NewSystem()}
+	sys := s.Sys
+	rcfg := rtos.Config{
+		Engine:    cfg.Engine,
+		Policy:    rtos.PriorityPreemptive{},
+		Overheads: rtos.UniformOverheads(cfg.Overhead),
+	}
+	s.CtrlCPU = sys.NewProcessor("cpu-ctrl", rcfg)
+	s.EncCPU = sys.NewProcessor("cpu-enc", rcfg)
+	s.DecCPU = sys.NewProcessor("cpu-dec", rcfg)
+
+	rec := sys.Rec
+	// Processor-crossing conduits go over the shared interconnect when a
+	// bus is configured; stage-internal queues are always zero-time.
+	var interconnect *bus.Bus
+	xlink := func(name string, capacity int) link {
+		if cfg.BusPerByte <= 0 {
+			return queueLink{comm.NewQueue[Slice](rec, name, capacity)}
+		}
+		if interconnect == nil {
+			interconnect = bus.New(rec, "interconnect", bus.Config{
+				PerByte:     cfg.BusPerByte,
+				Arbitration: sim.Us,
+			})
+			s.Interconnect = interconnect
+		}
+		return busLink{bus.NewChannel(interconnect, name, capacity, func(Slice) int { return SliceBytes })}
+	}
+	local := func(name string, capacity int) link {
+		return queueLink{comm.NewQueue[Slice](rec, name, capacity)}
+	}
+
+	// Encode path.
+	qRaw := xlink("q_raw", 4) // VideoIn -> cpu-enc
+	qME := local("q_me", 2)   // within cpu-enc
+	qDCT := local("q_dct", 2) // within cpu-enc
+	qQ := local("q_q", 2)     // within cpu-enc
+	qVLC := xlink("q_vlc", 4) // cpu-enc -> cpu-ctrl
+	qTx := xlink("q_tx", 8)   // cpu-ctrl -> BitstreamOut
+	// Decode path.
+	qRx := xlink("q_rx", 8)     // BitstreamIn -> cpu-ctrl
+	qDmx := xlink("q_dmx", 4)   // cpu-ctrl -> cpu-dec
+	qVLD := local("q_vld", 2)   // within cpu-dec
+	qIQ := local("q_iq", 2)     // within cpu-dec
+	qIDCT := local("q_idct", 2) // within cpu-dec
+	qDisp := xlink("q_disp", 4) // cpu-dec -> VideoOut
+
+	// Control-plane relations.
+	quantScale := comm.NewShared(rec, "quantScale", 16)
+	heartbeat := comm.NewShared(rec, "heartbeat", 0)
+	bitrateFeedback := comm.NewEvent(rec, "bitrateFeedback", comm.Counter)
+	memBus := comm.NewMutex(rec, "memBus")
+
+	s.EncodeLatency = sys.Constraints.NewLatency("encode.e2e", 2*FramePeriod)
+	s.DecodeLatency = sys.Constraints.NewLatency("decode.e2e", 2*FramePeriod)
+
+	stage := func(cpu *rtos.Processor, name string, prio int, in, out link, cost sim.Time, hook func(c *rtos.TaskCtx, sl Slice)) {
+		cpu.NewTask(name, rtos.TaskConfig{Priority: prio}, func(c *rtos.TaskCtx) {
+			for {
+				sl := in.get(c)
+				c.Execute(cost)
+				if hook != nil {
+					hook(c, sl)
+				}
+				if out != nil {
+					out.put(c, sl)
+				}
+			}
+		})
+		s.TaskCount++
+	}
+
+	// --- cpu-enc: 4 tasks -------------------------------------------------
+	stage(s.EncCPU, "MotionEst", 4, qRaw, qME, scale(2*sim.Ms), func(c *rtos.TaskCtx, sl Slice) {
+		// Reference-frame fetch through the shared memory bus.
+		memBus.Lock(c)
+		c.Execute(100 * sim.Us)
+		memBus.Unlock(c)
+	})
+	stage(s.EncCPU, "DCT", 3, qME, qDCT, scale(1*sim.Ms), nil)
+	stage(s.EncCPU, "Quant", 3, qDCT, qQ, scale(500*sim.Us), func(c *rtos.TaskCtx, sl Slice) {
+		_ = quantScale.Read(c)
+	})
+	stage(s.EncCPU, "VLC", 2, qQ, qVLC, scale(800*sim.Us), nil)
+
+	// --- cpu-dec: 4 tasks -------------------------------------------------
+	stage(s.DecCPU, "VLD", 4, qDmx, qVLD, 800*sim.Us, nil)
+	stage(s.DecCPU, "IQuant", 3, qVLD, qIQ, 500*sim.Us, nil)
+	stage(s.DecCPU, "IDCT", 3, qIQ, qIDCT, 1*sim.Ms, nil)
+	stage(s.DecCPU, "MotionComp", 2, qIDCT, qDisp, 1500*sim.Us, func(c *rtos.TaskCtx, sl Slice) {
+		memBus.Lock(c)
+		c.Execute(100 * sim.Us)
+		memBus.Unlock(c)
+	})
+
+	// --- cpu-ctrl: 5 tasks ------------------------------------------------
+	// Mux finalizes encoded slices into the transport queue and reports
+	// bitrate to RateControl.
+	s.CtrlCPU.NewTask("Mux", rtos.TaskConfig{Priority: 4}, func(c *rtos.TaskCtx) {
+		for {
+			sl := qVLC.get(c)
+			c.Execute(200 * sim.Us)
+			s.EncodedSlices++
+			s.EncodeLatency.Stop()
+			qTx.put(c, sl)
+			if sl.Index == SlicesPerFrame-1 {
+				bitrateFeedback.Signal(c)
+			}
+		}
+	})
+	s.TaskCount++
+	stage(s.CtrlCPU, "Demux", 4, qRx, qDmx, 200*sim.Us, nil)
+	s.CtrlCPU.NewTask("RateControl", rtos.TaskConfig{Priority: 3}, func(c *rtos.TaskCtx) {
+		for {
+			bitrateFeedback.Wait(c)
+			c.Execute(300 * sim.Us)
+			q := quantScale.Read(c)
+			if q < 31 {
+				quantScale.Write(c, q+1)
+			}
+		}
+	})
+	s.TaskCount++
+	s.CtrlCPU.NewPeriodicTask("Controller", rtos.TaskConfig{Priority: 5, Period: FramePeriod}, func(c *rtos.TaskCtx, cycle int) {
+		c.Execute(500 * sim.Us)
+		heartbeat.Write(c, cycle)
+	})
+	s.TaskCount++
+	s.CtrlCPU.NewPeriodicTask("Watchdog", rtos.TaskConfig{Priority: 1, Period: 100 * sim.Ms}, func(c *rtos.TaskCtx, cycle int) {
+		c.Execute(100 * sim.Us)
+		_ = heartbeat.Read(c)
+	})
+	s.TaskCount++
+
+	// --- hardware: 5 tasks ------------------------------------------------
+	sys.NewHWTask("VideoIn", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for frame := 0; ; frame++ {
+			for idx := 0; idx < SlicesPerFrame; idx++ {
+				c.Wait(SlicePeriod)
+				s.EncodeLatency.Start()
+				qRaw.put(c, Slice{Frame: frame, Index: idx, Stamp: c.Now()})
+			}
+		}
+	})
+	s.TaskCount++
+	sys.NewHWTask("BitstreamOut", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for {
+			_ = qTx.get(c)
+			c.Wait(300 * sim.Us) // serialization on the transport link
+		}
+	})
+	s.TaskCount++
+	sys.NewHWTask("BitstreamIn", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for frame := 0; ; frame++ {
+			for idx := 0; idx < SlicesPerFrame; idx++ {
+				c.Wait(SlicePeriod)
+				s.DecodeLatency.Start()
+				qRx.put(c, Slice{Frame: frame, Index: idx, Stamp: c.Now()})
+			}
+		}
+	})
+	s.TaskCount++
+	sys.NewHWTask("VideoOut", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for {
+			_ = qDisp.get(c)
+			s.DecodeLatency.Stop()
+			s.DisplayedSlices++
+			c.Wait(200 * sim.Us) // raster-out
+		}
+	})
+	s.TaskCount++
+	sys.NewHWTask("MemArbiter", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		// Periodic refresh holds the memory bus briefly, disturbing the
+		// software stages that fetch reference frames.
+		for {
+			c.Wait(2 * sim.Ms)
+			memBus.Lock(c)
+			c.Wait(50 * sim.Us)
+			memBus.Unlock(c)
+		}
+	})
+	s.TaskCount++
+
+	return s
+}
+
+// Result summarizes a run for the E7 experiment.
+type Result struct {
+	Horizon         sim.Time
+	EncodedSlices   int
+	DisplayedSlices int
+	EncodeWorst     sim.Time
+	DecodeWorst     sim.Time
+	Violations      int
+	// Load maps each software processor to its activity ratio.
+	Load map[string]float64
+	// OverheadRatio maps each software processor to its RTOS overhead
+	// share.
+	OverheadRatio map[string]float64
+	TaskCount     int
+	Activations   uint64
+	// BusUtilization is the interconnect's busy ratio (0 without a bus).
+	BusUtilization float64
+	// BusTransfers counts interconnect transfers.
+	BusTransfers uint64
+}
+
+// Run builds and simulates the SoC for the given horizon.
+func Run(cfg Config, horizon sim.Time) Result {
+	s := Build(cfg)
+	s.Sys.RunUntil(horizon)
+	res := Result{
+		Horizon:         horizon,
+		EncodedSlices:   s.EncodedSlices,
+		DisplayedSlices: s.DisplayedSlices,
+		EncodeWorst:     s.EncodeLatency.Worst(),
+		DecodeWorst:     s.DecodeLatency.Worst(),
+		Violations:      len(s.Sys.Constraints.Violations()),
+		Load:            map[string]float64{},
+		OverheadRatio:   map[string]float64{},
+		TaskCount:       s.TaskCount,
+		Activations:     s.Sys.K.Activations(),
+	}
+	st := s.Sys.Stats(horizon)
+	for _, cpu := range []string{"cpu-ctrl", "cpu-enc", "cpu-dec"} {
+		if ps, ok := st.ProcessorByName(cpu); ok {
+			res.Load[cpu] = ps.LoadRatio()
+			res.OverheadRatio[cpu] = ps.OverheadRatio()
+		}
+	}
+	if s.Interconnect != nil {
+		res.BusUtilization = float64(s.Interconnect.BusyTime()) / float64(horizon)
+		res.BusTransfers = s.Interconnect.Transfers()
+	}
+	s.Sys.Shutdown()
+	return res
+}

@@ -1,0 +1,139 @@
+package mpeg2
+
+import (
+	"testing"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+func TestSoCTopology(t *testing.T) {
+	s := Build(Config{})
+	if s.TaskCount != 18 {
+		t.Fatalf("task count = %d, want 18 (the paper's case study)", s.TaskCount)
+	}
+	if n := len(s.Sys.Processors()); n != 3 {
+		t.Fatalf("software processors = %d, want 3", n)
+	}
+	if n := len(s.Sys.HWTasks()); n != 5 {
+		t.Fatalf("hardware tasks = %d, want 5", n)
+	}
+	sw := 0
+	for _, cpu := range s.Sys.Processors() {
+		sw += len(cpu.Tasks())
+	}
+	if sw != 13 {
+		t.Fatalf("software tasks = %d, want 13", sw)
+	}
+	s.Sys.Shutdown()
+}
+
+func TestSoCRunsTenFrames(t *testing.T) {
+	res := Run(Config{}, 10*FramePeriod)
+	// 10 frames x 8 slices captured; the pipeline keeps a few in flight.
+	if res.EncodedSlices < 70 || res.EncodedSlices > 80 {
+		t.Errorf("encoded slices = %d, want ~76", res.EncodedSlices)
+	}
+	if res.DisplayedSlices < 70 || res.DisplayedSlices > 80 {
+		t.Errorf("displayed slices = %d, want ~76", res.DisplayedSlices)
+	}
+	if res.Violations != 0 {
+		t.Errorf("timing violations = %d, want 0 at nominal load", res.Violations)
+	}
+	// The encoder CPU is the busiest; all SW processors do real work.
+	if res.Load["cpu-enc"] < 0.5 {
+		t.Errorf("cpu-enc load = %.2f, want > 0.5", res.Load["cpu-enc"])
+	}
+	if res.Load["cpu-dec"] < 0.5 {
+		t.Errorf("cpu-dec load = %.2f, want > 0.5", res.Load["cpu-dec"])
+	}
+	if res.Load["cpu-ctrl"] <= 0 || res.Load["cpu-ctrl"] > 0.3 {
+		t.Errorf("cpu-ctrl load = %.2f, want small but non-zero", res.Load["cpu-ctrl"])
+	}
+	// RTOS overhead is charged on every software processor.
+	for cpu, ov := range res.OverheadRatio {
+		if ov <= 0 {
+			t.Errorf("%s overhead ratio = %v, want > 0", cpu, ov)
+		}
+	}
+	if res.EncodeWorst <= 0 || res.EncodeWorst > 2*FramePeriod {
+		t.Errorf("worst encode latency = %v", res.EncodeWorst)
+	}
+}
+
+func TestSoCOverload(t *testing.T) {
+	// At 1.6x encoder load the encode pipeline can no longer keep up with
+	// the camera: latency constraints must fire.
+	res := Run(Config{Load: 1.6}, 10*FramePeriod)
+	if res.Violations == 0 {
+		t.Error("no violations at 1.6x load; the encoder should be saturated")
+	}
+	nominal := Run(Config{}, 10*FramePeriod)
+	if res.EncodedSlices >= nominal.EncodedSlices {
+		t.Errorf("overloaded encoder produced %d slices >= nominal %d",
+			res.EncodedSlices, nominal.EncodedSlices)
+	}
+}
+
+func TestSoCEngineEquivalence(t *testing.T) {
+	a := Run(Config{Engine: rtos.EngineProcedural}, 5*FramePeriod)
+	b := Run(Config{Engine: rtos.EngineThreaded}, 5*FramePeriod)
+	if a.EncodedSlices != b.EncodedSlices || a.DisplayedSlices != b.DisplayedSlices {
+		t.Errorf("engines disagree: enc %d/%d disp %d/%d",
+			a.EncodedSlices, b.EncodedSlices, a.DisplayedSlices, b.DisplayedSlices)
+	}
+	if a.EncodeWorst != b.EncodeWorst || a.DecodeWorst != b.DecodeWorst {
+		t.Errorf("latencies disagree: enc %v/%v dec %v/%v",
+			a.EncodeWorst, b.EncodeWorst, a.DecodeWorst, b.DecodeWorst)
+	}
+	if a.Activations >= b.Activations {
+		t.Errorf("procedural activations %d not fewer than threaded %d",
+			a.Activations, b.Activations)
+	}
+}
+
+func TestSoCBusAblation(t *testing.T) {
+	// Routing the processor-crossing queues over a shared interconnect
+	// degrades the pipeline as the bus slows: utilization rises, and at some
+	// point the latency constraints fire — the communications-network
+	// dimension of design-space exploration.
+	ideal := Run(Config{}, 10*FramePeriod)
+	if ideal.BusTransfers != 0 || ideal.BusUtilization != 0 {
+		t.Fatalf("ideal run reports bus stats: %+v", ideal)
+	}
+	fast := Run(Config{BusPerByte: 10 * sim.Ns}, 10*FramePeriod)
+	if fast.BusTransfers == 0 {
+		t.Fatal("fast bus saw no transfers")
+	}
+	if fast.Violations != 0 {
+		t.Errorf("fast bus (82us/slice hop) broke the pipeline: %d violations", fast.Violations)
+	}
+	slow := Run(Config{BusPerByte: 400 * sim.Ns}, 10*FramePeriod)
+	if slow.BusUtilization <= fast.BusUtilization || slow.BusUtilization < 0.9 {
+		t.Errorf("bus did not saturate: fast %.3f, slow %.3f",
+			fast.BusUtilization, slow.BusUtilization)
+	}
+	// The queues' backpressure throttles the camera, so latency constraints
+	// stay met while throughput collapses — the saturation shows up as lost
+	// frames and a many-fold latency increase.
+	if slow.DisplayedSlices*2 >= fast.DisplayedSlices {
+		t.Errorf("slow bus displayed %d slices, want < half of fast %d",
+			slow.DisplayedSlices, fast.DisplayedSlices)
+	}
+	if slow.EncodeWorst < 4*fast.EncodeWorst {
+		t.Errorf("worst encode latency fast %v -> slow %v: expected a large increase",
+			fast.EncodeWorst, slow.EncodeWorst)
+	}
+}
+
+func TestSoCOverheadSensitivity(t *testing.T) {
+	// Raising the RTOS overhead from 5us to 500us visibly increases the
+	// overhead ratio on the software processors (the design-space
+	// exploration the model exists for).
+	small := Run(Config{Overhead: 5 * sim.Us}, 5*FramePeriod)
+	big := Run(Config{Overhead: 500 * sim.Us}, 5*FramePeriod)
+	if big.OverheadRatio["cpu-enc"] <= small.OverheadRatio["cpu-enc"] {
+		t.Errorf("overhead ratio did not grow: %v -> %v",
+			small.OverheadRatio["cpu-enc"], big.OverheadRatio["cpu-enc"])
+	}
+}

@@ -1,0 +1,261 @@
+package rtos_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestAccessors(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{})
+	if cpu.Name() != "cpu0" || cpu.Engine() != rtos.EngineProcedural || !cpu.Preemptive() {
+		t.Fatal("processor accessors wrong")
+	}
+	if cpu.PolicyName() != "priority-preemptive" {
+		t.Fatalf("default policy = %q", cpu.PolicyName())
+	}
+	var task *rtos.Task
+	task = cpu.NewTask("t", rtos.TaskConfig{Priority: 3, Period: 7 * sim.Ms}, func(c *rtos.TaskCtx) {
+		if c.Task() != task || c.Kernel() != sys.K || c.Recorder() != sys.Rec {
+			t.Error("ctx accessors wrong")
+		}
+		if cpu.Running() != task {
+			t.Error("Running() wrong")
+		}
+		if cpu.ReadyCount() != 0 {
+			t.Error("ReadyCount() wrong")
+		}
+		c.Execute(sim.Us)
+	})
+	if task.Name() != "t" || task.Processor() != cpu || task.BasePriority() != 3 {
+		t.Fatal("task accessors wrong")
+	}
+	if task.Period() != 7*sim.Ms || task.Deadline() != sim.TimeMax {
+		t.Fatal("period/deadline accessors wrong")
+	}
+	hw := sys.NewHWTask("hw", rtos.HWConfig{Priority: 9}, func(c *rtos.HWCtx) {
+		if c.Name() != "hw" || c.Priority() != 9 {
+			t.Error("hw ctx accessors wrong")
+		}
+		if c.Kernel() != sys.K || c.Recorder() != sys.Rec {
+			t.Error("hw kernel/recorder wrong")
+		}
+		c.Wait(sim.Us)
+		if c.Now() != sim.Us {
+			t.Error("hw Now wrong")
+		}
+	})
+	if hw.Name() != "hw" {
+		t.Fatal("hw name wrong")
+	}
+	sys.RunFor(10 * sim.Us)
+	sys.Shutdown()
+	if len(sys.Processors()) != 1 || len(sys.HWTasks()) != 1 {
+		t.Fatal("system accessors wrong")
+	}
+	if len(cpu.Tasks()) != 1 {
+		t.Fatal("cpu.Tasks wrong")
+	}
+	// All activity ceased at 1us; like SystemC's sc_start, the run ends at
+	// the last event rather than advancing idle time to the bound.
+	if sys.Now() != sim.Us {
+		t.Fatalf("sys.Now = %v", sys.Now())
+	}
+}
+
+func TestHWWaitEventAndSuspend(t *testing.T) {
+	// Exercise the HW actor paths from inside the rtos package: raw kernel
+	// event waits and comm-driven suspend/resume between two HW tasks.
+	sys := rtos.NewSystem()
+	raw := sys.K.NewEvent("raw")
+	q := comm.NewQueue[int](sys.Rec, "q", 1)
+	var got int
+	var rawAt sim.Time
+	sys.NewHWTask("producer", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(10 * sim.Us)
+		raw.Notify()
+		c.Wait(10 * sim.Us)
+		q.Put(c, 42)
+	})
+	sys.NewHWTask("consumer", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.WaitEvent(raw)
+		rawAt = c.Now()
+		got = q.Get(c) // blocks via Suspend until the producer puts
+	})
+	sys.Run()
+	if rawAt != 10*sim.Us || got != 42 {
+		t.Fatalf("rawAt=%v got=%d", rawAt, got)
+	}
+}
+
+func TestHWResumeBeforeSuspend(t *testing.T) {
+	// The producer puts before the consumer ever asks: the consumer's
+	// Suspend must not be needed (pending flag path).
+	sys := rtos.NewSystem()
+	q := comm.NewQueue[int](sys.Rec, "q", 2)
+	var got []int
+	sys.NewHWTask("producer", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		q.Put(c, 1)
+		q.Put(c, 2)
+	})
+	sys.NewHWTask("consumer", rtos.HWConfig{StartAt: 10 * sim.Us}, func(c *rtos.HWCtx) {
+		got = append(got, q.Get(c), q.Get(c))
+	})
+	sys.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConstraintAccessors(t *testing.T) {
+	sys := rtos.NewSystem()
+	c := sys.Constraints.NewLatency("lat", 10*sim.Us)
+	if c.Name() != "lat" || c.Mean() != 0 || c.Worst() != 0 || c.Count() != 0 {
+		t.Fatal("fresh constraint accessors wrong")
+	}
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(ctx *rtos.TaskCtx) {
+		c.Start()
+		ctx.Execute(20 * sim.Us)
+		c.Stop()
+	})
+	sys.Run()
+	v := sys.Constraints.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].String(), "exceeds limit") {
+		t.Fatalf("violation string: %s", v[0])
+	}
+	dl := rtos.Violation{Name: "x.deadline", Limit: 5 * sim.Us}
+	if !strings.Contains(dl.String(), "incomplete at its deadline") {
+		t.Fatalf("deadline violation string: %s", dl)
+	}
+}
+
+func TestUntracedSystem(t *testing.T) {
+	sys := rtos.NewUntracedSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+	var end sim.Time
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		c.Execute(100 * sim.Us)
+		end = c.Now()
+	})
+	sys.Run()
+	if end != 110*sim.Us {
+		t.Fatalf("untraced end = %v, want 110us (same model timing)", end)
+	}
+	if sys.Rec != nil {
+		t.Fatal("untraced system has a recorder")
+	}
+	if st := sys.Stats(0); len(st.Tasks) != 0 {
+		t.Fatal("untraced stats not empty")
+	}
+	if sys.Timeline(trace.TimelineOptions{}) != "" {
+		t.Fatal("untraced timeline not empty")
+	}
+}
+
+func TestConstraintPercentilesAndHistogram(t *testing.T) {
+	sys := rtos.NewSystem()
+	c := sys.Constraints.NewLatency("lat", sim.Sec)
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(ctx *rtos.TaskCtx) {
+		for i := 1; i <= 10; i++ {
+			c.Start()
+			ctx.Execute(sim.Time(i) * 10 * sim.Us) // latencies 10..100us
+			c.Stop()
+		}
+	})
+	sys.Run()
+	if got := c.Percentile(0.5); got != 50*sim.Us {
+		t.Errorf("p50 = %v, want 50us", got)
+	}
+	if got := c.Percentile(1.0); got != 100*sim.Us {
+		t.Errorf("p100 = %v, want 100us", got)
+	}
+	if got := c.Percentile(0.05); got != 10*sim.Us {
+		t.Errorf("p5 = %v, want 10us", got)
+	}
+	h := c.Histogram(5)
+	if !strings.Contains(h, "#") || len(strings.Split(strings.TrimSpace(h), "\n")) != 5 {
+		t.Errorf("histogram malformed:\n%s", h)
+	}
+	if fresh := sys.Constraints.NewLatency("empty", sim.Us); fresh.Percentile(0.5) != 0 ||
+		!strings.Contains(fresh.Histogram(3), "no samples") {
+		t.Error("empty constraint percentile/histogram wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad quantile")
+		}
+	}()
+	c.Percentile(1.5)
+}
+
+func TestConstraintStopWithoutStartPanics(t *testing.T) {
+	sys := rtos.NewSystem()
+	c := sys.Constraints.NewLatency("lat", 10*sim.Us)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Stop()
+}
+
+func TestNoneOverhead(t *testing.T) {
+	if d := rtos.None()(rtos.OverheadCtx{ReadyCount: 5}); d != 0 {
+		t.Fatalf("None() = %v", d)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]rtos.Policy{
+		"priority-preemptive": rtos.PriorityPreemptive{},
+		"fifo":                rtos.FIFO{},
+		"round-robin":         rtos.RoundRobin{Slice: sim.Us},
+		"edf":                 rtos.EDF{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("policy name = %q, want %q", p.Name(), want)
+		}
+	}
+	if rtos.EngineProcedural.String() != "procedural" || rtos.EngineThreaded.String() != "threaded" {
+		t.Fatal("engine kind strings wrong")
+	}
+	if rtos.EngineKind(9).String() != "invalid" {
+		t.Fatal("invalid engine string wrong")
+	}
+}
+
+func TestEmptyConstraintReport(t *testing.T) {
+	sys := rtos.NewSystem()
+	if !strings.Contains(sys.Constraints.Report(), "none declared") {
+		t.Fatal("empty report wrong")
+	}
+	sys.Shutdown()
+}
+
+func TestSystemExports(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Us) })
+	sys.Run()
+	var csv, vcd, js strings.Builder
+	if err := sys.WriteCSV(&csv); err != nil || !strings.Contains(csv.String(), "state") {
+		t.Fatal("csv export broken")
+	}
+	if err := sys.WriteVCD(&vcd); err != nil || !strings.Contains(vcd.String(), "$timescale") {
+		t.Fatal("vcd export broken")
+	}
+	if err := sys.WriteJSON(&js); err != nil || !strings.Contains(js.String(), "\"states\"") {
+		t.Fatal("json export broken")
+	}
+}

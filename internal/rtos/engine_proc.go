@@ -1,0 +1,90 @@
+package rtos
+
+import "repro/internal/trace"
+
+// proceduralEngine is the paper's second, faster implementation (section
+// 4.2): "the RTOS is implemented by a C++ object with a set of methods, but
+// without using a thread. Each task notifies the other ones by using methods
+// of the RTOS object."
+//
+// The three RTOS primitives — TaskIsReady, TaskIsBlocked, TaskIsPreempted —
+// are executed on the threads of the tasks themselves: the context-save and
+// scheduling durations on the thread of the task leaving the processor, the
+// context-load duration on the thread of the task that was elected (Figure
+// 5). The only kernel thread switches are those of the application tasks, so
+// the simulation runs with far fewer activations than the threaded engine.
+type proceduralEngine struct {
+	cpu *Processor
+}
+
+func (e *proceduralEngine) start() {}
+
+// taskIsReady is the paper's TaskIsReady primitive, executed on the caller's
+// thread. It never consumes the caller's simulated time: if the processor is
+// idle, the awakened task's own thread runs the scheduler (grantSchedLoad);
+// if the scheduling policy allows preemption, the ready task "sends the
+// TaskPreempt event to the running task".
+func (e *proceduralEngine) taskIsReady(t *Task) {
+	cpu := e.cpu
+	if t.state == trace.StateReady || t.state == trace.StateRunning || t.state == trace.StateTerminated {
+		return
+	}
+	cpu.enqueueReady(t)
+	switch {
+	case cpu.switching:
+		// A dispatch is in progress; the pending election sees the queue.
+	case cpu.running == nil:
+		// Idle processor: wake the task; its own thread charges the
+		// scheduling and load durations and re-elects after the scheduling
+		// window (another task arriving meanwhile may win).
+		cpu.switching = true
+		t.grant(grantSchedLoad)
+	default:
+		cpu.checkPreemptRunning()
+	}
+}
+
+// taskIsBlocked is the paper's TaskIsBlocked primitive: "it is called by a
+// task that enters the Waiting state. The scheduling algorithm must select
+// another task to run and notifies it with the TaskRun event." The switch
+// runs on the blocking task's own thread.
+func (e *proceduralEngine) taskIsBlocked(t *Task, s trace.TaskState) {
+	e.cpu.leaveRunning(t, s)
+	e.switchFrom(t)
+}
+
+// taskYield implements preemption (the paper's TaskIsPreempted, called "by
+// the running task when receiving the TaskPreempt event") and voluntary
+// yields: the task returns to the ready queue, performs the outgoing half of
+// the context switch on its own thread, and parks until elected again.
+func (e *proceduralEngine) taskYield(t *Task) {
+	e.cpu.leaveRunning(t, trace.StateReady)
+	e.switchFrom(t)
+	t.awaitDispatch()
+}
+
+func (e *proceduralEngine) taskFinished(t *Task) {
+	e.cpu.leaveRunning(t, trace.StateTerminated)
+	e.switchFrom(t)
+}
+
+func (e *proceduralEngine) reevaluate() {
+	e.cpu.checkPreemptRunning()
+}
+
+// switchFrom performs the outgoing half of a context switch on t's thread:
+// charge the context-save duration, then, if any task is ready, charge the
+// scheduling duration and elect; the elected task self-charges its context
+// load. With nothing ready the processor goes idle.
+func (e *proceduralEngine) switchFrom(t *Task) {
+	cpu := e.cpu
+	cpu.charge(t.proc, trace.OverheadContextSave, t, cpu.overheadCtx(t))
+	t.proc.WaitDelta() // settle: same-instant arrivals join the ready queue
+	if len(cpu.ready) > 0 {
+		cpu.charge(t.proc, trace.OverheadScheduling, nil, cpu.overheadCtx(nil))
+		t.proc.WaitDelta() // settle before the election
+		cpu.elect().grant(grantLoad)
+		return
+	}
+	cpu.switching = false
+}

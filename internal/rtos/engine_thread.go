@@ -1,0 +1,110 @@
+package rtos
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// threadedEngine is the paper's first implementation (section 4.1): "the
+// behavior of the RTOS is also modeled by a SystemC thread. [...] The RTOS
+// thread waits on a SystemC event (RTKRun). [...] During the simulation,
+// system tasks notify the RTOS thread when they enter or leave the Waiting
+// state. Then the RTOS thread runs the scheduling algorithm and decides what
+// task in its ReadyTaskQueue must be activated and then notifies it by its
+// TaskRun event."
+//
+// It produces exactly the same simulated timing as the procedural engine but
+// needs two extra kernel thread switches per scheduling action (into and out
+// of the RTOS thread), which is why the paper discards it for efficiency.
+type threadedEngine struct {
+	cpu    *Processor
+	rtkRun *sim.Event
+	// outgoing holds tasks that left the Running state and whose context
+	// save + dispatch the RTOS thread must perform, in order.
+	outgoing []*Task
+	proc     *sim.Proc
+}
+
+func newThreadedEngine(cpu *Processor) *threadedEngine {
+	return &threadedEngine{cpu: cpu, rtkRun: cpu.k.NewEvent(cpu.name + ".RTKRun")}
+}
+
+func (e *threadedEngine) start() {
+	e.proc = e.cpu.k.Spawn(e.cpu.name+".rtos", e.run)
+}
+
+// run is the RTOS scheduler thread. It loops forever: process pending
+// switch-out requests, dispatch onto an idle processor, request preemption
+// when the policy demands it, and otherwise sleep on RTKRun.
+func (e *threadedEngine) run(p *sim.Proc) {
+	cpu := e.cpu
+	for {
+		switch {
+		case len(e.outgoing) > 0:
+			out := e.outgoing[0]
+			e.outgoing = e.outgoing[1:]
+			cpu.charge(p, trace.OverheadContextSave, out, cpu.overheadCtx(out))
+			p.WaitDelta() // settle: same-instant arrivals join the ready queue
+			e.dispatch(p)
+		case cpu.running == nil && !cpu.switching && len(cpu.ready) > 0:
+			cpu.switching = true
+			p.WaitDelta() // settle, mirroring the procedural idle wakeup
+			e.dispatch(p)
+		case cpu.running != nil && !cpu.switching:
+			cpu.checkPreemptRunning()
+			p.WaitEvent(e.rtkRun)
+		default:
+			p.WaitEvent(e.rtkRun)
+		}
+	}
+}
+
+// dispatch charges the scheduling duration on the RTOS thread and elects;
+// the elected task self-charges its context load (identical timing to the
+// procedural engine). With nothing ready the processor goes idle.
+func (e *threadedEngine) dispatch(p *sim.Proc) {
+	cpu := e.cpu
+	if len(cpu.ready) == 0 {
+		cpu.switching = false
+		return
+	}
+	cpu.charge(p, trace.OverheadScheduling, nil, cpu.overheadCtx(nil))
+	p.WaitDelta() // settle before the election
+	cpu.elect().grant(grantLoad)
+}
+
+// taskIsReady enqueues the task and wakes the RTOS thread, which makes all
+// scheduling decisions.
+func (e *threadedEngine) taskIsReady(t *Task) {
+	if t.state == trace.StateReady || t.state == trace.StateRunning || t.state == trace.StateTerminated {
+		return
+	}
+	e.cpu.enqueueReady(t)
+	e.rtkRun.Notify()
+}
+
+// taskIsBlocked hands the switch-out to the RTOS thread; the blocking task
+// then parks. All overhead is charged on the RTOS thread except the elected
+// task's context load.
+func (e *threadedEngine) taskIsBlocked(t *Task, s trace.TaskState) {
+	e.cpu.leaveRunning(t, s)
+	e.outgoing = append(e.outgoing, t)
+	e.rtkRun.Notify()
+}
+
+func (e *threadedEngine) taskYield(t *Task) {
+	e.cpu.leaveRunning(t, trace.StateReady)
+	e.outgoing = append(e.outgoing, t)
+	e.rtkRun.Notify()
+	t.awaitDispatch()
+}
+
+func (e *threadedEngine) taskFinished(t *Task) {
+	e.cpu.leaveRunning(t, trace.StateTerminated)
+	e.outgoing = append(e.outgoing, t)
+	e.rtkRun.Notify()
+}
+
+func (e *threadedEngine) reevaluate() {
+	e.rtkRun.Notify()
+}

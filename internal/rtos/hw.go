@@ -1,0 +1,112 @@
+package rtos
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// HWTask is a hardware task: a behaviour that executes truly concurrently on
+// its own resource (an FPGA block, a peripheral, the "Clock" of the paper's
+// Figure 6) and therefore is not scheduled by any RTOS. Hardware tasks can
+// use the same communication relations as software tasks — signalling an
+// event that wakes a software task models a hardware interrupt.
+type HWTask struct {
+	name string
+	rec  *trace.Recorder
+	prio int
+
+	proc          *sim.Proc
+	resumeEv      *sim.Event
+	resumePending bool
+
+	ctx *HWCtx
+}
+
+// HWConfig carries a hardware task's static parameters.
+type HWConfig struct {
+	// Priority is only used when the task competes in priority-ordered
+	// communication queues.
+	Priority int
+	// StartAt delays the behaviour's start.
+	StartAt sim.Time
+}
+
+// NewHWTask creates a hardware task on the system.
+func (s *System) NewHWTask(name string, cfg HWConfig, fn func(*HWCtx)) *HWTask {
+	if fn == nil {
+		panic("rtos: NewHWTask with nil behaviour")
+	}
+	h := &HWTask{name: name, rec: s.Rec, prio: cfg.Priority}
+	h.ctx = &HWCtx{h: h}
+	h.resumeEv = s.K.NewEvent(name + ".resume")
+	h.proc = s.K.Spawn(name, func(p *sim.Proc) {
+		if cfg.StartAt > 0 {
+			p.Wait(cfg.StartAt)
+		}
+		h.rec.TaskState(name, "", trace.StateRunning)
+		fn(h.ctx)
+		h.rec.TaskState(name, "", trace.StateTerminated)
+	})
+	s.hws = append(s.hws, h)
+	return h
+}
+
+// Name returns the hardware task's name.
+func (h *HWTask) Name() string { return h.name }
+
+// HWCtx is the API a hardware behaviour uses. It implements the comm.Actor
+// contract, so hardware tasks communicate with software tasks through the
+// same relations.
+type HWCtx struct {
+	h *HWTask
+}
+
+// Name returns the task name (comm.Actor contract).
+func (c *HWCtx) Name() string { return c.h.name }
+
+// Priority returns the configured priority (comm.Actor contract).
+func (c *HWCtx) Priority() int { return c.h.prio }
+
+// Now returns the current simulated time.
+func (c *HWCtx) Now() sim.Time { return c.h.proc.Now() }
+
+// Kernel returns the simulation kernel.
+func (c *HWCtx) Kernel() *sim.Kernel { return c.h.proc.Kernel() }
+
+// Recorder returns the trace recorder (comm.Actor contract).
+func (c *HWCtx) Recorder() *trace.Recorder { return c.h.rec }
+
+// Wait consumes d of the hardware resource's time. Unlike a software task's
+// Execute, nothing can preempt it: hardware is truly parallel.
+func (c *HWCtx) Wait(d sim.Time) { c.h.proc.Wait(d) }
+
+// SleepFor satisfies the bus.Sleeper contract for hardware tasks.
+func (c *HWCtx) SleepFor(d sim.Time) { c.h.proc.Wait(d) }
+
+// WaitEvent suspends the behaviour until the raw kernel event fires,
+// recording the Waiting state.
+func (c *HWCtx) WaitEvent(e *sim.Event) {
+	c.h.rec.TaskState(c.h.name, "", trace.StateWaiting)
+	c.h.proc.WaitEvent(e)
+	c.h.rec.TaskState(c.h.name, "", trace.StateRunning)
+}
+
+// Suspend blocks the behaviour until Resume (comm.Actor contract).
+func (c *HWCtx) Suspend(resource bool, object string) {
+	s := trace.StateWaiting
+	if resource {
+		s = trace.StateWaitingResource
+	}
+	c.h.rec.TaskState(c.h.name, "", s)
+	if !c.h.resumePending {
+		c.h.proc.WaitEvent(c.h.resumeEv)
+	}
+	c.h.resumePending = false
+	c.h.rec.TaskState(c.h.name, "", trace.StateRunning)
+}
+
+// Resume wakes a suspended hardware behaviour (comm.Actor contract).
+func (c *HWCtx) Resume() {
+	c.h.resumePending = true
+	c.h.resumeEv.Notify()
+}

@@ -1,0 +1,212 @@
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// InterruptController models a processor's interrupt hardware and the ISR
+// half of interrupt handling. The paper treats a hardware interrupt as the
+// canonical event that "can suspend a running task between two of its RTOS
+// calls" (section 3.1); this extension additionally models the cost of the
+// interrupt service routines themselves:
+//
+//   - An IRQ is raised (typically by a hardware task) and its ISR starts
+//     after the configured dispatch latency.
+//   - The ISR borrows the processor: the running task is paused in place —
+//     no RTOS context switch happens, exactly like a real ISR running on the
+//     interrupted task's stack — and its remaining execution time is
+//     preserved exactly.
+//   - Pending IRQs are served strictly by interrupt priority; ISRs do not
+//     nest (equivalent to interrupts being masked while an ISR runs).
+//   - An ISR typically ends by signalling a communication relation to wake
+//     a handler task; the normal RTOS preemption rules then apply the moment
+//     the ISR completes.
+//
+// RTOS overhead windows (context save/load, scheduling) are treated as
+// kernel critical sections with interrupts masked: a raised IRQ waits for
+// them to finish only in the sense that the interrupted task cannot yield
+// during them; ISR execution itself is serialized with task execution.
+type InterruptController struct {
+	cpu  *Processor
+	proc *sim.Proc
+
+	raiseEv *sim.Event
+	doneEv  *sim.Event
+
+	irqs    []*IRQ
+	pending []*IRQ
+	active  *IRQ
+
+	serviced uint64
+}
+
+// IRQ is one interrupt line of a processor.
+type IRQ struct {
+	ctrl *InterruptController
+	name string
+	// priority orders pending IRQs; higher is served first.
+	priority int
+	// latency is the dispatch latency between Raise and the ISR starting.
+	latency sim.Time
+	isr     func(*ISRCtx)
+
+	raised   uint64
+	serviced uint64
+	queued   bool
+
+	// worstLatency tracks the worst observed raise-to-ISR-start delay.
+	raiseAt      sim.Time
+	worstLatency sim.Time
+}
+
+// ISRCtx is the API available inside an interrupt service routine. ISRs may
+// consume processor time and signal communication relations, but must not
+// block: there is no task context to suspend.
+type ISRCtx struct {
+	irq *IRQ
+}
+
+// Interrupts returns the processor's interrupt controller, creating it on
+// first use.
+func (cpu *Processor) Interrupts() *InterruptController {
+	if cpu.irqCtrl == nil {
+		ic := &InterruptController{
+			cpu:     cpu,
+			raiseEv: cpu.k.NewEvent(cpu.name + ".irqRaise"),
+			doneEv:  cpu.k.NewEvent(cpu.name + ".irqDone"),
+		}
+		ic.proc = cpu.k.Spawn(cpu.name+".irqctrl", ic.run)
+		cpu.irqCtrl = ic
+	}
+	return cpu.irqCtrl
+}
+
+// NewIRQ declares an interrupt line on the processor. The ISR runs for the
+// simulated time it spends in ISRCtx.Execute; latency models the hardware
+// plus kernel dispatch delay between Raise and the first ISR instruction.
+func (ic *InterruptController) NewIRQ(name string, priority int, latency sim.Time, isr func(*ISRCtx)) *IRQ {
+	if isr == nil {
+		panic("rtos: NewIRQ with nil ISR")
+	}
+	if latency < 0 {
+		panic("rtos: NewIRQ with negative latency")
+	}
+	irq := &IRQ{ctrl: ic, name: name, priority: priority, latency: latency, isr: isr}
+	ic.irqs = append(ic.irqs, irq)
+	return irq
+}
+
+// Name returns the interrupt line's name.
+func (q *IRQ) Name() string { return q.name }
+
+// Raised returns how many times the line was raised.
+func (q *IRQ) Raised() uint64 { return q.raised }
+
+// Serviced returns how many ISR executions completed.
+func (q *IRQ) Serviced() uint64 { return q.serviced }
+
+// WorstLatency returns the worst observed delay between Raise and the ISR
+// starting (dispatch latency plus blocking by other ISRs).
+func (q *IRQ) WorstLatency() sim.Time { return q.worstLatency }
+
+// Raise asserts the interrupt line. Safe from any simulation context; a
+// line already pending or being serviced is not queued twice (edge
+// triggered, like a real interrupt flag).
+func (q *IRQ) Raise() {
+	q.raised++
+	q.ctrl.cpu.rec.Access("hw", q.name, trace.AccessSignal)
+	if q.queued || q.ctrl.active == q {
+		return
+	}
+	q.queued = true
+	q.raiseAt = q.ctrl.cpu.k.Now()
+	q.ctrl.pending = append(q.ctrl.pending, q)
+	q.ctrl.raiseEv.Notify()
+}
+
+// Serviced returns the total number of ISR executions on the controller.
+func (ic *InterruptController) Serviced() uint64 { return ic.serviced }
+
+// Active reports whether an ISR is currently executing.
+func (ic *InterruptController) Active() bool { return ic.active != nil }
+
+// run is the controller's simulation process: it serves pending IRQs by
+// priority, pausing the running task for the duration of each ISR.
+func (ic *InterruptController) run(p *sim.Proc) {
+	cpu := ic.cpu
+	for {
+		if len(ic.pending) == 0 {
+			p.WaitEvent(ic.raiseEv)
+			continue
+		}
+		// Highest interrupt priority first, FIFO among equals.
+		best := 0
+		for i, q := range ic.pending[1:] {
+			if q.priority > ic.pending[best].priority {
+				best = i + 1
+			}
+		}
+		irq := ic.pending[best]
+		ic.pending = append(ic.pending[:best], ic.pending[best+1:]...)
+		irq.queued = false
+
+		if irq.latency > 0 {
+			p.Wait(irq.latency)
+		}
+		ic.active = irq
+		if lat := cpu.k.Now() - irq.raiseAt; lat > irq.worstLatency {
+			irq.worstLatency = lat
+		}
+
+		// Pause the running task in place: it wakes from its Execute wait,
+		// sees the ISR active, and parks on doneEv without any RTOS call.
+		paused := cpu.running
+		if paused != nil {
+			paused.evPreempt.Notify()
+		}
+		cpu.rec.TaskState(isrTaskName(cpu, irq), cpu.name, trace.StateRunning)
+		irq.isr(&ISRCtx{irq: irq})
+		cpu.rec.TaskState(isrTaskName(cpu, irq), cpu.name, trace.StateWaiting)
+		ic.active = nil
+		irq.serviced++
+		ic.serviced++
+		ic.doneEv.Notify()
+	}
+}
+
+func isrTaskName(cpu *Processor, irq *IRQ) string {
+	return fmt.Sprintf("isr:%s", irq.name)
+}
+
+// Name returns the interrupt line's name.
+func (c *ISRCtx) Name() string { return "isr:" + c.irq.name }
+
+// Priority returns the interrupt priority (comm.Actor contract, so ISRs can
+// signal events and do non-blocking queue operations).
+func (c *ISRCtx) Priority() int { return c.irq.priority }
+
+// Now returns the current simulated time.
+func (c *ISRCtx) Now() sim.Time { return c.irq.ctrl.proc.Now() }
+
+// Execute consumes processor time inside the ISR.
+func (c *ISRCtx) Execute(d sim.Time) {
+	if d < 0 {
+		panic("rtos: ISR Execute with negative duration")
+	}
+	if d > 0 {
+		c.irq.ctrl.proc.Wait(d)
+	}
+}
+
+// Suspend implements the comm.Actor contract but always panics: ISRs must
+// not block. Use non-blocking operations (TryPut, Signal) from ISR context
+// and defer blocking work to a handler task.
+func (c *ISRCtx) Suspend(resource bool, object string) {
+	panic(fmt.Sprintf("rtos: ISR %q attempted to block on %q; ISRs must not block", c.Name(), object))
+}
+
+// Resume implements the comm.Actor contract (no-op: ISRs never suspend).
+func (c *ISRCtx) Resume() {}

@@ -1,0 +1,261 @@
+package rtos_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+func TestISRBorrowsProcessor(t *testing.T) {
+	// A 20us ISR interrupts a 100us task exactly in place: the task's end
+	// time slips by exactly the ISR duration, with no RTOS context switch.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+	irq := cpu.Interrupts().NewIRQ("timer", 1, 0, func(c *rtos.ISRCtx) {
+		c.Execute(20 * sim.Us)
+	})
+	var end sim.Time
+	cpu.NewTask("work", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		c.Execute(100 * sim.Us)
+		end = c.Now()
+	})
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(50 * sim.Us)
+		irq.Raise()
+	})
+	sys.Run()
+	// Task starts at 10 (sched+load), would end at 110; the ISR adds 20us:
+	// end at 130us. No context-switch overhead is charged for the ISR.
+	if end != 130*sim.Us {
+		t.Fatalf("task ended at %v, want 130us", end)
+	}
+	if irq.Serviced() != 1 || irq.Raised() != 1 {
+		t.Fatalf("serviced=%d raised=%d", irq.Serviced(), irq.Raised())
+	}
+	// Exactly one context load happened (the initial dispatch): the ISR
+	// did not go through the scheduler.
+	st := sys.Stats(0)
+	cs, _ := st.ProcessorByName("cpu")
+	if cs.ContextSwitches != 1 {
+		t.Fatalf("context switches = %d, want 1", cs.ContextSwitches)
+	}
+}
+
+func TestISRDispatchLatency(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var isrAt sim.Time
+	irq := cpu.Interrupts().NewIRQ("net", 1, 7*sim.Us, func(c *rtos.ISRCtx) {
+		isrAt = c.Now()
+		c.Execute(sim.Us)
+	})
+	sys.NewHWTask("nic", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(100 * sim.Us)
+		irq.Raise()
+	})
+	sys.Run()
+	if isrAt != 107*sim.Us {
+		t.Fatalf("ISR started at %v, want 107us", isrAt)
+	}
+	if irq.WorstLatency() != 7*sim.Us {
+		t.Fatalf("worst latency = %v, want 7us", irq.WorstLatency())
+	}
+}
+
+func TestISRPriorityOrder(t *testing.T) {
+	// Two IRQs raised while a long ISR runs are then served by priority.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var order []string
+	mk := func(name string, prio int) *rtos.IRQ {
+		return cpu.Interrupts().NewIRQ(name, prio, 0, func(c *rtos.ISRCtx) {
+			order = append(order, name)
+			c.Execute(10 * sim.Us)
+		})
+	}
+	low := mk("low", 1)
+	high := mk("high", 9)
+	blocker := mk("blocker", 5)
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(10 * sim.Us)
+		blocker.Raise()
+		c.Wait(sim.Us) // while blocker's ISR runs:
+		low.Raise()
+		high.Raise()
+	})
+	sys.Run()
+	if got := strings.Join(order, ","); got != "blocker,high,low" {
+		t.Fatalf("ISR order = %q, want blocker,high,low", got)
+	}
+}
+
+func TestISRWakesHandlerTask(t *testing.T) {
+	// The classic split: a short ISR signals an event; the handler task is
+	// dispatched through the normal RTOS path (with overheads) right after
+	// the ISR completes.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+	evt := comm.NewEvent(sys.Rec, "rx", comm.Counter)
+	var isrEnd, handlerAt sim.Time
+	irq := cpu.Interrupts().NewIRQ("rx", 1, 2*sim.Us, func(c *rtos.ISRCtx) {
+		c.Execute(3 * sim.Us)
+		evt.Signal(c)
+		isrEnd = c.Now()
+	})
+	cpu.NewTask("handler", rtos.TaskConfig{Priority: 10}, func(c *rtos.TaskCtx) {
+		evt.Wait(c)
+		handlerAt = c.Now()
+		c.Execute(10 * sim.Us)
+	})
+	cpu.NewTask("background", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+		c.Execute(sim.Ms)
+	})
+	sys.NewHWTask("nic", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(100 * sim.Us)
+		irq.Raise()
+	})
+	sys.RunUntil(2 * sim.Ms)
+	sys.Shutdown()
+	// Raise at 100, latency 2, ISR 3 -> ISR ends 105. Handler preempts the
+	// background task: save+sched+load = 15us -> runs at 120us.
+	if isrEnd != 105*sim.Us {
+		t.Fatalf("ISR ended at %v, want 105us", isrEnd)
+	}
+	if handlerAt != 120*sim.Us {
+		t.Fatalf("handler ran at %v, want 120us", handlerAt)
+	}
+}
+
+func TestISREdgeTriggeredCoalescing(t *testing.T) {
+	// Raising an already-pending line does not queue a second service.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	irq := cpu.Interrupts().NewIRQ("spurious", 1, 10*sim.Us, func(c *rtos.ISRCtx) {
+		c.Execute(sim.Us)
+	})
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(sim.Us)
+		irq.Raise()
+		irq.Raise() // still pending: coalesced
+		irq.Raise()
+	})
+	sys.Run()
+	if irq.Raised() != 3 || irq.Serviced() != 1 {
+		t.Fatalf("raised=%d serviced=%d, want 3/1", irq.Raised(), irq.Serviced())
+	}
+}
+
+func TestISRCannotBlock(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	q := comm.NewQueue[int](sys.Rec, "q", 1)
+	irq := cpu.Interrupts().NewIRQ("bad", 1, 0, func(c *rtos.ISRCtx) {
+		q.Put(c, 1)
+		q.Put(c, 2) // full: would block -> must panic
+	})
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(sim.Us)
+		irq.Raise()
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "must not block") {
+			t.Fatalf("expected must-not-block panic, got %v", r)
+		}
+	}()
+	sys.Run()
+}
+
+func TestISRNonBlockingQueueOps(t *testing.T) {
+	// The supported ISR pattern: TryPut from interrupt context, blocking Get
+	// in a task.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	q := comm.NewQueue[int](sys.Rec, "rxq", 4)
+	dropped := 0
+	irq := cpu.Interrupts().NewIRQ("rx", 1, 0, func(c *rtos.ISRCtx) {
+		c.Execute(sim.Us)
+		if !q.TryPut(c, int(c.Now()/sim.Us)) {
+			dropped++
+		}
+	})
+	var received []int
+	cpu.NewTask("handler", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		for i := 0; i < 3; i++ {
+			received = append(received, q.Get(c))
+			c.Execute(5 * sim.Us)
+		}
+	})
+	sys.NewHWTask("nic", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for i := 0; i < 3; i++ {
+			c.Wait(50 * sim.Us)
+			irq.Raise()
+		}
+	})
+	sys.Run()
+	if len(received) != 3 || dropped != 0 {
+		t.Fatalf("received %v dropped %d", received, dropped)
+	}
+}
+
+func TestISRPreservesEngineEquivalence(t *testing.T) {
+	run := func(eng rtos.EngineKind) (sim.Time, sim.Time) {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Engine: eng, Overheads: rtos.UniformOverheads(3 * sim.Us)})
+		evt := comm.NewEvent(sys.Rec, "ev", comm.Counter)
+		irq := cpu.Interrupts().NewIRQ("irq", 1, 2*sim.Us, func(c *rtos.ISRCtx) {
+			c.Execute(4 * sim.Us)
+			evt.Signal(c)
+		})
+		var hEnd, wEnd sim.Time
+		cpu.NewTask("handler", rtos.TaskConfig{Priority: 5}, func(c *rtos.TaskCtx) {
+			for i := 0; i < 3; i++ {
+				evt.Wait(c)
+				c.Execute(7 * sim.Us)
+				hEnd = c.Now()
+			}
+		})
+		cpu.NewTask("worker", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+			c.Execute(300 * sim.Us)
+			wEnd = c.Now()
+		})
+		sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+			for i := 0; i < 3; i++ {
+				c.Wait(80 * sim.Us)
+				irq.Raise()
+			}
+		})
+		sys.RunUntil(2 * sim.Ms)
+		sys.Shutdown()
+		return hEnd, wEnd
+	}
+	ph, pw := run(rtos.EngineProcedural)
+	th, tw := run(rtos.EngineThreaded)
+	if ph != th || pw != tw {
+		t.Fatalf("engines disagree with ISRs: handler %v/%v worker %v/%v", ph, th, pw, tw)
+	}
+}
+
+func TestIRQValidation(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	ic := cpu.Interrupts()
+	if ic != cpu.Interrupts() {
+		t.Fatal("controller not cached")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil isr", func() { ic.NewIRQ("x", 0, 0, nil) })
+	mustPanic("negative latency", func() { ic.NewIRQ("x", 0, -1, func(*rtos.ISRCtx) {}) })
+	sys.Shutdown()
+}

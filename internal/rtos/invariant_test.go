@@ -1,0 +1,170 @@
+package rtos_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestPropertyHighestPriorityRuns: under the priority-preemptive policy with
+// zero overheads, whenever a task is Running no strictly-higher-priority
+// task of the same processor sits in the Ready state for any positive
+// duration. This is the defining invariant of the policy; it must hold on
+// both engines for arbitrary workloads.
+func TestPropertyHighestPriorityRuns(t *testing.T) {
+	run := func(seed int64, eng rtos.EngineKind) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Engine: eng})
+		n := 2 + rng.Intn(5)
+		prio := map[string]int{}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("t%d", i)
+			p := rng.Intn(10)
+			prio[name] = p
+			execs := make([]sim.Time, 3+rng.Intn(5))
+			for j := range execs {
+				execs[j] = sim.Time(1+rng.Intn(60)) * sim.Us
+			}
+			cpu.NewTask(name, rtos.TaskConfig{
+				Priority: p,
+				StartAt:  sim.Time(rng.Intn(40)) * sim.Us,
+			}, func(c *rtos.TaskCtx) {
+				for _, e := range execs {
+					c.Execute(e)
+					c.Delay(e / 2)
+				}
+			})
+		}
+		horizon := 3 * sim.Ms
+		sys.RunUntil(horizon)
+		sys.Shutdown()
+
+		rec := sys.Rec
+		type seg = trace.Segment
+		segments := map[string][]seg{}
+		for name := range prio {
+			segments[name] = rec.Segments(name, horizon)
+		}
+		for runner, rsegs := range segments {
+			for _, rs := range rsegs {
+				if rs.State != trace.StateRunning || rs.End <= rs.Start {
+					continue
+				}
+				for other, osegs := range segments {
+					if other == runner || prio[other] <= prio[runner] {
+						continue
+					}
+					for _, os := range osegs {
+						if os.State != trace.StateReady {
+							continue
+						}
+						lo := max(rs.Start, os.Start)
+						hi := min(rs.End, os.End)
+						if hi > lo {
+							t.Logf("seed %d engine %v: %s(prio %d) ran [%v,%v] while %s(prio %d) ready [%v,%v]",
+								seed, eng, runner, prio[runner], rs.Start, rs.End,
+								other, prio[other], os.Start, os.End)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		return run(seed, rtos.EngineProcedural) && run(seed, rtos.EngineThreaded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySegmentsWellFormed: for arbitrary workloads, every task's
+// trace segments are contiguous, non-overlapping, and CPU time from the
+// trace equals the task's own accounting.
+func TestPropertySegmentsWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{
+			Overheads: rtos.UniformOverheads(sim.Time(rng.Intn(3)) * sim.Us),
+		})
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			d := sim.Time(1+rng.Intn(50)) * sim.Us
+			cpu.NewTask(fmt.Sprintf("t%d", i), rtos.TaskConfig{Priority: rng.Intn(5)}, func(c *rtos.TaskCtx) {
+				for j := 0; j < 4; j++ {
+					c.Execute(d)
+					c.Delay(d)
+				}
+			})
+		}
+		horizon := 2 * sim.Ms
+		sys.RunUntil(horizon)
+		sys.Shutdown()
+		for _, task := range cpu.Tasks() {
+			segs := sys.Rec.Segments(task.Name(), horizon)
+			var running sim.Time
+			for i, s := range segs {
+				if s.End < s.Start {
+					return false
+				}
+				if i > 0 && s.Start != segs[i-1].End {
+					return false
+				}
+				if s.State == trace.StateRunning {
+					running += s.End - s.Start
+				}
+			}
+			if running != task.CPUTime() {
+				t.Logf("seed %d: task %s trace running %v != accounted %v",
+					seed, task.Name(), running, task.CPUTime())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyProcessorConservation: busy + overhead + idle exactly equals
+// the observation window on every processor, for arbitrary workloads.
+func TestPropertyProcessorConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{
+			Overheads: rtos.UniformOverheads(sim.Time(rng.Intn(5)) * sim.Us),
+		})
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			d := sim.Time(1+rng.Intn(80)) * sim.Us
+			cpu.NewTask(fmt.Sprintf("t%d", i), rtos.TaskConfig{Priority: rng.Intn(4)}, func(c *rtos.TaskCtx) {
+				for j := 0; j < 3; j++ {
+					c.Execute(d)
+					c.Delay(d / 3)
+				}
+			})
+		}
+		horizon := sim.Ms
+		sys.RunUntil(horizon)
+		sys.Shutdown()
+		st := sys.Stats(horizon)
+		ps, ok := st.ProcessorByName("cpu")
+		if !ok {
+			return false
+		}
+		return ps.Busy+ps.Overhead+ps.Idle == horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

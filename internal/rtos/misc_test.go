@@ -1,0 +1,258 @@
+package rtos_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// brokenPolicy returns nil or a non-ready task to exercise the engine's
+// policy-misbehaviour panics.
+type brokenPolicy struct {
+	returnForeign *rtos.Task
+}
+
+func (brokenPolicy) Name() string { return "broken" }
+func (p brokenPolicy) Select(ready []*rtos.Task) *rtos.Task {
+	return p.returnForeign // nil by default
+}
+func (brokenPolicy) ShouldPreempt(n, r *rtos.Task) bool { return false }
+
+func TestBrokenPolicySelectNilPanics(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Policy: brokenPolicy{}})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Us) })
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "selected no task") {
+			t.Fatalf("expected policy panic, got %v", r)
+		}
+	}()
+	sys.Run()
+}
+
+func TestBrokenPolicySelectForeignPanics(t *testing.T) {
+	sys := rtos.NewSystem()
+	other := sys.NewProcessor("other", rtos.Config{})
+	foreign := other.NewTask("foreign", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Ms) })
+	cpu := sys.NewProcessor("cpu", rtos.Config{Policy: brokenPolicy{returnForeign: foreign}})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Us) })
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "not ready") {
+			t.Fatalf("expected not-ready panic, got %v", r)
+		}
+	}()
+	sys.Run()
+}
+
+func TestTaskStateAccessorAndYield(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var observed []trace.TaskState
+	var task *rtos.Task
+	task = cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		observed = append(observed, task.State())
+		c.Yield() // sole task: re-elected immediately
+		observed = append(observed, task.State())
+		c.SetDeadlineIn(50 * sim.Us)
+		c.Execute(10 * sim.Us)
+	})
+	sys.Run()
+	if task.State() != trace.StateTerminated {
+		t.Fatalf("final state = %v", task.State())
+	}
+	if len(observed) != 2 || observed[0] != trace.StateRunning || observed[1] != trace.StateRunning {
+		t.Fatalf("observed states = %v", observed)
+	}
+	if task.Deadline() == sim.TimeMax {
+		t.Fatal("SetDeadlineIn had no effect")
+	}
+}
+
+func TestISRAccessorsAndNegativeExecute(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	ic := cpu.Interrupts()
+	var name string
+	var prio int
+	irq := ic.NewIRQ("line", 7, 0, func(c *rtos.ISRCtx) {
+		name, prio = c.Name(), c.Priority()
+		c.Execute(0) // zero is a no-op
+		c.Resume()   // no-op by contract
+		_ = c.Now()
+	})
+	if irq.Name() != "line" {
+		t.Fatal("irq name wrong")
+	}
+	sys.NewHWTask("hw", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(sim.Us)
+		irq.Raise()
+	})
+	sys.Run()
+	if name != "isr:line" || prio != 7 {
+		t.Fatalf("isr ctx = %q/%d", name, prio)
+	}
+	if ic.Serviced() != 1 || ic.Active() {
+		t.Fatalf("controller counters wrong: %d/%v", ic.Serviced(), ic.Active())
+	}
+}
+
+func TestISRNegativeExecutePanics(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	irq := cpu.Interrupts().NewIRQ("bad", 0, 0, func(c *rtos.ISRCtx) {
+		c.Execute(-1)
+	})
+	sys.NewHWTask("hw", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(sim.Us)
+		irq.Raise()
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys.Run()
+}
+
+func TestServerAccessors(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	srv := cpu.NewPollingServer("ps", rtos.ServerConfig{Period: 100 * sim.Us, Budget: 50 * sim.Us})
+	if srv.Task() == nil || srv.Task().Name() != "ps" {
+		t.Fatal("server task accessor wrong")
+	}
+	sys.NewHWTask("src", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(sim.Us)
+		srv.Submit(rtos.AperiodicJob{Work: 10 * sim.Us})
+		if srv.Pending() != 1 {
+			t.Error("pending wrong")
+		}
+	})
+	sys.RunUntil(300 * sim.Us)
+	sys.Shutdown()
+	if srv.TotalWork() != 10*sim.Us || srv.Pending() != 0 {
+		t.Fatalf("total=%v pending=%d", srv.TotalWork(), srv.Pending())
+	}
+}
+
+func TestSystemRenderHelpers(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(10 * sim.Us) })
+	sys.Run()
+	if tl := sys.Timeline(trace.TimelineOptions{Width: 20}); !strings.Contains(tl, "t") {
+		t.Fatal("Timeline helper broken")
+	}
+	if ch := sys.Chronology(); !strings.Contains(ch, "running") {
+		t.Fatal("Chronology helper broken")
+	}
+	var b strings.Builder
+	if err := sys.WriteSVG(&b, trace.SVGOptions{}); err != nil || !strings.Contains(b.String(), "<svg") {
+		t.Fatal("WriteSVG helper broken")
+	}
+}
+
+func TestPriorityBoostStack(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var task *rtos.Task
+	task = cpu.NewTask("t", rtos.TaskConfig{Priority: 3}, func(c *rtos.TaskCtx) {
+		c.BoostPriority(10)
+		c.BoostPriority(7) // lower boost: effective stays 10
+		if task.EffectivePriority() != 10 {
+			t.Errorf("effective = %d, want 10", task.EffectivePriority())
+		}
+		c.UnboostPriority()
+		if task.EffectivePriority() != 10 {
+			t.Errorf("after one unboost = %d, want 10", task.EffectivePriority())
+		}
+		c.UnboostPriority()
+		if task.EffectivePriority() != 3 {
+			t.Errorf("after full unboost = %d, want 3", task.EffectivePriority())
+		}
+	})
+	sys.Run()
+}
+
+func TestUnboostWithoutBoostPanics(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		c.UnboostPriority()
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys.Run()
+}
+
+func TestTaskSleepForIsDelay(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var end sim.Time
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		c.SleepFor(40 * sim.Us)
+		end = c.Now()
+	})
+	sys.Run()
+	if end != 40*sim.Us {
+		t.Fatalf("SleepFor ended at %v", end)
+	}
+}
+
+func TestOverheadFormulaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rtos.PerReadyTask(-1, 0)
+}
+
+func TestNegativeFormulaResultPanics(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{
+		Overheads: rtos.Overheads{Scheduling: func(rtos.OverheadCtx) sim.Time { return -1 }},
+	})
+	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Us) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys.Run()
+}
+
+func TestQueueCommIntegrationAcrossEngines(t *testing.T) {
+	// One more engine-parity scenario: a chain across two processors with
+	// different engines still behaves deterministically.
+	sys := rtos.NewSystem()
+	p0 := sys.NewProcessor("p0", rtos.Config{Engine: rtos.EngineProcedural})
+	p1 := sys.NewProcessor("p1", rtos.Config{Engine: rtos.EngineThreaded})
+	q := comm.NewQueue[int](sys.Rec, "q", 2)
+	sum := 0
+	p0.NewTask("prod", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		for i := 1; i <= 4; i++ {
+			c.Execute(10 * sim.Us)
+			q.Put(c, i)
+		}
+	})
+	p1.NewTask("cons", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		for i := 0; i < 4; i++ {
+			sum += q.Get(c)
+			c.Execute(5 * sim.Us)
+		}
+	})
+	sys.Run()
+	if sum != 10 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

@@ -1,0 +1,90 @@
+package rtos
+
+import "repro/internal/sim"
+
+// OverheadCtx is the simulated-system state available to an overhead
+// formula when it is evaluated (paper section 3.2: overhead durations may be
+// "fixed or defined by a user formula computed during the simulation
+// according to the current state of the simulated system").
+type OverheadCtx struct {
+	// CPU is the processor charging the overhead.
+	CPU *Processor
+	// Task is the task being saved or loaded; nil for a pure scheduling
+	// decision with no task attribution.
+	Task *Task
+	// ReadyCount is the number of ready tasks at the evaluation instant,
+	// the paper's canonical formula input ("the scheduling duration depends
+	// not only on the scheduling algorithm, but also on the number of ready
+	// tasks when the algorithm runs").
+	ReadyCount int
+	// Now is the current simulated time.
+	Now sim.Time
+}
+
+// OverheadFn computes one of the three RTOS overhead durations. The returned
+// duration must not be negative.
+type OverheadFn func(OverheadCtx) sim.Time
+
+// Fixed returns an overhead function with constant duration d.
+func Fixed(d sim.Time) OverheadFn {
+	if d < 0 {
+		panic("rtos: negative overhead duration")
+	}
+	return func(OverheadCtx) sim.Time { return d }
+}
+
+// None is the zero overhead function.
+func None() OverheadFn { return func(OverheadCtx) sim.Time { return 0 } }
+
+// PerReadyTask returns an overhead formula base + slope*readyCount, the
+// classic model of a scheduler whose selection cost grows linearly with the
+// ready-queue length.
+func PerReadyTask(base, slope sim.Time) OverheadFn {
+	if base < 0 || slope < 0 {
+		panic("rtos: negative overhead duration")
+	}
+	return func(c OverheadCtx) sim.Time {
+		return base + slope*sim.Time(c.ReadyCount)
+	}
+}
+
+// Overheads bundles the three RTOS overhead parameters of the paper's
+// section 3.2. A zero value means no overhead.
+type Overheads struct {
+	// Scheduling is the time the RTOS spends selecting a ready task.
+	Scheduling OverheadFn
+	// ContextSave is the time to copy the suspended task's context from the
+	// processor registers to memory.
+	ContextSave OverheadFn
+	// ContextLoad is the time to load the elected task's context into the
+	// processor registers.
+	ContextLoad OverheadFn
+}
+
+// FixedOverheads builds an Overheads with three constant durations.
+func FixedOverheads(scheduling, save, load sim.Time) Overheads {
+	return Overheads{
+		Scheduling:  Fixed(scheduling),
+		ContextSave: Fixed(save),
+		ContextLoad: Fixed(load),
+	}
+}
+
+// UniformOverheads builds an Overheads with all three durations equal to d,
+// the configuration of the paper's Figure 6 (5 microseconds each).
+func UniformOverheads(d sim.Time) Overheads { return FixedOverheads(d, d, d) }
+
+func (o Overheads) scheduling(c OverheadCtx) sim.Time { return eval(o.Scheduling, c) }
+func (o Overheads) save(c OverheadCtx) sim.Time       { return eval(o.ContextSave, c) }
+func (o Overheads) load(c OverheadCtx) sim.Time       { return eval(o.ContextLoad, c) }
+
+func eval(f OverheadFn, c OverheadCtx) sim.Time {
+	if f == nil {
+		return 0
+	}
+	d := f(c)
+	if d < 0 {
+		panic("rtos: overhead formula returned a negative duration")
+	}
+	return d
+}

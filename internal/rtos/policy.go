@@ -1,0 +1,145 @@
+package rtos
+
+import "repro/internal/sim"
+
+// Policy is the scheduling algorithm of a Processor: it selects the task to
+// run among the ready tasks and decides whether a newly ready task preempts
+// the running one. This is the Go rendition of the paper's overridable
+// SchedulingPolicy method (section 3.1): supply any implementation of this
+// interface to model an application-specific scheduler.
+//
+// Policies are consulted only by the processor engines, always from inside
+// the simulation, so implementations need no synchronization.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Select returns the task to dispatch among ready, or nil to leave the
+	// processor idle. The slice is never empty and must not be retained.
+	Select(ready []*Task) *Task
+	// ShouldPreempt reports whether a task that just became ready warrants
+	// preempting the currently running task. It is only consulted when the
+	// processor is in preemptive mode.
+	ShouldPreempt(newlyReady, running *Task) bool
+}
+
+// QuantumPolicy is implemented by time-sharing policies. When the running
+// task exhausts the quantum and other tasks are ready, the engine preempts it
+// and requeues it behind its peers.
+type QuantumPolicy interface {
+	Policy
+	Quantum() sim.Time
+}
+
+// PriorityPreemptive is the fixed-priority preemptive policy, the most
+// widely used real-time scheduling policy and the paper's default. Higher
+// numeric priority wins; ties are broken by ready-queue arrival order.
+type PriorityPreemptive struct{}
+
+// Name implements Policy.
+func (PriorityPreemptive) Name() string { return "priority-preemptive" }
+
+// Select implements Policy: the highest-priority ready task, FIFO among
+// equals.
+func (PriorityPreemptive) Select(ready []*Task) *Task {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if t.EffectivePriority() > best.EffectivePriority() ||
+			(t.EffectivePriority() == best.EffectivePriority() && t.readySeq < best.readySeq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// ShouldPreempt implements Policy: strictly higher priority preempts.
+func (PriorityPreemptive) ShouldPreempt(n, r *Task) bool {
+	return n.EffectivePriority() > r.EffectivePriority()
+}
+
+// FIFO is first-come-first-served, non-preemptive selection: tasks run in
+// the order they became ready and are never preempted by arrivals.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Select implements Policy: the earliest-ready task.
+func (FIFO) Select(ready []*Task) *Task {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if t.readySeq < best.readySeq {
+			best = t
+		}
+	}
+	return best
+}
+
+// ShouldPreempt implements Policy: never.
+func (FIFO) ShouldPreempt(n, r *Task) bool { return false }
+
+// RoundRobin is the time-sharing policy of the paper's section 4.3
+// discussion: FIFO selection plus a quantum after which the running task is
+// preempted and requeued behind the other ready tasks.
+type RoundRobin struct {
+	// Slice is the scheduling quantum; it must be positive.
+	Slice sim.Time
+}
+
+// Name implements Policy.
+func (p RoundRobin) Name() string { return "round-robin" }
+
+// Select implements Policy: the earliest-ready task.
+func (p RoundRobin) Select(ready []*Task) *Task { return FIFO{}.Select(ready) }
+
+// ShouldPreempt implements Policy: arrivals never preempt; only the quantum
+// does.
+func (p RoundRobin) ShouldPreempt(n, r *Task) bool { return false }
+
+// Quantum implements QuantumPolicy.
+func (p RoundRobin) Quantum() sim.Time { return p.Slice }
+
+// EDF is earliest-deadline-first: the ready task with the nearest absolute
+// deadline runs, and a newly ready task with an earlier deadline preempts.
+// Tasks with no deadline set (TimeMax) rank last.
+type EDF struct{}
+
+// Name implements Policy.
+func (EDF) Name() string { return "edf" }
+
+// Select implements Policy: the earliest absolute deadline, FIFO among
+// equals.
+func (EDF) Select(ready []*Task) *Task {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if t.deadline < best.deadline ||
+			(t.deadline == best.deadline && t.readySeq < best.readySeq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// ShouldPreempt implements Policy: strictly earlier deadline preempts.
+func (EDF) ShouldPreempt(n, r *Task) bool { return n.deadline < r.deadline }
+
+// AssignRateMonotonic assigns fixed priorities to the given tasks by the
+// rate-monotonic rule: the shorter the period, the higher the priority.
+// Tasks without a period keep their current priority. Combined with the
+// PriorityPreemptive policy this yields classic RM scheduling.
+func AssignRateMonotonic(tasks ...*Task) {
+	// Stable selection: rank periods, shortest period gets the highest
+	// priority (len(tasks), descending).
+	ranked := append([]*Task(nil), tasks...)
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && ranked[j].period < ranked[j-1].period; j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	prio := len(ranked)
+	for _, t := range ranked {
+		if t.period > 0 {
+			t.SetBasePriority(prio)
+		}
+		prio--
+	}
+}

@@ -1,0 +1,223 @@
+package rtos_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// runOrder runs n tasks that each log their start/end and returns the log.
+func runOrder(t *testing.T, eng rtos.EngineKind, policy rtos.Policy, build func(sys *rtos.System, cpu *rtos.Processor, note func(*rtos.TaskCtx, string))) []string {
+	t.Helper()
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{Engine: eng, Policy: policy})
+	var log []string
+	note := func(c *rtos.TaskCtx, what string) {
+		log = append(log, fmt.Sprintf("%s:%s@%v", c.Name(), what, c.Now()))
+	}
+	build(sys, cpu, note)
+	sys.Run()
+	return log
+}
+
+func TestPriorityTieBreakFIFO(t *testing.T) {
+	for _, eng := range engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			log := runOrder(t, eng, rtos.PriorityPreemptive{}, func(sys *rtos.System, cpu *rtos.Processor, note func(*rtos.TaskCtx, string)) {
+				for i := 0; i < 4; i++ {
+					cpu.NewTask(fmt.Sprintf("t%d", i), rtos.TaskConfig{Priority: 5}, func(c *rtos.TaskCtx) {
+						note(c, "run")
+						c.Execute(10 * sim.Us)
+					})
+				}
+			})
+			// Equal priorities: creation (= ready) order.
+			want := []string{"t0:run@0s", "t1:run@10us", "t2:run@20us", "t3:run@30us"}
+			if fmt.Sprint(log) != fmt.Sprint(want) {
+				t.Fatalf("got %v want %v", log, want)
+			}
+		})
+	}
+}
+
+func TestFIFONoPreemption(t *testing.T) {
+	for _, eng := range engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			log := runOrder(t, eng, rtos.FIFO{}, func(sys *rtos.System, cpu *rtos.Processor, note func(*rtos.TaskCtx, string)) {
+				// lo starts immediately; hi arrives later with a much higher
+				// priority but FIFO ignores it until lo blocks.
+				cpu.NewTask("lo", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+					c.Execute(100 * sim.Us)
+					note(c, "end")
+				})
+				cpu.NewTask("hi", rtos.TaskConfig{Priority: 99, StartAt: 10 * sim.Us}, func(c *rtos.TaskCtx) {
+					note(c, "start")
+					c.Execute(10 * sim.Us)
+				})
+			})
+			want := []string{"lo:end@100us", "hi:start@100us"}
+			if fmt.Sprint(log) != fmt.Sprint(want) {
+				t.Fatalf("got %v want %v", log, want)
+			}
+		})
+	}
+}
+
+func TestRoundRobinTimeSlicing(t *testing.T) {
+	for _, eng := range engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			sys := rtos.NewSystem()
+			cpu := sys.NewProcessor("cpu0", rtos.Config{
+				Engine: eng,
+				Policy: rtos.RoundRobin{Slice: 30 * sim.Us},
+			})
+			ends := map[string]sim.Time{}
+			for _, name := range []string{"a", "b", "c"} {
+				name := name
+				cpu.NewTask(name, rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+					c.Execute(60 * sim.Us)
+					ends[name] = c.Now()
+				})
+			}
+			sys.Run()
+			// Slices: a[0,30] b[30,60] c[60,90] a[90,120]* b[120,150]* c[150,180]*
+			// (*: finishes exactly as the quantum expires).
+			if ends["a"] != 120*sim.Us || ends["b"] != 150*sim.Us || ends["c"] != 180*sim.Us {
+				t.Fatalf("ends = %v, want a@120us b@150us c@180us", ends)
+			}
+			// Each task must have been preempted exactly once.
+			for _, task := range cpu.Tasks() {
+				if task.Preemptions() != 1 {
+					t.Errorf("task %s preemptions = %d, want 1", task.Name(), task.Preemptions())
+				}
+			}
+		})
+	}
+}
+
+func TestRoundRobinSoloTaskKeepsRunning(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{Policy: rtos.RoundRobin{Slice: 10 * sim.Us}})
+	var end sim.Time
+	cpu.NewTask("only", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		c.Execute(100 * sim.Us)
+		end = c.Now()
+	})
+	sys.Run()
+	if end != 100*sim.Us {
+		t.Fatalf("solo task under RR ended at %v, want 100us (no self-preemption)", end)
+	}
+	if cpu.Preemptions() != 0 {
+		t.Fatalf("solo task was preempted %d times", cpu.Preemptions())
+	}
+}
+
+func TestEDFOrdering(t *testing.T) {
+	for _, eng := range engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			sys := rtos.NewSystem()
+			cpu := sys.NewProcessor("cpu0", rtos.Config{Engine: eng, Policy: rtos.EDF{}})
+			var order []string
+			mk := func(name string, deadline sim.Time) {
+				cpu.NewTask(name, rtos.TaskConfig{Deadline: deadline}, func(c *rtos.TaskCtx) {
+					order = append(order, name)
+					c.Execute(10 * sim.Us)
+				})
+			}
+			mk("late", 300*sim.Us)
+			mk("soon", 100*sim.Us)
+			mk("mid", 200*sim.Us)
+			sys.Run()
+			want := "soon,mid,late"
+			if got := strings.Join(order, ","); got != want {
+				t.Fatalf("EDF order = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+func TestEDFPreemption(t *testing.T) {
+	for _, eng := range engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			sys := rtos.NewSystem()
+			cpu := sys.NewProcessor("cpu0", rtos.Config{Engine: eng, Policy: rtos.EDF{}})
+			var loEnd, hiEnd sim.Time
+			cpu.NewTask("relaxed", rtos.TaskConfig{Deadline: 1000 * sim.Us}, func(c *rtos.TaskCtx) {
+				c.Execute(100 * sim.Us)
+				loEnd = c.Now()
+			})
+			cpu.NewTask("urgent", rtos.TaskConfig{StartAt: 20 * sim.Us, Deadline: 50 * sim.Us}, func(c *rtos.TaskCtx) {
+				c.Execute(10 * sim.Us)
+				hiEnd = c.Now()
+			})
+			sys.Run()
+			// urgent arrives at 20 with deadline 70 < 1000: preempts.
+			if hiEnd != 30*sim.Us {
+				t.Errorf("urgent ended at %v, want 30us", hiEnd)
+			}
+			if loEnd != 110*sim.Us {
+				t.Errorf("relaxed ended at %v, want 110us", loEnd)
+			}
+		})
+	}
+}
+
+func TestAssignRateMonotonic(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{})
+	idle := func(c *rtos.TaskCtx) {}
+	t1 := cpu.NewTask("slow", rtos.TaskConfig{Period: 100 * sim.Ms}, idle)
+	t2 := cpu.NewTask("fast", rtos.TaskConfig{Period: 10 * sim.Ms}, idle)
+	t3 := cpu.NewTask("mid", rtos.TaskConfig{Period: 50 * sim.Ms}, idle)
+	t4 := cpu.NewTask("aperiodic", rtos.TaskConfig{Priority: -7}, idle)
+	rtos.AssignRateMonotonic(t1, t2, t3, t4)
+	if !(t2.BasePriority() > t3.BasePriority() && t3.BasePriority() > t1.BasePriority()) {
+		t.Fatalf("RM priorities wrong: fast=%d mid=%d slow=%d",
+			t2.BasePriority(), t3.BasePriority(), t1.BasePriority())
+	}
+	if t4.BasePriority() != -7 {
+		t.Fatalf("aperiodic task priority changed to %d", t4.BasePriority())
+	}
+	sys.Run()
+}
+
+// lowestLaxity is a user-defined policy (least-laxity-first) exercising the
+// paper's extension point: "designers can also define their own policies by
+// overloading the SchedulingPolicy method".
+type lowestLaxity struct{}
+
+func (lowestLaxity) Name() string { return "llf" }
+func (lowestLaxity) Select(ready []*rtos.Task) *rtos.Task {
+	best := ready[0]
+	for _, c := range ready[1:] {
+		if c.Deadline() < best.Deadline() {
+			best = c
+		}
+	}
+	return best
+}
+func (lowestLaxity) ShouldPreempt(n, r *rtos.Task) bool { return n.Deadline() < r.Deadline() }
+
+func TestCustomPolicy(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{Policy: lowestLaxity{}})
+	if cpu.PolicyName() != "llf" {
+		t.Fatalf("policy name = %q", cpu.PolicyName())
+	}
+	var order []string
+	mk := func(name string, dl sim.Time) {
+		cpu.NewTask(name, rtos.TaskConfig{Deadline: dl}, func(c *rtos.TaskCtx) {
+			order = append(order, name)
+			c.Execute(sim.Us)
+		})
+	}
+	mk("b", 200*sim.Us)
+	mk("a", 100*sim.Us)
+	sys.Run()
+	if strings.Join(order, ",") != "a,b" {
+		t.Fatalf("custom policy order = %v", order)
+	}
+}

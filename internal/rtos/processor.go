@@ -1,0 +1,469 @@
+package rtos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// EngineKind selects one of the paper's two RTOS model implementations.
+type EngineKind uint8
+
+const (
+	// EngineProcedural integrates the RTOS behaviour into the task state
+	// transitions as procedure calls (paper section 4.2). It is the default:
+	// the paper selects it for simulation efficiency because the only kernel
+	// thread switches are those of the application tasks themselves.
+	EngineProcedural EngineKind = iota
+	// EngineThreaded models the RTOS with a dedicated scheduler thread
+	// (paper section 4.1). Functionally identical, but every scheduling
+	// action costs two extra kernel thread switches.
+	EngineThreaded
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineProcedural:
+		return "procedural"
+	case EngineThreaded:
+		return "threaded"
+	}
+	return "invalid"
+}
+
+// engine is the internal contract shared by the two implementations. The
+// entry points carry the names the paper gives the RTOS primitives.
+type engine interface {
+	// taskIsReady makes t ready. Safe from any simulation context (another
+	// task, a hardware process, a sim.Method); never consumes the caller's
+	// simulated time.
+	taskIsReady(t *Task)
+	// taskIsBlocked is called on t's own thread when it leaves the Running
+	// state for s (Waiting or WaitingResource). When it returns the switch
+	// has been initiated; the caller then parks in awaitDispatch.
+	taskIsBlocked(t *Task, s trace.TaskState)
+	// taskYield is called on t's own thread to give up the processor while
+	// staying ready (preemption or voluntary yield). It returns once the
+	// task is running again.
+	taskYield(t *Task)
+	// taskFinished is called on t's own thread when its behaviour returns.
+	taskFinished(t *Task)
+	// reevaluate re-examines the scheduling decision after a priority,
+	// deadline or preemption-mode change.
+	reevaluate()
+	// start performs engine elaboration (spawning the RTOS thread).
+	start()
+}
+
+// Config carries a Processor's RTOS parameters.
+type Config struct {
+	// Engine selects the model implementation; the default is
+	// EngineProcedural.
+	Engine EngineKind
+	// Policy is the scheduling policy; the default is PriorityPreemptive.
+	Policy Policy
+	// NonPreemptive starts the processor in non-preemptive mode (the mode
+	// can be changed during the simulation with SetPreemptive).
+	NonPreemptive bool
+	// Overheads are the three RTOS overhead parameters; the zero value
+	// models an ideal RTOS with no overhead.
+	Overheads Overheads
+	// Speed scales the processor's execution rate relative to the reference
+	// processor the task durations were annotated for: Execute(d) consumes
+	// d/Speed of simulated time. Zero means 1.0. This is the "effect of
+	// processor change" axis of the paper's conclusion, complementing the
+	// context-switch durations.
+	Speed float64
+}
+
+// Processor models a CPU running an RTOS that serializes a set of tasks.
+type Processor struct {
+	sys  *System
+	k    *sim.Kernel
+	rec  *trace.Recorder
+	name string
+
+	policy     Policy
+	preemptive bool
+	overheads  Overheads
+	engineKind EngineKind
+	eng        engine
+	speed      float64
+
+	tasks   []*Task
+	ready   []*Task
+	running *Task
+	// switching is true while a dispatch sequence is in progress (between a
+	// task leaving the processor or a ready task starting an idle-processor
+	// wakeup, and the elected task completing its context load). New ready
+	// tasks arriving during the window only join the queue; they take part
+	// in the election.
+	switching bool
+
+	readySeqCtr uint64
+
+	quantum      sim.Time
+	quantumEvent *sim.Event
+
+	irqCtrl *InterruptController
+
+	dispatches  uint64
+	preemptions uint64
+}
+
+// NewProcessor creates a processor on the system with the given RTOS
+// configuration. Processors must be created before the simulation runs.
+func (s *System) NewProcessor(name string, cfg Config) *Processor {
+	cpu := &Processor{
+		sys:        s,
+		k:          s.K,
+		rec:        s.Rec,
+		name:       name,
+		policy:     cfg.Policy,
+		preemptive: !cfg.NonPreemptive,
+		overheads:  cfg.Overheads,
+		engineKind: cfg.Engine,
+		speed:      cfg.Speed,
+	}
+	if cpu.policy == nil {
+		cpu.policy = PriorityPreemptive{}
+	}
+	if cpu.speed == 0 {
+		cpu.speed = 1.0
+	}
+	if cpu.speed < 0 {
+		panic("rtos: processor speed must be positive")
+	}
+	if qp, ok := cpu.policy.(QuantumPolicy); ok {
+		cpu.quantum = qp.Quantum()
+		if cpu.quantum <= 0 {
+			panic("rtos: quantum policy with non-positive quantum")
+		}
+	}
+	switch cfg.Engine {
+	case EngineProcedural:
+		cpu.eng = &proceduralEngine{cpu: cpu}
+	case EngineThreaded:
+		cpu.eng = newThreadedEngine(cpu)
+	default:
+		panic(fmt.Sprintf("rtos: unknown engine kind %d", cfg.Engine))
+	}
+	cpu.eng.start()
+	s.cpus = append(s.cpus, cpu)
+	return cpu
+}
+
+// Name returns the processor name.
+func (cpu *Processor) Name() string { return cpu.name }
+
+// PolicyName returns the active scheduling policy's name.
+func (cpu *Processor) PolicyName() string { return cpu.policy.Name() }
+
+// Engine returns which model implementation the processor uses.
+func (cpu *Processor) Engine() EngineKind { return cpu.engineKind }
+
+// Preemptive reports whether the processor is in preemptive mode.
+func (cpu *Processor) Preemptive() bool { return cpu.preemptive }
+
+// Speed returns the processor's execution-rate factor.
+func (cpu *Processor) Speed() float64 { return cpu.speed }
+
+// scaleExec converts an annotated execution duration into this processor's
+// simulated time.
+func (cpu *Processor) scaleExec(d sim.Time) sim.Time {
+	if cpu.speed == 1.0 {
+		return d
+	}
+	return d.Scale(1 / cpu.speed)
+}
+
+// SetPreemptive switches the preemptive/non-preemptive mode at run time
+// (paper section 3.1). Enabling preemption re-evaluates the scheduling
+// decision immediately.
+func (cpu *Processor) SetPreemptive(on bool) {
+	cpu.preemptive = on
+	if on {
+		cpu.eng.reevaluate()
+	}
+}
+
+// Tasks returns the processor's tasks in creation order.
+func (cpu *Processor) Tasks() []*Task { return cpu.tasks }
+
+// Running returns the currently running task, nil when idle or switching.
+func (cpu *Processor) Running() *Task { return cpu.running }
+
+// ReadyCount returns the current number of ready tasks.
+func (cpu *Processor) ReadyCount() int { return len(cpu.ready) }
+
+// Dispatches returns the total number of task elections performed.
+func (cpu *Processor) Dispatches() uint64 { return cpu.dispatches }
+
+// Preemptions returns the total number of preemptions performed.
+func (cpu *Processor) Preemptions() uint64 { return cpu.preemptions }
+
+// NewTask creates a task on the processor. The behaviour function runs once;
+// write a loop inside it (or use NewPeriodicTask) for cyclic tasks.
+func (cpu *Processor) NewTask(name string, cfg TaskConfig, fn func(*TaskCtx)) *Task {
+	if fn == nil {
+		panic("rtos: NewTask with nil behaviour")
+	}
+	t := &Task{
+		name:     name,
+		cpu:      cpu,
+		cfg:      cfg,
+		fn:       fn,
+		basePrio: cfg.Priority,
+		deadline: sim.TimeMax,
+		period:   cfg.Period,
+		state:    trace.StateCreated,
+	}
+	if cfg.Deadline > 0 {
+		// The configured relative deadline counts from the first release.
+		t.deadline = cfg.StartAt + cfg.Deadline
+	}
+	t.ctx = &TaskCtx{t: t}
+	t.evRun = cpu.k.NewEvent(name + ".TaskRun")
+	t.evPreempt = cpu.k.NewEvent(name + ".TaskPreempt")
+	t.proc = cpu.k.Spawn(name, t.threadBody)
+	cpu.tasks = append(cpu.tasks, t)
+	return t
+}
+
+// NewPeriodicTask creates a task released every cfg.Period (first release at
+// cfg.StartAt). Each cycle sets the absolute deadline from cfg.Deadline
+// (defaulting to the period), runs body, then sleeps until the next release.
+//
+// A deadline watchdog checks each cycle at its absolute deadline instant —
+// not at completion — so a miss is reported even for a cycle that never
+// completes (a starved task). If a cycle overruns its period the next
+// release happens immediately.
+func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *TaskCtx, cycle int)) *Task {
+	if cfg.Period <= 0 {
+		panic("rtos: NewPeriodicTask requires a positive period")
+	}
+	if body == nil {
+		panic("rtos: NewPeriodicTask with nil body")
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= cfg.Period {
+		if cfg.Jitter != 0 {
+			panic("rtos: periodic release jitter must be in [0, period)")
+		}
+	}
+	relDeadline := cfg.Deadline
+	if relDeadline == 0 {
+		relDeadline = cfg.Period
+	}
+	completed := -1
+	armed := -1
+	grace := false
+	var armedDeadline sim.Time
+	dlEvent := cpu.k.NewEvent(name + ".deadlineWatch")
+	cpu.k.NewMethod(name+".deadlineCheck", func() {
+		if completed >= armed {
+			grace = false
+			return
+		}
+		// Completing exactly at the deadline instant is a meet: give the
+		// task's same-instant completion one delta cycle to land before
+		// declaring the miss.
+		if !grace {
+			grace = true
+			dlEvent.NotifyDelta()
+			return
+		}
+		grace = false
+		cpu.sys.Constraints.report(name, armedDeadline, cpu.k.Now())
+	}, false, dlEvent)
+	// Arm the first cycle at elaboration: a task so starved that it never
+	// even dispatches must still have its deadline miss detected.
+	armed, armedDeadline = 0, cfg.StartAt+relDeadline
+	dlEvent.NotifyAt(armedDeadline)
+	return cpu.NewTask(name, cfg, func(c *TaskCtx) {
+		// The release schedule anchors at the configured first release, not
+		// at the first dispatch: a task dispatched late (higher-priority
+		// load) still owes its work against the nominal period boundaries.
+		release := cfg.StartAt
+		for cycle := 0; ; cycle++ {
+			deadline := release + relDeadline
+			c.SetDeadline(deadline)
+			armed, armedDeadline = cycle, deadline
+			if deadline < c.Now() {
+				// Dispatched after the deadline already passed: immediate
+				// miss, no point arming the watchdog.
+				cpu.sys.Constraints.report(name, deadline, c.Now())
+			} else {
+				dlEvent.Cancel()
+				dlEvent.NotifyAt(deadline)
+			}
+			if j := releaseJitter(name, cycle, cfg.Jitter); j > 0 {
+				// Jittered activation; the deadline stays nominal.
+				c.DelayUntil(release + j)
+			}
+			body(c, cycle)
+			completed = cycle
+			release += cfg.Period
+			if release > c.Now() {
+				c.DelayUntil(release)
+			} else {
+				release = c.Now() // overrun: re-release immediately
+			}
+		}
+	})
+}
+
+// releaseJitter returns a deterministic pseudo-random jitter in [0, max]
+// derived from the task name and cycle index (FNV-1a), so jittered runs
+// reproduce exactly.
+func releaseJitter(name string, cycle int, max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(cycle))
+	h.Write(b[:])
+	return sim.Time(h.Sum64() % uint64(max+1))
+}
+
+// overheadCtx snapshots the system state for an overhead formula.
+func (cpu *Processor) overheadCtx(t *Task) OverheadCtx {
+	return OverheadCtx{CPU: cpu, Task: t, ReadyCount: len(cpu.ready), Now: cpu.k.Now()}
+}
+
+// charge consumes one overhead duration on thread p and records it. The
+// duration formula is evaluated at the charge instant. Zero durations are
+// recorded as zero-length segments (they still count context switches in the
+// statistics) without consuming a delta cycle.
+func (cpu *Processor) charge(p *sim.Proc, kind trace.OverheadKind, t *Task, octx OverheadCtx) {
+	var d sim.Time
+	switch kind {
+	case trace.OverheadScheduling:
+		d = cpu.overheads.scheduling(octx)
+	case trace.OverheadContextSave:
+		d = cpu.overheads.save(octx)
+	case trace.OverheadContextLoad:
+		d = cpu.overheads.load(octx)
+	}
+	start := cpu.k.Now()
+	if d > 0 {
+		p.Wait(d)
+	}
+	name := ""
+	if t != nil {
+		name = t.name
+	}
+	cpu.rec.Overhead(cpu.name, name, kind, start, cpu.k.Now())
+}
+
+// enqueueReady puts t in the ready queue and records the Ready state.
+func (cpu *Processor) enqueueReady(t *Task) {
+	cpu.readySeqCtr++
+	t.readySeq = cpu.readySeqCtr
+	cpu.ready = append(cpu.ready, t)
+	t.setState(trace.StateReady)
+}
+
+// elect runs the scheduling policy and removes the winner from the ready
+// queue. The ready queue must not be empty.
+func (cpu *Processor) elect() *Task {
+	if len(cpu.ready) == 0 {
+		panic("rtos: elect with empty ready queue")
+	}
+	e := cpu.policy.Select(cpu.ready)
+	if e == nil {
+		panic(fmt.Sprintf("rtos: policy %q selected no task from a non-empty ready queue", cpu.policy.Name()))
+	}
+	for i, r := range cpu.ready {
+		if r == e {
+			cpu.ready = append(cpu.ready[:i], cpu.ready[i+1:]...)
+			return e
+		}
+	}
+	panic(fmt.Sprintf("rtos: policy %q selected task %q which is not ready", cpu.policy.Name(), e.name))
+}
+
+// finishDispatch completes a dispatch on the elected task's own thread: the
+// task becomes the running task and the switch window closes. If a
+// preemption-worthy task arrived during the context load it is honoured at
+// the task's first preemption point.
+func (cpu *Processor) finishDispatch(t *Task) {
+	cpu.running = t
+	cpu.switching = false
+	t.setState(trace.StateRunning)
+	t.dispatches++
+	cpu.dispatches++
+	cpu.armQuantum()
+	cpu.checkPreemptRunning()
+}
+
+// leaveRunning takes t off the processor (it must be the running task),
+// transitioning it to state s, and opens the switch window.
+func (cpu *Processor) leaveRunning(t *Task, s trace.TaskState) {
+	if cpu.running != t {
+		panic(fmt.Sprintf("rtos: task %q leaving the processor is not the running task", t.name))
+	}
+	cpu.running = nil
+	cpu.switching = true
+	cpu.cancelQuantum()
+	t.preemptPending = false
+	if s == trace.StateReady {
+		cpu.enqueueReady(t)
+		t.preemptions++
+		cpu.preemptions++
+	} else {
+		t.setState(s)
+	}
+}
+
+// checkPreemptRunning requests preemption of the running task if the policy
+// prefers some ready task and the mode allows it.
+func (cpu *Processor) checkPreemptRunning() {
+	r := cpu.running
+	if r == nil || r.preemptPending || !r.preemptible() {
+		return
+	}
+	for _, n := range cpu.ready {
+		if cpu.policy.ShouldPreempt(n, r) {
+			r.requestPreempt()
+			return
+		}
+	}
+}
+
+// armQuantum starts the time-slice timer for the running task.
+func (cpu *Processor) armQuantum() {
+	if cpu.quantum <= 0 {
+		return
+	}
+	if cpu.quantumEvent == nil {
+		cpu.quantumEvent = cpu.k.NewEvent(cpu.name + ".quantum")
+		cpu.k.NewMethod(cpu.name+".quantumExpiry", cpu.quantumExpired, false, cpu.quantumEvent)
+	}
+	cpu.quantumEvent.NotifyIn(cpu.quantum)
+}
+
+// cancelQuantum stops the time-slice timer.
+func (cpu *Processor) cancelQuantum() {
+	if cpu.quantumEvent != nil {
+		cpu.quantumEvent.Cancel()
+	}
+}
+
+// quantumExpired handles the end of a time slice: the running task is
+// preempted if peers are waiting, otherwise its quantum restarts.
+func (cpu *Processor) quantumExpired() {
+	r := cpu.running
+	if r == nil || cpu.switching {
+		return
+	}
+	if len(cpu.ready) > 0 && r.preemptible() {
+		r.requestPreempt()
+		return
+	}
+	cpu.armQuantum()
+}

@@ -1,0 +1,106 @@
+package rtos
+
+import (
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// System bundles a simulation kernel, a trace recorder, the processors with
+// their RTOS models, the hardware tasks, and a timing-constraint monitor —
+// everything needed to model and simulate one real-time system.
+type System struct {
+	// K is the discrete-event kernel driving the simulation.
+	K *sim.Kernel
+	// Rec records the execution trace (timeline, overheads, statistics).
+	Rec *trace.Recorder
+	// Constraints verifies timing constraints during the simulation (the
+	// paper's section 6 "automatic verification of timing constraints by
+	// simulation", implemented here).
+	Constraints *ConstraintSet
+
+	cpus []*Processor
+	hws  []*HWTask
+}
+
+// NewSystem creates an empty system with tracing enabled.
+func NewSystem() *System {
+	k := sim.New()
+	s := &System{K: k, Rec: trace.NewRecorder(k.Now)}
+	s.Constraints = &ConstraintSet{sys: s}
+	return s
+}
+
+// NewUntracedSystem creates a system with tracing disabled (Rec is nil,
+// which every trace call accepts as a no-op). Use it for long simulations
+// and benchmarks where the trace would grow without bound; Stats and the
+// renderers return empty results.
+func NewUntracedSystem() *System {
+	s := &System{K: sim.New()}
+	s.Constraints = &ConstraintSet{sys: s}
+	return s
+}
+
+// Run simulates until no further activity is possible, then shuts the
+// kernel down.
+func (s *System) Run() { s.K.Run() }
+
+// RunUntil simulates until absolute time t; the simulation can be continued
+// afterwards. Call Shutdown when done.
+func (s *System) RunUntil(t sim.Time) { s.K.RunUntil(t) }
+
+// RunFor simulates for duration d of simulated time.
+func (s *System) RunFor(d sim.Time) { s.K.RunFor(d) }
+
+// Shutdown unwinds all simulation processes.
+func (s *System) Shutdown() { s.K.Shutdown() }
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Time { return s.K.Now() }
+
+// Processors returns the system's processors in creation order.
+func (s *System) Processors() []*Processor { return s.cpus }
+
+// HWTasks returns the system's hardware tasks in creation order.
+func (s *System) HWTasks() []*HWTask { return s.hws }
+
+// Stats computes the trace statistics over [0, end]; end zero means the end
+// of the recorded trace. This is the analogue of the paper's Figure 8 view.
+func (s *System) Stats(end sim.Time) trace.Stats { return s.Rec.ComputeStats(end) }
+
+// Timeline renders the ASCII TimeLine chart, the analogue of the paper's
+// Figures 6 and 7.
+func (s *System) Timeline(opts trace.TimelineOptions) string { return s.Rec.RenderTimeline(opts) }
+
+// Chronology renders the lossless chronological event listing.
+func (s *System) Chronology() string { return s.Rec.RenderChronology() }
+
+// WriteCSV exports the trace as CSV.
+func (s *System) WriteCSV(w io.Writer) error { return s.Rec.WriteCSV(w) }
+
+// WriteVCD exports the trace as a Value Change Dump waveform.
+func (s *System) WriteVCD(w io.Writer) error { return s.Rec.WriteVCD(w) }
+
+// WriteJSON exports the trace as a JSON document.
+func (s *System) WriteJSON(w io.Writer) error { return s.Rec.WriteJSON(w) }
+
+// WriteSVG exports the TimeLine chart as an SVG image.
+func (s *System) WriteSVG(w io.Writer, opts trace.SVGOptions) error {
+	return s.Rec.WriteSVG(w, opts)
+}
+
+// BlockedTasks returns the tasks still waiting (for a synchronization or a
+// resource) at the current instant — after Run ends this reveals deadlocks
+// and starvation.
+func (s *System) BlockedTasks() []*Task {
+	var blocked []*Task
+	for _, cpu := range s.cpus {
+		for _, t := range cpu.tasks {
+			if t.state == trace.StateWaiting || t.state == trace.StateWaitingResource {
+				blocked = append(blocked, t)
+			}
+		}
+	}
+	return blocked
+}

@@ -1,0 +1,412 @@
+// Package rtos implements the paper's generic RTOS model on top of the
+// discrete-event kernel of package sim.
+//
+// A Processor models a CPU managed by a real-time operating system: it
+// serializes the execution of its Tasks according to a scheduling Policy, a
+// preemptive/non-preemptive mode that can change during the simulation, and
+// the three RTOS overhead parameters of the paper's section 3.2 (scheduling
+// duration, context-save duration, context-load duration — fixed values or
+// user formulas over the simulated system state).
+//
+// Two interchangeable engine implementations are provided, mirroring the
+// paper's section 4: EngineThreaded schedules with a dedicated RTOS
+// simulation thread (section 4.1), EngineProcedural integrates the RTOS
+// behaviour into the task state transitions using plain procedure calls
+// (section 4.2). Both produce identical simulated timing; the procedural
+// engine needs far fewer kernel thread switches and therefore simulates
+// faster, which is the paper's reason for selecting it.
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TaskState re-exports the trace state vocabulary for convenience.
+type TaskState = trace.TaskState
+
+// Task scheduling states (section 4 of the paper) plus the auxiliary
+// lifecycle states displayed by the TimeLine tool.
+const (
+	StateCreated         = trace.StateCreated
+	StateReady           = trace.StateReady
+	StateRunning         = trace.StateRunning
+	StateWaiting         = trace.StateWaiting
+	StateWaitingResource = trace.StateWaitingResource
+	StateTerminated      = trace.StateTerminated
+)
+
+// grantKind tells a task waking on its TaskRun event which part of the
+// dispatch overhead it must charge on its own thread.
+type grantKind uint8
+
+const (
+	grantNone grantKind = iota
+	// grantLoad: the task was elected; charge the context-load duration and
+	// start running.
+	grantLoad
+	// grantSchedLoad: fast idle-processor wakeup (procedural engine): charge
+	// the scheduling duration first, then re-elect; if still elected, charge
+	// the load and run, otherwise pass a grantLoad on to the elected task.
+	grantSchedLoad
+)
+
+// TaskConfig carries the static parameters of a task.
+type TaskConfig struct {
+	// Priority is the task's fixed base priority; higher runs first under
+	// the PriorityPreemptive policy.
+	Priority int
+	// StartAt delays the task's first release; zero starts it at the
+	// beginning of the simulation.
+	StartAt sim.Time
+	// Period is scheduling metadata used by AssignRateMonotonic and the
+	// periodic-task helper; zero for aperiodic tasks.
+	Period sim.Time
+	// Deadline is the task's relative deadline, used by the periodic-task
+	// helper and the EDF policy; zero means none (ranks last under EDF).
+	Deadline sim.Time
+	// Jitter is the maximum release jitter of a periodic task: each cycle's
+	// activation is delayed by a deterministic pseudo-random amount in
+	// [0, Jitter] while its deadline stays anchored at the nominal release.
+	// Must be smaller than the period.
+	Jitter sim.Time
+}
+
+// Task is a software task scheduled by a Processor's RTOS model. Create
+// tasks with Processor.NewTask before the simulation starts.
+type Task struct {
+	name string
+	cpu  *Processor
+	cfg  TaskConfig
+	fn   func(*TaskCtx)
+
+	basePrio int
+	boosts   []int // priority-inheritance stack (effective = max)
+
+	deadline sim.Time // absolute deadline for EDF; TimeMax when unset
+	period   sim.Time
+
+	state    trace.TaskState
+	readySeq uint64
+
+	proc      *sim.Proc
+	evRun     *sim.Event // the paper's TaskRun event
+	evPreempt *sim.Event // the paper's TaskPreempt event
+
+	pendingGrant   grantKind
+	preemptPending bool
+	noPreemptDepth int
+
+	delayEvent *sim.Event // wakes Delay; lazily created
+
+	ctx *TaskCtx
+
+	// Aggregate counters, readable after the simulation.
+	dispatches  uint64
+	preemptions uint64
+	cpuTime     sim.Time
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }
+
+// Processor returns the processor the task runs on.
+func (t *Task) Processor() *Processor { return t.cpu }
+
+// State returns the task's current scheduling state.
+func (t *Task) State() trace.TaskState { return t.state }
+
+// BasePriority returns the task's assigned priority.
+func (t *Task) BasePriority() int { return t.basePrio }
+
+// SetBasePriority changes the task's base priority; the scheduler is
+// re-evaluated so a raised ready task may preempt the running one.
+func (t *Task) SetBasePriority(p int) {
+	t.basePrio = p
+	if t.cpu != nil && t.cpu.eng != nil {
+		t.cpu.eng.reevaluate()
+	}
+}
+
+// EffectivePriority returns the priority the scheduler sees: the base
+// priority possibly raised by priority inheritance.
+func (t *Task) EffectivePriority() int {
+	p := t.basePrio
+	for _, b := range t.boosts {
+		if b > p {
+			p = b
+		}
+	}
+	return p
+}
+
+// Deadline returns the task's current absolute deadline (TimeMax if unset).
+func (t *Task) Deadline() sim.Time { return t.deadline }
+
+// Period returns the task's period metadata.
+func (t *Task) Period() sim.Time { return t.period }
+
+// Dispatches returns how many times the task was elected to run.
+func (t *Task) Dispatches() uint64 { return t.dispatches }
+
+// Preemptions returns how many times the task was preempted.
+func (t *Task) Preemptions() uint64 { return t.preemptions }
+
+// CPUTime returns the total simulated processor time the task consumed.
+func (t *Task) CPUTime() sim.Time { return t.cpuTime }
+
+// preemptible reports whether the task may currently be preempted.
+func (t *Task) preemptible() bool {
+	return t.cpu.preemptive && t.noPreemptDepth == 0
+}
+
+// setState records a state transition.
+func (t *Task) setState(s trace.TaskState) {
+	t.state = s
+	t.cpu.rec.TaskState(t.name, t.cpu.name, s)
+}
+
+// grant elects the task: pendingGrant tells its thread what overhead to
+// charge; the TaskRun event wakes it if it is already parked.
+func (t *Task) grant(g grantKind) {
+	t.pendingGrant = g
+	t.evRun.Notify()
+}
+
+// requestPreempt asks the running task to yield the processor. The flag
+// survives until the task reaches a preemption point (its Execute loop); the
+// event wakes it if it is inside one.
+func (t *Task) requestPreempt() {
+	t.preemptPending = true
+	t.evPreempt.Notify()
+}
+
+// awaitDispatch parks the task's thread until it is elected, charging the
+// granted share of the dispatch overhead on its own thread, and returns with
+// the task in the Running state. This is the common half of both engines:
+// the context-load duration is always charged by the elected task itself.
+func (t *Task) awaitDispatch() {
+	cpu := t.cpu
+	for {
+		if t.pendingGrant == grantNone {
+			t.proc.WaitEvent(t.evRun)
+		}
+		g := t.pendingGrant
+		t.pendingGrant = grantNone
+		switch g {
+		case grantSchedLoad:
+			// Idle-processor wakeup (procedural engine): this thread runs
+			// the scheduler. Other tasks arriving during the scheduling
+			// window take part in the election; the settle deltas let
+			// same-instant arrivals join (and be seen by the overhead
+			// formula) even with zero overhead.
+			t.proc.WaitDelta()
+			cpu.charge(t.proc, trace.OverheadScheduling, nil, cpu.overheadCtx(nil))
+			t.proc.WaitDelta()
+			elected := cpu.elect()
+			if elected != t {
+				elected.grant(grantLoad)
+				continue
+			}
+		case grantLoad:
+			// Elected by another thread; it already removed us from the
+			// ready queue.
+		default:
+			continue // spurious wake
+		}
+		cpu.charge(t.proc, trace.OverheadContextLoad, t, cpu.overheadCtx(t))
+		cpu.finishDispatch(t)
+		return
+	}
+}
+
+// threadBody is the task's simulation-thread entry point.
+func (t *Task) threadBody(p *sim.Proc) {
+	t.setState(trace.StateCreated)
+	if t.cfg.StartAt > 0 {
+		p.Wait(t.cfg.StartAt)
+	}
+	t.cpu.eng.taskIsReady(t)
+	t.awaitDispatch()
+	t.fn(t.ctx)
+	t.cpu.eng.taskFinished(t)
+}
+
+// TaskCtx is the API a task behaviour uses to interact with the RTOS model:
+// consume processor time, sleep, adjust priority and deadline, and toggle
+// preemption. It also implements the comm.Actor contract so the task can use
+// the communication relations of package comm.
+type TaskCtx struct {
+	t *Task
+}
+
+// Task returns the underlying task.
+func (c *TaskCtx) Task() *Task { return c.t }
+
+// Name returns the task name (also the comm.Actor name).
+func (c *TaskCtx) Name() string { return c.t.name }
+
+// Priority returns the task's effective priority (comm.Actor contract).
+func (c *TaskCtx) Priority() int { return c.t.EffectivePriority() }
+
+// Now returns the current simulated time.
+func (c *TaskCtx) Now() sim.Time { return c.t.proc.Now() }
+
+// Kernel returns the simulation kernel.
+func (c *TaskCtx) Kernel() *sim.Kernel { return c.t.proc.Kernel() }
+
+// Recorder returns the trace recorder (comm.Actor contract).
+func (c *TaskCtx) Recorder() *trace.Recorder { return c.t.cpu.rec }
+
+// Execute consumes d of processor time. This is the paper's time-annotated
+// processing: the task occupies the processor for a total of d, but may be
+// preempted at any instant in between; the remaining duration is recomputed
+// exactly at the preemption instant (the TaskIsPreempted behaviour of
+// section 4.2), so the model's preemption accuracy does not depend on any
+// clock resolution.
+func (c *TaskCtx) Execute(d sim.Time) {
+	if d < 0 {
+		panic("rtos: Execute with negative duration")
+	}
+	t := c.t
+	if t.state != trace.StateRunning {
+		panic(fmt.Sprintf("rtos: Execute called by task %q in state %v", t.name, t.state))
+	}
+	remaining := t.cpu.scaleExec(d)
+	for remaining > 0 {
+		if ic := t.cpu.irqCtrl; ic != nil && ic.active != nil {
+			// An ISR has borrowed the processor: wait in place (no RTOS
+			// call, no context switch) until interrupt handling completes.
+			// The remaining duration is untouched: the task did not run.
+			t.proc.WaitEvent(ic.doneEv)
+			continue
+		}
+		if t.preemptPending && t.preemptible() {
+			t.cpu.eng.taskYield(t)
+			continue
+		}
+		t.preemptPending = false // stale request while non-preemptible
+		start := t.proc.Now()
+		_, timedOut := t.proc.WaitTimeout(remaining, t.evPreempt)
+		elapsed := t.proc.Now() - start
+		remaining -= elapsed
+		t.cpuTime += elapsed
+		if timedOut {
+			break
+		}
+		// Woken by TaskPreempt: loop re-checks the ISR and preemption
+		// conditions; a request received while non-preemptible is dropped
+		// and execution resumes.
+	}
+}
+
+// Delay suspends the task for duration d (Waiting state): the task does not
+// use the processor and becomes ready again when the delay expires.
+func (c *TaskCtx) Delay(d sim.Time) {
+	if d < 0 {
+		panic("rtos: Delay with negative duration")
+	}
+	t := c.t
+	if d == 0 {
+		return
+	}
+	if t.delayEvent == nil {
+		t.delayEvent = t.proc.Kernel().NewEvent(t.name + ".delay")
+		t.proc.Kernel().NewMethod(t.name+".delayWake", func() {
+			t.cpu.eng.taskIsReady(t)
+		}, false, t.delayEvent)
+	}
+	t.delayEvent.NotifyIn(d)
+	t.cpu.eng.taskIsBlocked(t, trace.StateWaiting)
+	t.awaitDispatch()
+}
+
+// SleepFor suspends the task for d without using the processor; it makes
+// TaskCtx satisfy the bus.Sleeper contract (a DMA-style transfer frees the
+// CPU).
+func (c *TaskCtx) SleepFor(d sim.Time) { c.Delay(d) }
+
+// DelayUntil suspends the task until absolute simulated time at; it returns
+// immediately if at is not in the future.
+func (c *TaskCtx) DelayUntil(at sim.Time) {
+	if d := at - c.Now(); d > 0 {
+		c.Delay(d)
+	}
+}
+
+// Yield voluntarily releases the processor: the task returns to the ready
+// queue and the scheduler elects the next task (possibly this one again).
+func (c *TaskCtx) Yield() {
+	c.t.cpu.eng.taskYield(c.t)
+}
+
+// SetPriority changes the task's base priority at run time.
+func (c *TaskCtx) SetPriority(p int) { c.t.SetBasePriority(p) }
+
+// SetDeadline sets the task's absolute deadline (for the EDF policy).
+func (c *TaskCtx) SetDeadline(at sim.Time) {
+	c.t.deadline = at
+	c.t.cpu.eng.reevaluate()
+}
+
+// SetDeadlineIn sets the task's deadline relative to the current time.
+func (c *TaskCtx) SetDeadlineIn(d sim.Time) { c.SetDeadline(c.Now() + d) }
+
+// DisablePreemption enters a critical region during which the task cannot
+// be preempted (paper section 3.1: "the preemptive/non-preemptive mode can
+// be changed during the simulation. This enables to model critical regions
+// during which task preemption is not allowed"). Calls nest.
+func (c *TaskCtx) DisablePreemption() { c.t.noPreemptDepth++ }
+
+// EnablePreemption leaves a critical region opened by DisablePreemption.
+// If a preemption request arrived meanwhile it takes effect at the task's
+// next preemption point.
+func (c *TaskCtx) EnablePreemption() {
+	t := c.t
+	if t.noPreemptDepth == 0 {
+		panic("rtos: EnablePreemption without matching DisablePreemption")
+	}
+	t.noPreemptDepth--
+	if t.noPreemptDepth == 0 {
+		t.cpu.eng.reevaluate()
+	}
+}
+
+// Suspend blocks the task on an external condition (comm.Actor contract):
+// resource selects the WaitingResource state (mutual exclusion) over the
+// plain Waiting state. The call returns when some actor calls Resume and the
+// scheduler elects the task again.
+func (c *TaskCtx) Suspend(resource bool, object string) {
+	s := trace.StateWaiting
+	if resource {
+		s = trace.StateWaitingResource
+	}
+	c.t.cpu.eng.taskIsBlocked(c.t, s)
+	c.t.awaitDispatch()
+}
+
+// Resume makes a suspended task ready again (comm.Actor contract). It is
+// safe to call from any simulation context (another task, a hardware
+// process, a sim.Method) and never consumes the caller's simulated time.
+func (c *TaskCtx) Resume() {
+	c.t.cpu.eng.taskIsReady(c.t)
+}
+
+// BoostPriority raises the task's effective priority to at least p
+// (priority-inheritance support for comm.Mutex).
+func (c *TaskCtx) BoostPriority(p int) {
+	c.t.boosts = append(c.t.boosts, p)
+	c.t.cpu.eng.reevaluate()
+}
+
+// UnboostPriority undoes the most recent BoostPriority.
+func (c *TaskCtx) UnboostPriority() {
+	n := len(c.t.boosts)
+	if n == 0 {
+		panic("rtos: UnboostPriority without matching BoostPriority")
+	}
+	c.t.boosts = c.t.boosts[:n-1]
+	c.t.cpu.eng.reevaluate()
+}

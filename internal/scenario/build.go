@@ -1,0 +1,296 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// Built is an elaborated scenario: the runnable system plus name-indexed
+// handles to every model object, for inspection after the run.
+type Built struct {
+	Desc *System
+	Sys  *rtos.System
+
+	Processors  map[string]*rtos.Processor
+	Events      map[string]*comm.Event
+	Queues      map[string]*comm.Queue[int]
+	Shared      map[string]*comm.Shared[int]
+	Constraints map[string]*rtos.Constraint
+	IRQs        map[string]*rtos.IRQ
+	Buses       map[string]*bus.Bus
+	Channels    map[string]*bus.Channel[int]
+	Servers     map[string]*rtos.Server
+
+	// traceCursors tracks each named duration trace's position; a trace has
+	// one global cursor shared by all its execute_trace sites, advancing
+	// deterministically with the simulation.
+	traceCursors map[string]int
+}
+
+// Build elaborates the description into a simulation-ready system.
+func (s *System) Build() (*Built, error) {
+	b := &Built{
+		Desc:         s,
+		Sys:          rtos.NewSystem(),
+		Processors:   map[string]*rtos.Processor{},
+		Events:       map[string]*comm.Event{},
+		Queues:       map[string]*comm.Queue[int]{},
+		Shared:       map[string]*comm.Shared[int]{},
+		Constraints:  map[string]*rtos.Constraint{},
+		IRQs:         map[string]*rtos.IRQ{},
+		Buses:        map[string]*bus.Bus{},
+		Channels:     map[string]*bus.Channel[int]{},
+		Servers:      map[string]*rtos.Server{},
+		traceCursors: map[string]int{},
+	}
+	for _, p := range s.Processors {
+		cfg := rtos.Config{NonPreemptive: p.NonPreemptive, Speed: p.Speed}
+		if p.Engine == "threaded" {
+			cfg.Engine = rtos.EngineThreaded
+		}
+		switch p.Policy {
+		case "", "priority":
+			cfg.Policy = rtos.PriorityPreemptive{}
+		case "fifo":
+			cfg.Policy = rtos.FIFO{}
+		case "rr":
+			cfg.Policy = rtos.RoundRobin{Slice: p.Quantum.Time()}
+		case "edf":
+			cfg.Policy = rtos.EDF{}
+		}
+		ov := rtos.Overheads{
+			ContextSave: rtos.Fixed(p.Overheads.ContextSave.Time()),
+			ContextLoad: rtos.Fixed(p.Overheads.ContextLoad.Time()),
+		}
+		if p.Overheads.SchedulingPerReady > 0 {
+			ov.Scheduling = rtos.PerReadyTask(p.Overheads.Scheduling.Time(), p.Overheads.SchedulingPerReady.Time())
+		} else {
+			ov.Scheduling = rtos.Fixed(p.Overheads.Scheduling.Time())
+		}
+		cfg.Overheads = ov
+		b.Processors[p.Name] = b.Sys.NewProcessor(p.Name, cfg)
+	}
+	for _, e := range s.Events {
+		pol := comm.Fugitive
+		switch e.Policy {
+		case "boolean":
+			pol = comm.Boolean
+		case "counter":
+			pol = comm.Counter
+		}
+		b.Events[e.Name] = comm.NewEvent(b.Sys.Rec, e.Name, pol)
+	}
+	for _, q := range s.Queues {
+		b.Queues[q.Name] = comm.NewQueue[int](b.Sys.Rec, q.Name, q.Capacity)
+	}
+	for _, v := range s.Shared {
+		if v.Inherit {
+			b.Shared[v.Name] = comm.NewInheritShared(b.Sys.Rec, v.Name, v.Initial)
+		} else {
+			b.Shared[v.Name] = comm.NewShared(b.Sys.Rec, v.Name, v.Initial)
+		}
+	}
+	for _, c := range s.Constraints {
+		b.Constraints[c.Name] = b.Sys.Constraints.NewLatency(c.Name, c.Limit.Time())
+	}
+
+	for _, def := range s.Buses {
+		b.Buses[def.Name] = bus.New(b.Sys.Rec, def.Name, bus.Config{
+			PerByte:     def.PerByte.Time(),
+			Arbitration: def.Arbitration.Time(),
+		})
+	}
+	for _, def := range s.Channels {
+		size := def.MessageBytes
+		if size == 0 {
+			size = 1
+		}
+		b.Channels[def.Name] = bus.NewChannel(b.Buses[def.Bus], def.Name, def.Capacity,
+			func(int) int { return size })
+	}
+	for _, def := range s.Servers {
+		cfg := rtos.ServerConfig{
+			Priority: def.Priority,
+			Period:   def.Period.Time(),
+			Budget:   def.Budget.Time(),
+			QueueCap: def.QueueCap,
+		}
+		cpu := b.Processors[def.Processor]
+		switch def.Kind {
+		case "deferrable":
+			b.Servers[def.Name] = cpu.NewDeferrableServer(def.Name, cfg)
+		case "sporadic":
+			b.Servers[def.Name] = cpu.NewSporadicServer(def.Name, cfg)
+		default:
+			b.Servers[def.Name] = cpu.NewPollingServer(def.Name, cfg)
+		}
+	}
+	for _, q := range s.IRQs {
+		q := q
+		ctrl := b.Processors[q.Processor].Interrupts()
+		b.IRQs[q.Name] = ctrl.NewIRQ(q.Name, q.Priority, q.Latency.Time(), func(c *rtos.ISRCtx) {
+			b.runOps(isrActor(c), q.Body)
+		})
+	}
+
+	for _, t := range s.Tasks {
+		t := t
+		cpu := b.Processors[t.Processor]
+		cfg := rtos.TaskConfig{
+			Priority: t.Priority,
+			StartAt:  t.StartAt.Time(),
+			Period:   t.Period.Time(),
+			Deadline: t.Deadline.Time(),
+			Jitter:   t.Jitter.Time(),
+		}
+		if t.Period > 0 {
+			cpu.NewPeriodicTask(t.Name, cfg, func(c *rtos.TaskCtx, cycle int) {
+				b.runOps(swOps(c), t.Body)
+			})
+			continue
+		}
+		cpu.NewTask(t.Name, cfg, func(c *rtos.TaskCtx) {
+			ops := swOps(c)
+			if t.Loop {
+				for {
+					b.runOps(ops, t.Body)
+				}
+			}
+			for i := 0; i < max(1, t.Repeat); i++ {
+				b.runOps(ops, t.Body)
+			}
+		})
+	}
+	for _, h := range s.Hardware {
+		h := h
+		b.Sys.NewHWTask(h.Name, rtos.HWConfig{Priority: h.Priority, StartAt: h.StartAt.Time()}, func(c *rtos.HWCtx) {
+			ops := hwOps(c)
+			if h.Loop {
+				for {
+					b.runOps(ops, h.Body)
+				}
+			}
+			for i := 0; i < max(1, h.Repeat); i++ {
+				b.runOps(ops, h.Body)
+			}
+		})
+	}
+	return b, nil
+}
+
+// Run simulates the built scenario to its horizon (or to event starvation)
+// and shuts the kernel down.
+func (b *Built) Run() {
+	if h := b.Desc.Horizon.Time(); h > 0 {
+		b.Sys.RunUntil(h)
+		b.Sys.Shutdown()
+		return
+	}
+	b.Sys.Run()
+}
+
+// opActor abstracts the software/hardware task APIs for the interpreter.
+type opActor struct {
+	actor     comm.Actor
+	execute   func(sim.Time)
+	delay     func(sim.Time)
+	noPreempt func(bool)
+	setPrio   func(int)
+	yield     func()
+}
+
+func swOps(c *rtos.TaskCtx) opActor {
+	return opActor{
+		actor:   c,
+		execute: c.Execute,
+		delay:   c.Delay,
+		noPreempt: func(on bool) {
+			if on {
+				c.DisablePreemption()
+			} else {
+				c.EnablePreemption()
+			}
+		},
+		setPrio: c.SetPriority,
+		yield:   c.Yield,
+	}
+}
+
+func hwOps(c *rtos.HWCtx) opActor {
+	return opActor{actor: c, delay: c.Wait}
+}
+
+func isrActor(c *rtos.ISRCtx) opActor {
+	return opActor{actor: c, execute: c.Execute}
+}
+
+// runOps interprets a behaviour script. Validation guarantees the ops are
+// well-formed for the actor kind.
+func (b *Built) runOps(a opActor, ops []Op) {
+	for _, op := range ops {
+		switch op.Op {
+		case "execute":
+			a.execute(op.For.Time())
+		case "execute_trace":
+			tr := b.Desc.Traces[op.Trace]
+			i := b.traceCursors[op.Trace]
+			b.traceCursors[op.Trace] = (i + 1) % len(tr)
+			a.execute(tr[i].Time())
+		case "delay":
+			a.delay(op.For.Time())
+		case "wait":
+			b.Events[op.Event].Wait(a.actor)
+		case "signal":
+			b.Events[op.Event].Signal(a.actor)
+		case "put":
+			b.Queues[op.Queue].Put(a.actor, op.Value)
+		case "tryput":
+			b.Queues[op.Queue].TryPut(a.actor, op.Value)
+		case "get":
+			b.Queues[op.Queue].Get(a.actor)
+		case "raise":
+			b.IRQs[op.IRQ].Raise()
+		case "send":
+			b.Channels[op.Channel].Send(a.actor, op.Value)
+		case "recv":
+			b.Channels[op.Channel].Recv(a.actor)
+		case "submit":
+			job := rtos.AperiodicJob{Work: op.For.Time()}
+			if op.Constraint != "" {
+				mon := b.Constraints[op.Constraint]
+				job.Done = mon.Stop
+			}
+			b.Servers[op.Server].Submit(job)
+		case "lock":
+			b.Shared[op.Shared].Lock(a.actor)
+		case "unlock":
+			b.Shared[op.Shared].Unlock(a.actor)
+		case "read":
+			b.Shared[op.Shared].Read(a.actor)
+		case "write":
+			b.Shared[op.Shared].Write(a.actor, op.Value)
+		case "nopreempt_begin":
+			a.noPreempt(true)
+		case "nopreempt_end":
+			a.noPreempt(false)
+		case "setprio":
+			a.setPrio(op.Value)
+		case "yield":
+			a.yield()
+		case "lat_start":
+			b.Constraints[op.Constraint].Start()
+		case "lat_stop":
+			b.Constraints[op.Constraint].Stop()
+		case "repeat":
+			for i := 0; i < op.Count; i++ {
+				b.runOps(a, op.Body)
+			}
+		default:
+			panic(fmt.Sprintf("scenario: unvalidated op %q", op.Op))
+		}
+	}
+}

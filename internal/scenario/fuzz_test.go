@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDuration checks the duration parser never panics and that
+// accepted values round-trip through sim.Time non-negatively.
+func FuzzParseDuration(f *testing.F) {
+	for _, seed := range []string{"5us", "1.5ms", "0ps", "3s", "250ns", "-1us", "", "x", "999999999999s", "1e3us", " 7ms "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDuration(s)
+		if err == nil && d < 0 {
+			t.Fatalf("ParseDuration(%q) accepted a negative duration %v", s, d)
+		}
+	})
+}
+
+// FuzzParse checks the scenario parser never panics on arbitrary JSON and
+// that everything it accepts also elaborates and simulates briefly without
+// panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(figure6JSON)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
+	f.Add(`{"bogus":1}`)
+	f.Add(`not json at all`)
+	f.Add(`{"processors":[{"name":"p","policy":"rr","quantum":"1us"}],"queues":[{"name":"q","capacity":1}],"tasks":[{"name":"t","processor":"p","repeat":2,"body":[{"op":"put","queue":"q"},{"op":"get","queue":"q"}]}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse([]byte(src))
+		if err != nil {
+			return
+		}
+		// Parsed OK: elaboration must succeed and a bounded run must not
+		// panic. Cap the horizon to keep the fuzzer fast.
+		if s.Horizon == 0 || s.Horizon > Duration(1_000_000_000) {
+			s.Horizon = Duration(1_000_000_000) // 1ms
+		}
+		// Skip pathological task counts.
+		if len(s.Tasks)+len(s.Hardware) > 16 {
+			return
+		}
+		b, err := s.Build()
+		if err != nil {
+			t.Fatalf("validated scenario failed to build: %v", err)
+		}
+		b.Run()
+	})
+}
+
+// TestFuzzSeedsAsUnitTests keeps the seed corpus exercised in plain `go
+// test` runs (the fuzz engine itself only runs with -fuzz).
+func TestFuzzSeedsAsUnitTests(t *testing.T) {
+	if _, err := Parse([]byte(figure6JSON)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse([]byte("not json")); err == nil || !strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

@@ -1,0 +1,307 @@
+package scenario
+
+import "fmt"
+
+// validate checks cross-references and enum values before elaboration so
+// description errors surface as errors, not mid-simulation panics.
+func (s *System) validate() error {
+	cpus := map[string]bool{}
+	for _, p := range s.Processors {
+		if p.Name == "" {
+			return fmt.Errorf("scenario: processor with empty name")
+		}
+		if cpus[p.Name] {
+			return fmt.Errorf("scenario: duplicate processor %q", p.Name)
+		}
+		cpus[p.Name] = true
+		switch p.Engine {
+		case "", "procedural", "threaded":
+		default:
+			return fmt.Errorf("scenario: processor %q: unknown engine %q", p.Name, p.Engine)
+		}
+		if p.Speed < 0 {
+			return fmt.Errorf("scenario: processor %q: speed must be positive", p.Name)
+		}
+		switch p.Policy {
+		case "", "priority", "fifo", "edf":
+		case "rr":
+			if p.Quantum <= 0 {
+				return fmt.Errorf("scenario: processor %q: rr policy needs a positive quantum", p.Name)
+			}
+		default:
+			return fmt.Errorf("scenario: processor %q: unknown policy %q", p.Name, p.Policy)
+		}
+	}
+
+	events := map[string]bool{}
+	for _, e := range s.Events {
+		if events[e.Name] {
+			return fmt.Errorf("scenario: duplicate event %q", e.Name)
+		}
+		events[e.Name] = true
+		switch e.Policy {
+		case "", "fugitive", "boolean", "counter":
+		default:
+			return fmt.Errorf("scenario: event %q: unknown policy %q", e.Name, e.Policy)
+		}
+	}
+	queues := map[string]bool{}
+	for _, q := range s.Queues {
+		if queues[q.Name] {
+			return fmt.Errorf("scenario: duplicate queue %q", q.Name)
+		}
+		queues[q.Name] = true
+		if q.Capacity < 1 {
+			return fmt.Errorf("scenario: queue %q: capacity must be at least 1", q.Name)
+		}
+	}
+	shared := map[string]bool{}
+	for _, v := range s.Shared {
+		if shared[v.Name] {
+			return fmt.Errorf("scenario: duplicate shared variable %q", v.Name)
+		}
+		shared[v.Name] = true
+	}
+	constraints := map[string]bool{}
+	for _, c := range s.Constraints {
+		if constraints[c.Name] {
+			return fmt.Errorf("scenario: duplicate constraint %q", c.Name)
+		}
+		constraints[c.Name] = true
+		if c.Limit <= 0 {
+			return fmt.Errorf("scenario: constraint %q: limit must be positive", c.Name)
+		}
+	}
+
+	buses := map[string]bool{}
+	for _, b := range s.Buses {
+		if buses[b.Name] {
+			return fmt.Errorf("scenario: duplicate bus %q", b.Name)
+		}
+		buses[b.Name] = true
+	}
+	channels := map[string]bool{}
+	for _, c := range s.Channels {
+		if channels[c.Name] || queues[c.Name] {
+			return fmt.Errorf("scenario: duplicate channel %q", c.Name)
+		}
+		channels[c.Name] = true
+		if !buses[c.Bus] {
+			return fmt.Errorf("scenario: channel %q: unknown bus %q", c.Name, c.Bus)
+		}
+		if c.Capacity < 1 {
+			return fmt.Errorf("scenario: channel %q: capacity must be at least 1", c.Name)
+		}
+		if c.MessageBytes < 0 {
+			return fmt.Errorf("scenario: channel %q: negative message size", c.Name)
+		}
+	}
+	servers := map[string]bool{}
+	traces := map[string]bool{}
+	for name, tr := range s.Traces {
+		if len(tr) == 0 {
+			return fmt.Errorf("scenario: trace %q is empty", name)
+		}
+		for i, d := range tr {
+			if d <= 0 {
+				return fmt.Errorf("scenario: trace %q entry %d must be positive", name, i)
+			}
+		}
+		traces[name] = true
+	}
+	irqs := map[string]bool{}
+	refs := refSets{
+		events: events, queues: queues, shared: shared,
+		constraints: constraints, irqs: irqs, channels: channels, servers: servers,
+		traces: traces,
+	}
+	for _, srv := range s.Servers {
+		if servers[srv.Name] {
+			return fmt.Errorf("scenario: duplicate server %q", srv.Name)
+		}
+		servers[srv.Name] = true
+		if !cpus[srv.Processor] {
+			return fmt.Errorf("scenario: server %q: unknown processor %q", srv.Name, srv.Processor)
+		}
+		switch srv.Kind {
+		case "polling", "deferrable", "sporadic":
+		default:
+			return fmt.Errorf("scenario: server %q: kind must be polling, deferrable or sporadic", srv.Name)
+		}
+		if srv.Period <= 0 || srv.Budget <= 0 || srv.Budget > srv.Period {
+			return fmt.Errorf("scenario: server %q: budget must be in (0, period]", srv.Name)
+		}
+	}
+	for _, q := range s.IRQs {
+		if irqs[q.Name] {
+			return fmt.Errorf("scenario: duplicate irq %q", q.Name)
+		}
+		irqs[q.Name] = true
+		if !cpus[q.Processor] {
+			return fmt.Errorf("scenario: irq %q: unknown processor %q", q.Name, q.Processor)
+		}
+		if len(q.Body) == 0 {
+			return fmt.Errorf("scenario: irq %q has an empty body", q.Name)
+		}
+		if err := validateOps("irq:"+q.Name, q.Body, isrOps, refs); err != nil {
+			return err
+		}
+	}
+
+	names := map[string]bool{}
+	for _, t := range s.Tasks {
+		if names[t.Name] {
+			return fmt.Errorf("scenario: duplicate task %q", t.Name)
+		}
+		names[t.Name] = true
+		if !cpus[t.Processor] {
+			return fmt.Errorf("scenario: task %q: unknown processor %q", t.Name, t.Processor)
+		}
+		if t.Loop && t.Period > 0 {
+			return fmt.Errorf("scenario: task %q: loop and period are mutually exclusive", t.Name)
+		}
+		if t.Jitter > 0 && (t.Period == 0 || t.Jitter >= t.Period) {
+			return fmt.Errorf("scenario: task %q: jitter requires a period larger than the jitter", t.Name)
+		}
+		if len(t.Body) == 0 {
+			return fmt.Errorf("scenario: task %q has an empty body", t.Name)
+		}
+		if err := validateOps(t.Name, t.Body, swOpsKind, refs); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hardware {
+		if names[h.Name] {
+			return fmt.Errorf("scenario: duplicate task %q", h.Name)
+		}
+		names[h.Name] = true
+		if len(h.Body) == 0 {
+			return fmt.Errorf("scenario: hardware task %q has an empty body", h.Name)
+		}
+		if err := validateOps(h.Name, h.Body, hwOpsKind, refs); err != nil {
+			return err
+		}
+	}
+	if len(s.Tasks) == 0 && len(s.Hardware) == 0 {
+		return fmt.Errorf("scenario: no tasks")
+	}
+	return nil
+}
+
+type refSets struct {
+	events, queues, shared, constraints, irqs, channels, servers, traces map[string]bool
+}
+
+// opsKind selects the operation whitelist for a body.
+type opsKind uint8
+
+const (
+	swOpsKind opsKind = iota // software tasks: everything
+	hwOpsKind                // hardware tasks: no execute, no RTOS calls
+	isrOps                   // interrupt service routines: non-blocking only
+)
+
+func validateOps(task string, ops []Op, kind opsKind, refs refSets) error {
+	for i, op := range ops {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("scenario: task %q op %d (%s): %s", task, i, op.Op, fmt.Sprintf(format, args...))
+		}
+		switch op.Op {
+		case "execute":
+			if kind == hwOpsKind {
+				return fail("hardware tasks use delay, not execute")
+			}
+			if op.For <= 0 {
+				return fail("needs a positive 'for' duration")
+			}
+		case "execute_trace":
+			if kind == hwOpsKind {
+				return fail("hardware tasks use delay, not execute_trace")
+			}
+			if !refs.traces[op.Trace] {
+				return fail("unknown trace %q", op.Trace)
+			}
+		case "delay":
+			if kind == isrOps {
+				return fail("ISRs consume time with execute, not delay")
+			}
+			if op.For <= 0 {
+				return fail("needs a positive 'for' duration")
+			}
+		case "wait":
+			if kind == isrOps {
+				return fail("ISRs must not block")
+			}
+			if !refs.events[op.Event] {
+				return fail("unknown event %q", op.Event)
+			}
+		case "signal":
+			if !refs.events[op.Event] {
+				return fail("unknown event %q", op.Event)
+			}
+		case "put", "get":
+			if kind == isrOps {
+				return fail("ISRs must not block; use tryput")
+			}
+			if !refs.queues[op.Queue] {
+				return fail("unknown queue %q", op.Queue)
+			}
+		case "tryput":
+			if !refs.queues[op.Queue] {
+				return fail("unknown queue %q", op.Queue)
+			}
+		case "lock", "unlock", "read", "write":
+			if kind == isrOps {
+				return fail("ISRs must not block on shared variables")
+			}
+			if !refs.shared[op.Shared] {
+				return fail("unknown shared variable %q", op.Shared)
+			}
+		case "nopreempt_begin", "nopreempt_end", "setprio", "yield":
+			if kind != swOpsKind {
+				return fail("only available on software tasks")
+			}
+		case "lat_start", "lat_stop":
+			if !refs.constraints[op.Constraint] {
+				return fail("unknown constraint %q", op.Constraint)
+			}
+		case "raise":
+			if kind == isrOps {
+				return fail("ISRs cannot raise interrupts in this model")
+			}
+			if !refs.irqs[op.IRQ] {
+				return fail("unknown irq %q", op.IRQ)
+			}
+		case "send", "recv":
+			if kind == isrOps {
+				return fail("ISRs must not block on bus channels")
+			}
+			if !refs.channels[op.Channel] {
+				return fail("unknown channel %q", op.Channel)
+			}
+		case "submit":
+			if !refs.servers[op.Server] {
+				return fail("unknown server %q", op.Server)
+			}
+			if op.For <= 0 {
+				return fail("needs a positive 'for' work duration")
+			}
+			if op.Constraint != "" && !refs.constraints[op.Constraint] {
+				return fail("unknown constraint %q", op.Constraint)
+			}
+		case "repeat":
+			if op.Count < 1 {
+				return fail("needs a count of at least 1")
+			}
+			if len(op.Body) == 0 {
+				return fail("needs a non-empty body")
+			}
+			if err := validateOps(task, op.Body, kind, refs); err != nil {
+				return err
+			}
+		default:
+			return fail("unknown operation")
+		}
+	}
+	return nil
+}

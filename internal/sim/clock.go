@@ -1,0 +1,50 @@
+package sim
+
+// Clock generates a periodic event, modelling a hardware clock or timer tick
+// source. It drives nothing by itself: processes wait on Tick (every period)
+// and methods may be made sensitive to it. The clock process is an ordinary
+// simulation thread, so a Clock in a model behaves exactly like the "Clock"
+// hardware task of the paper's Figure 6.
+type Clock struct {
+	k      *Kernel
+	name   string
+	period Time
+	start  Time
+	tick   *Event
+	ticks  uint64
+	proc   *Proc
+}
+
+// NewClock creates a clock that notifies its Tick event every period,
+// beginning at time start (first tick at start+period if start equals the
+// creation time and startTickAtStart is false). The clock runs until the
+// simulation ends.
+func (k *Kernel) NewClock(name string, period Time, start Time) *Clock {
+	if period <= 0 {
+		panic("sim: clock period must be positive")
+	}
+	c := &Clock{k: k, name: name, period: period, start: start}
+	c.tick = k.NewEvent(name + ".tick")
+	c.proc = k.Spawn(name, c.run)
+	return c
+}
+
+// Tick returns the event notified at every clock tick.
+func (c *Clock) Tick() *Event { return c.tick }
+
+// Period returns the clock period.
+func (c *Clock) Period() Time { return c.period }
+
+// Ticks returns the number of ticks generated so far.
+func (c *Clock) Ticks() uint64 { return c.ticks }
+
+func (c *Clock) run(p *Proc) {
+	if c.start > p.Now() {
+		p.Wait(c.start - p.Now())
+	}
+	for {
+		p.Wait(c.period)
+		c.ticks++
+		c.tick.Notify()
+	}
+}

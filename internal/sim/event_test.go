@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestImmediateNotifyWakesCurrentEvaluatePhase(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var wokeAt Time = -1
+	var deltaAtWake uint64
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitEvent(e)
+		wokeAt = p.Now()
+		deltaAtWake = k.DeltaCount()
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		p.Wait(10 * Us)
+		e.Notify()
+	})
+	k.Run()
+	if wokeAt != 10*Us {
+		t.Fatalf("woke at %v, want 10us", wokeAt)
+	}
+	// Immediate notification wakes in the same evaluate phase: no delta cycle
+	// may pass between notification and wakeup at 10us. The only deltas so
+	// far come from earlier phases, and the wake must not add one.
+	if deltaAtWake != k.DeltaCount() {
+		t.Fatal("immediate notify crossed a delta boundary")
+	}
+}
+
+func TestDeltaNotify(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var order []string
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitEvent(e)
+		order = append(order, "woke")
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		e.NotifyDelta()
+		order = append(order, "notified")
+	})
+	k.Run()
+	if got := strings.Join(order, ","); got != "notified,woke" {
+		t.Fatalf("order = %q, want notified,woke", got)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("delta notification advanced time to %v", k.Now())
+	}
+}
+
+func TestTimedNotify(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var wokeAt Time = -1
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitEvent(e)
+		wokeAt = p.Now()
+	})
+	e.NotifyIn(25 * Us)
+	k.Run()
+	if wokeAt != 25*Us {
+		t.Fatalf("woke at %v, want 25us", wokeAt)
+	}
+}
+
+func TestNotifyOverrideEarlierWins(t *testing.T) {
+	// SystemC rule: an event holds at most one pending notification; the
+	// earlier one wins.
+	k := New()
+	e := k.NewEvent("e")
+	var wakes []Time
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			p.WaitEvent(e)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	e.NotifyIn(30 * Us) // pending at 30us
+	e.NotifyIn(10 * Us) // earlier: replaces
+	e.NotifyIn(50 * Us) // later: discarded
+	k.Run()
+	if len(wakes) != 1 || wakes[0] != 10*Us {
+		t.Fatalf("wakes = %v, want exactly [10us]", wakes)
+	}
+}
+
+func TestImmediateNotifyCancelsPending(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var wakes []Time
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			p.WaitEvent(e)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		e.NotifyIn(30 * Us)
+		p.Wait(5 * Us)
+		e.Notify() // cancels the 30us notification
+	})
+	k.RunUntil(100 * Us)
+	k.Shutdown()
+	if len(wakes) != 1 || wakes[0] != 5*Us {
+		t.Fatalf("wakes = %v, want exactly [5us]", wakes)
+	}
+}
+
+func TestDeltaOverridesTimed(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var wakes []Time
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			p.WaitEvent(e)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	e.NotifyIn(30 * Us)
+	e.NotifyDelta()
+	k.RunUntil(100 * Us)
+	k.Shutdown()
+	if len(wakes) != 1 || wakes[0] != 0 {
+		t.Fatalf("wakes = %v, want exactly [0s]", wakes)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	woke := false
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitEvent(e)
+		woke = true
+	})
+	e.NotifyIn(10 * Us)
+	if !e.HasPending() {
+		t.Fatal("HasPending = false after NotifyIn")
+	}
+	e.Cancel()
+	if e.HasPending() {
+		t.Fatal("HasPending = true after Cancel")
+	}
+	k.Run()
+	if woke {
+		t.Fatal("waiter woke despite Cancel")
+	}
+}
+
+func TestCancelDelta(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	woke := false
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitEvent(e)
+		woke = true
+	})
+	k.Spawn("canceller", func(p *Proc) {
+		e.NotifyDelta()
+		e.Cancel()
+	})
+	k.Run()
+	if woke {
+		t.Fatal("waiter woke despite cancelled delta notification")
+	}
+}
+
+func TestNotifyWakesAllWaiters(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	woke := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.WaitEvent(e)
+			woke++
+		})
+	}
+	e.NotifyIn(Us)
+	k.Run()
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+}
+
+func TestEventNoMemory(t *testing.T) {
+	// A notification with no waiters is lost (sc_event semantics).
+	k := New()
+	e := k.NewEvent("e")
+	woke := false
+	k.Spawn("late", func(p *Proc) {
+		p.Wait(10 * Us) // notification at 5us happens while not waiting
+		p.WaitEvent(e)
+		woke = true
+	})
+	e.NotifyIn(5 * Us)
+	k.Run()
+	if woke {
+		t.Fatal("late waiter woke: event memorized a notification")
+	}
+}
+
+func TestWaitAnyReturnsTrigger(t *testing.T) {
+	k := New()
+	a, b := k.NewEvent("a"), k.NewEvent("b")
+	var got *Event
+	k.Spawn("waiter", func(p *Proc) {
+		got = p.WaitAny(a, b)
+	})
+	b.NotifyIn(3 * Us)
+	a.NotifyIn(7 * Us)
+	k.Run()
+	if got != b {
+		t.Fatalf("WaitAny returned %v, want b", got)
+	}
+	// The waiter must have been removed from a's waiter list; a's later
+	// notification fires into the void without crashing.
+	if len(a.waiters) != 0 {
+		t.Fatalf("stale waiter left on a: %d", len(a.waiters))
+	}
+}
+
+func TestWaitTimeoutTimesOut(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var woke *Event
+	var timedOut bool
+	var at Time
+	k.Spawn("waiter", func(p *Proc) {
+		woke, timedOut = p.WaitTimeout(10*Us, e)
+		at = p.Now()
+	})
+	k.Run()
+	if !timedOut || woke != nil || at != 10*Us {
+		t.Fatalf("got (%v,%v) at %v; want (nil,true) at 10us", woke, timedOut, at)
+	}
+}
+
+func TestWaitTimeoutEventWins(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var woke *Event
+	var timedOut bool
+	var at Time
+	k.Spawn("waiter", func(p *Proc) {
+		woke, timedOut = p.WaitTimeout(10*Us, e)
+		at = p.Now()
+	})
+	e.NotifyIn(4 * Us)
+	k.Run()
+	if timedOut || woke != e || at != 4*Us {
+		t.Fatalf("got (%v,%v) at %v; want (e,false) at 4us", woke, timedOut, at)
+	}
+}
+
+func TestWaitTimeoutThenCleanTimer(t *testing.T) {
+	// After an event win, the dead timeout entry must not wake the process
+	// from a later unrelated wait.
+	k := New()
+	e := k.NewEvent("e")
+	var trace []string
+	k.Spawn("waiter", func(p *Proc) {
+		_, to := p.WaitTimeout(10*Us, e)
+		trace = append(trace, fmt.Sprintf("first(to=%v)@%v", to, p.Now()))
+		p.Wait(100 * Us)
+		trace = append(trace, fmt.Sprintf("second@%v", p.Now()))
+	})
+	e.NotifyIn(2 * Us)
+	k.Run()
+	want := "first(to=false)@2us second@102us"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestWaitZeroTimeout(t *testing.T) {
+	// Zero timeout with an event that fires immediately (same delta) must
+	// report the event, not the timeout.
+	k := New()
+	e := k.NewEvent("e")
+	var woke *Event
+	var timedOut bool
+	k.Spawn("waiter", func(p *Proc) {
+		woke, timedOut = p.WaitTimeout(0, e)
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		e.Notify()
+	})
+	k.Run()
+	if timedOut || woke != e {
+		t.Fatalf("got (%v,%v); want (e,false)", woke, timedOut)
+	}
+}
+
+func TestWaitZeroTimeoutExpires(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	var timedOut bool
+	var deltaWait uint64
+	k.Spawn("waiter", func(p *Proc) {
+		d0 := k.DeltaCount()
+		_, timedOut = p.WaitTimeout(0, e)
+		deltaWait = k.DeltaCount() - d0
+	})
+	k.Run()
+	if !timedOut {
+		t.Fatal("zero timeout did not expire")
+	}
+	if deltaWait == 0 {
+		t.Fatal("zero timeout expired without a delta cycle")
+	}
+}
+
+func TestNotifyAtPastPanics(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(10 * Us)
+		e.NotifyAt(5 * Us)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NotifyAt in the past")
+		}
+	}()
+	k.Run()
+}
+
+func TestWaitDelta(t *testing.T) {
+	k := New()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.WaitDelta()
+		order = append(order, "a1")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b0")
+	})
+	k.Run()
+	if got := strings.Join(order, ","); got != "a0,b0,a1" {
+		t.Fatalf("order = %q, want a0,b0,a1", got)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+// timedEntry is a scheduled future action: either a timed event notification
+// (event != nil) or a process timeout wakeup (proc != nil). Entries are
+// cancelled by setting dead; the heap lazily discards dead entries when they
+// surface.
+type timedEntry struct {
+	at    Time
+	seq   uint64 // insertion order; ties fire in scheduling order
+	event *Event
+	proc  *Proc
+	dead  bool
+}
+
+// timedHeap is a binary min-heap of timedEntry ordered by (at, seq). It is
+// hand-rolled rather than using container/heap to avoid interface boxing on
+// the simulation hot path.
+type timedHeap struct {
+	entries []*timedEntry
+}
+
+func (h *timedHeap) len() int { return len(h.entries) }
+
+func (h *timedHeap) less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *timedHeap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+}
+
+func (h *timedHeap) push(e *timedEntry) {
+	h.entries = append(h.entries, e)
+	h.up(len(h.entries) - 1)
+}
+
+// pop removes and returns the earliest entry; callers must check len first.
+func (h *timedHeap) pop() *timedEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries[last] = nil
+	h.entries = h.entries[:last]
+	if len(h.entries) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// peek returns the earliest entry without removing it, or nil when empty.
+// Dead entries are pruned so the reported head is live.
+func (h *timedHeap) peek() *timedEntry {
+	for len(h.entries) > 0 {
+		if h.entries[0].dead {
+			h.pop()
+			continue
+		}
+		return h.entries[0]
+	}
+	return nil
+}
+
+func (h *timedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *timedHeap) down(i int) {
+	n := len(h.entries)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTimedHeapOrdering(t *testing.T) {
+	var h timedHeap
+	times := []Time{5, 1, 9, 3, 3, 7, 0, 2}
+	for i, at := range times {
+		h.push(&timedEntry{at: at, seq: uint64(i)})
+	}
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		e := h.peek()
+		if e == nil {
+			t.Fatalf("heap empty at %d", i)
+		}
+		h.pop()
+		if e.at != w {
+			t.Fatalf("pop %d: got %v, want %v", i, e.at, w)
+		}
+	}
+	if h.peek() != nil {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestTimedHeapStableTies(t *testing.T) {
+	var h timedHeap
+	for i := 0; i < 10; i++ {
+		h.push(&timedEntry{at: 42, seq: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		e := h.peek()
+		h.pop()
+		if e.seq != uint64(i) {
+			t.Fatalf("tie ordering broken: pop %d has seq %d", i, e.seq)
+		}
+	}
+}
+
+func TestTimedHeapDeadPruning(t *testing.T) {
+	var h timedHeap
+	a := &timedEntry{at: 1, seq: 0}
+	b := &timedEntry{at: 2, seq: 1}
+	h.push(a)
+	h.push(b)
+	a.dead = true
+	if got := h.peek(); got != b {
+		t.Fatalf("peek did not skip dead entry: got %+v", got)
+	}
+	if h.len() != 1 {
+		t.Fatalf("dead entry not pruned: len=%d", h.len())
+	}
+}
+
+func TestTimedHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h timedHeap
+	var seq uint64
+	var reference []*timedEntry
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(3) > 0 || len(reference) == 0 {
+			seq++
+			e := &timedEntry{at: Time(rng.Intn(100)), seq: seq}
+			h.push(e)
+			reference = append(reference, e)
+		} else {
+			got := h.peek()
+			h.pop()
+			// Find the reference minimum by (at, seq).
+			best := 0
+			for j, e := range reference {
+				if e.at < reference[best].at ||
+					(e.at == reference[best].at && e.seq < reference[best].seq) {
+					best = j
+				}
+			}
+			want := reference[best]
+			reference = append(reference[:best], reference[best+1:]...)
+			if got != want {
+				t.Fatalf("step %d: heap pop %+v, reference %+v", i, got, want)
+			}
+		}
+	}
+}

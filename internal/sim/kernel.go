@@ -1,0 +1,266 @@
+package sim
+
+import "fmt"
+
+// deltaTimeout records a process to wake at the next delta cycle unless it
+// has already been woken (generation mismatch) in the meantime.
+type deltaTimeout struct {
+	p   *Proc
+	gen uint64
+}
+
+// procExit is the message a terminating process goroutine hands back to the
+// kernel; panicVal carries a model panic to re-raise in the kernel goroutine.
+type procExit struct {
+	p        *Proc
+	panicVal any
+}
+
+// updater is implemented by primitive channels (signals) whose new value is
+// applied in the update phase, after the evaluate phase of a delta cycle.
+type updater interface{ update() }
+
+// Kernel is the discrete-event simulation scheduler. Create one with New,
+// spawn processes with Spawn, create events with NewEvent, then call Run
+// (to exhaustion) or RunUntil/RunFor (bounded).
+//
+// A Kernel is not safe for concurrent use: all model code runs inside
+// simulation processes which the kernel serializes, and the Run family must
+// be called from a single goroutine.
+type Kernel struct {
+	now Time
+
+	procs []*Proc
+
+	runQueue    []*Proc   // processes runnable in the current evaluate phase
+	methodQueue []*Method // methods triggered in the current evaluate phase
+
+	deltaQueue    []*Event // events with a pending delta notification
+	deltaProcs    []*Proc  // processes doing WaitDelta
+	deltaTimeouts []deltaTimeout
+
+	updateQueue []updater
+
+	timed timedHeap
+	seq   uint64
+
+	current *Proc
+	yielded chan *procExit
+
+	running       bool
+	stopRequested bool
+	shuttingDown  bool
+
+	deltaCount  uint64
+	activations uint64
+}
+
+// New creates an empty simulation kernel at time zero.
+func New() *Kernel {
+	return &Kernel{yielded: make(chan *procExit)}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// DeltaCount returns the number of delta cycles executed so far.
+func (k *Kernel) DeltaCount() uint64 { return k.deltaCount }
+
+// Activations returns the number of process activations (control transfers
+// from the kernel into a simulation thread) so far. This is the "number of
+// thread switches" metric used by the paper to compare the two RTOS model
+// implementations in section 4.
+func (k *Kernel) Activations() uint64 { return k.activations }
+
+// Processes returns the processes spawned on this kernel, in spawn order.
+func (k *Kernel) Processes() []*Proc { return k.procs }
+
+// Stop requests the simulation to stop at the end of the current evaluate
+// step. It may be called from inside a simulation process.
+func (k *Kernel) Stop() { k.stopRequested = true }
+
+// Stopped reports whether Stop has been requested.
+func (k *Kernel) Stopped() bool { return k.stopRequested }
+
+// Run executes the simulation until no further activity is possible (or Stop
+// is called) and then shuts the kernel down, unwinding every still-parked
+// process goroutine. After Run returns the kernel cannot be restarted.
+func (k *Kernel) Run() {
+	k.run(TimeMax)
+	k.Shutdown()
+}
+
+// RunUntil executes the simulation until simulated time t. Pending activity
+// after t stays scheduled, and process goroutines stay parked, so the
+// simulation can be continued with further RunUntil/RunFor calls. Call
+// Shutdown when done to release the goroutines.
+func (k *Kernel) RunUntil(t Time) {
+	if t < k.now {
+		panic("sim: RunUntil into the past")
+	}
+	k.run(t)
+}
+
+// RunFor executes the simulation for duration d of simulated time.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// Shutdown unwinds every non-terminated process goroutine. It is idempotent.
+// Events notified by terminating processes are not propagated.
+func (k *Kernel) Shutdown() {
+	k.shuttingDown = true
+	for _, p := range k.procs {
+		if p.started && p.state != ProcTerminated {
+			p.resume <- false
+			<-k.yielded
+		}
+	}
+}
+
+func (k *Kernel) run(limit Time) {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	if k.shuttingDown {
+		panic("sim: Run after Shutdown")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	k.stopRequested = false
+
+	for {
+		// Evaluate phase: run triggered methods and runnable processes until
+		// none are left. Methods are drained before each process dispatch so
+		// combinational reactions settle promptly; order is deterministic.
+		for !k.stopRequested {
+			if len(k.methodQueue) > 0 {
+				m := k.methodQueue[0]
+				k.methodQueue = k.methodQueue[1:]
+				m.run()
+				continue
+			}
+			if len(k.runQueue) > 0 {
+				p := k.runQueue[0]
+				k.runQueue = k.runQueue[1:]
+				if p.state != ProcRunnable {
+					continue // terminated or rescheduled since queuing
+				}
+				k.dispatch(p)
+				continue
+			}
+			break
+		}
+		if k.stopRequested {
+			return
+		}
+
+		// Update phase: apply primitive-channel writes.
+		if len(k.updateQueue) > 0 {
+			ups := k.updateQueue
+			k.updateQueue = nil
+			for _, u := range ups {
+				u.update()
+			}
+		}
+
+		// Delta notification phase.
+		if len(k.deltaQueue) > 0 || len(k.deltaProcs) > 0 || len(k.deltaTimeouts) > 0 {
+			k.deltaCount++
+			dq, dp, dt := k.deltaQueue, k.deltaProcs, k.deltaTimeouts
+			k.deltaQueue, k.deltaProcs, k.deltaTimeouts = nil, nil, nil
+			for _, e := range dq {
+				if e.pendingDelta {
+					e.pendingDelta = false
+					e.fire()
+				}
+			}
+			for _, p := range dp {
+				if p.state == ProcWaiting {
+					k.makeRunnable(p)
+				}
+			}
+			for _, d := range dt {
+				if d.p.state == ProcWaiting && d.p.waitGen == d.gen {
+					d.p.wakeFromTimeout()
+				}
+			}
+			continue
+		}
+
+		// Timed notification phase: advance to the earliest pending action.
+		head := k.timed.peek()
+		if head == nil {
+			return // event starvation: nothing can ever happen again
+		}
+		if head.at > limit {
+			k.now = limit
+			return
+		}
+		k.now = head.at
+		for {
+			h := k.timed.peek()
+			if h == nil || h.at != k.now {
+				break
+			}
+			k.timed.pop()
+			switch {
+			case h.event != nil:
+				h.event.pendingTimed = nil
+				h.event.fire()
+			case h.proc != nil:
+				h.proc.wakeFromTimeout()
+			}
+		}
+	}
+}
+
+// dispatch transfers control to process p until it parks or terminates.
+func (k *Kernel) dispatch(p *Proc) {
+	k.current = p
+	k.activations++
+	p.state = ProcRunning
+	if !p.started {
+		p.start()
+	}
+	p.resume <- true
+	exit := <-k.yielded
+	k.current = nil
+	if exit != nil && exit.panicVal != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", exit.p.name, exit.panicVal))
+	}
+}
+
+// procExited is called from a terminating process goroutine.
+func (p *Proc) noteExit(r any) { p.k.yielded <- &procExit{p: p, panicVal: r} }
+
+func (k *Kernel) procExited(p *Proc, r any) { p.noteExit(r) }
+
+// makeRunnable queues p for the current evaluate phase.
+func (k *Kernel) makeRunnable(p *Proc) {
+	if p.state == ProcTerminated || p.state == ProcRunnable {
+		return
+	}
+	if p.state == ProcRunning {
+		// A running process cannot be made runnable; it already runs.
+		return
+	}
+	p.state = ProcRunnable
+	k.runQueue = append(k.runQueue, p)
+}
+
+// scheduleTimed inserts a future action into the timed heap.
+func (k *Kernel) scheduleTimed(at Time, e *Event, p *Proc) *timedEntry {
+	k.seq++
+	entry := &timedEntry{at: at, seq: k.seq, event: e, proc: p}
+	k.timed.push(entry)
+	return entry
+}
+
+// requestUpdate queues an updater for the update phase of the current delta
+// cycle. Deduplication is the caller's responsibility.
+func (k *Kernel) requestUpdate(u updater) {
+	k.updateQueue = append(k.updateQueue, u)
+}
+
+// Current returns the currently executing process, or nil when the kernel
+// itself (or user code outside Run) has control.
+func (k *Kernel) Current() *Proc { return k.current }

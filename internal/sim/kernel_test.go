@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWaitAdvancesTime(t *testing.T) {
+	k := New()
+	var at1, at2 Time
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(10 * Us)
+		at1 = p.Now()
+		p.Wait(5 * Us)
+		at2 = p.Now()
+	})
+	k.Run()
+	if at1 != 10*Us || at2 != 15*Us {
+		t.Fatalf("got %v, %v; want 10us, 15us", at1, at2)
+	}
+	if k.Now() != 15*Us {
+		t.Fatalf("kernel now = %v, want 15us", k.Now())
+	}
+}
+
+func TestTwoProcessesInterleave(t *testing.T) {
+	k := New()
+	var log []string
+	emit := func(s string, p *Proc) { log = append(log, fmt.Sprintf("%s@%v", s, p.Now())) }
+	k.Spawn("a", func(p *Proc) {
+		emit("a0", p)
+		p.Wait(10 * Us)
+		emit("a1", p)
+		p.Wait(20 * Us)
+		emit("a2", p)
+	})
+	k.Spawn("b", func(p *Proc) {
+		emit("b0", p)
+		p.Wait(15 * Us)
+		emit("b1", p)
+	})
+	k.Run()
+	want := "a0@0s b0@0s a1@10us b1@15us a2@30us"
+	if got := strings.Join(log, " "); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	k := New()
+	var woke []Time
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(10 * Us)
+			woke = append(woke, p.Now())
+		}
+	})
+	k.RunUntil(35 * Us)
+	if len(woke) != 3 {
+		t.Fatalf("wakeups = %d, want 3", len(woke))
+	}
+	if k.Now() != 35*Us {
+		t.Fatalf("now = %v, want 35us", k.Now())
+	}
+	k.RunFor(10 * Us)
+	if len(woke) != 4 {
+		t.Fatalf("wakeups after continue = %d, want 4", len(woke))
+	}
+	k.Shutdown()
+}
+
+func TestStopFromProcess(t *testing.T) {
+	k := New()
+	steps := 0
+	k.Spawn("p", func(p *Proc) {
+		for {
+			p.Wait(Us)
+			steps++
+			if steps == 5 {
+				p.k.Stop()
+			}
+		}
+	})
+	k.RunUntil(100 * Us)
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+	k.Shutdown()
+}
+
+func TestEventStarvationEndsRun(t *testing.T) {
+	k := New()
+	e := k.NewEvent("never")
+	done := false
+	k.Spawn("p", func(p *Proc) {
+		p.WaitEvent(e)
+		done = true
+	})
+	k.Run() // must terminate: nothing will ever notify e
+	if done {
+		t.Fatal("process woke without notification")
+	}
+}
+
+func TestProcessPanicsPropagate(t *testing.T) {
+	k := New()
+	k.Spawn("bad", func(p *Proc) {
+		p.Wait(Us)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") || !strings.Contains(fmt.Sprint(r), "bad") {
+			t.Fatalf("panic value %v lacks context", r)
+		}
+	}()
+	k.Run()
+}
+
+func TestWaitOutsideProcessPanics(t *testing.T) {
+	k := New()
+	var p *Proc
+	p = k.Spawn("p", func(p *Proc) { p.Wait(Us) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic calling Wait from outside the process")
+		}
+		k.Shutdown()
+	}()
+	p.Wait(Us)
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	k := New()
+	k.Spawn("p", func(p *Proc) { p.Wait(-1) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative wait")
+		}
+	}()
+	k.Run()
+}
+
+func TestSpawnDuringSimulation(t *testing.T) {
+	k := New()
+	var childAt Time = -1
+	k.Spawn("parent", func(p *Proc) {
+		p.Wait(10 * Us)
+		k.Spawn("child", func(c *Proc) {
+			c.Wait(5 * Us)
+			childAt = c.Now()
+		})
+		p.Wait(20 * Us)
+	})
+	k.Run()
+	if childAt != 15*Us {
+		t.Fatalf("child woke at %v, want 15us", childAt)
+	}
+}
+
+func TestDoneEvent(t *testing.T) {
+	k := New()
+	worker := k.Spawn("worker", func(p *Proc) { p.Wait(42 * Us) })
+	var joinedAt Time = -1
+	k.Spawn("joiner", func(p *Proc) {
+		p.WaitEvent(worker.Done())
+		joinedAt = p.Now()
+	})
+	k.Run()
+	if joinedAt != 42*Us {
+		t.Fatalf("joined at %v, want 42us", joinedAt)
+	}
+	if worker.State() != ProcTerminated {
+		t.Fatalf("worker state = %v, want terminated", worker.State())
+	}
+}
+
+func TestDeterministicActivationOrder(t *testing.T) {
+	run := func() []string {
+		k := New()
+		var order []string
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("p%d", i)
+			k.Spawn(name, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					order = append(order, p.Name())
+					p.Wait(Us)
+				}
+			})
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatal("two identical runs produced different activation orders")
+	}
+	// FIFO within one instant: spawn order repeats each microsecond.
+	for step := 0; step < 3; step++ {
+		for i := 0; i < 8; i++ {
+			if a[step*8+i] != fmt.Sprintf("p%d", i) {
+				t.Fatalf("order[%d] = %s, want p%d", step*8+i, a[step*8+i], i)
+			}
+		}
+	}
+}
+
+func TestActivationsCount(t *testing.T) {
+	k := New()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(Us)
+		}
+	})
+	k.Run()
+	// 1 initial activation + 10 wakeups = 11.
+	if k.Activations() != 11 {
+		t.Fatalf("activations = %d, want 11", k.Activations())
+	}
+}
+
+func TestRunAfterShutdownPanics(t *testing.T) {
+	k := New()
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Run()
+}
+
+func TestProcStateString(t *testing.T) {
+	want := map[ProcState]string{
+		ProcNew: "new", ProcRunnable: "runnable", ProcRunning: "running",
+		ProcWaiting: "waiting", ProcTerminated: "terminated", ProcState(99): "invalid",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestShutdownUnblocksParkedProcesses(t *testing.T) {
+	k := New()
+	e := k.NewEvent("never")
+	for i := 0; i < 50; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) { p.WaitEvent(e) })
+	}
+	k.RunUntil(Us)
+	k.Shutdown()
+	for _, p := range k.Processes() {
+		if p.State() != ProcTerminated {
+			t.Fatalf("process %s not terminated after shutdown: %v", p.Name(), p.State())
+		}
+	}
+	// Shutdown must be idempotent.
+	k.Shutdown()
+}

@@ -1,0 +1,313 @@
+package sim
+
+import "fmt"
+
+// ProcState is the lifecycle state of a simulation process.
+type ProcState uint8
+
+const (
+	// ProcNew means the process has been spawned but its goroutine has not
+	// started executing yet (lazy start on first activation).
+	ProcNew ProcState = iota
+	// ProcRunnable means the process is queued to run in the current
+	// evaluate phase.
+	ProcRunnable
+	// ProcRunning means the process is the one currently executing.
+	ProcRunning
+	// ProcWaiting means the process is suspended on events and/or a timeout.
+	ProcWaiting
+	// ProcTerminated means the process function has returned or the process
+	// was killed at kernel shutdown.
+	ProcTerminated
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcNew:
+		return "new"
+	case ProcRunnable:
+		return "runnable"
+	case ProcRunning:
+		return "running"
+	case ProcWaiting:
+		return "waiting"
+	case ProcTerminated:
+		return "terminated"
+	}
+	return "invalid"
+}
+
+// killToken is panicked inside a process goroutine to unwind it at kernel
+// shutdown. The goroutine's recover distinguishes it from model panics.
+type killToken struct{}
+
+// Proc is a simulation thread, the analogue of a SystemC SC_THREAD. The
+// process function receives its own *Proc and uses the Wait family of methods
+// to advance simulated time. A Proc is backed by a goroutine, but the kernel
+// guarantees only one process goroutine runs at a time.
+type Proc struct {
+	k    *Kernel
+	name string
+	id   int
+	fn   func(*Proc)
+
+	resume  chan bool // kernel -> proc; false means unwind (kill)
+	state   ProcState
+	started bool
+
+	// Wake bookkeeping while waiting.
+	waitEvents []*Event    // events subscribed for the current wait
+	timeout    *timedEntry // pending timeout entry, nil if none
+	wokenBy    *Event      // event that ended the last wait, nil on timeout
+	timedOut   bool
+	waitGen    uint64 // incremented on every park; guards stale delta timeouts
+
+	// doneEvent fires when the process terminates; created on demand.
+	doneEvent *Event
+
+	// sensitivity is the static sensitivity list used by WaitStatic
+	// (SystemC's argument-less wait()).
+	sensitivity []*Event
+}
+
+// Spawn creates a simulation thread named name running fn. Processes spawned
+// before Run starts are runnable at time zero; processes spawned during the
+// simulation become runnable in the current evaluate phase.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if fn == nil {
+		panic("sim: Spawn with nil function")
+	}
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     len(k.procs),
+		fn:     fn,
+		resume: make(chan bool),
+		state:  ProcNew,
+	}
+	k.procs = append(k.procs, p)
+	k.makeRunnable(p)
+	return p
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the process lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done returns an event notified when the process terminates.
+func (p *Proc) Done() *Event {
+	if p.doneEvent == nil {
+		p.doneEvent = p.k.NewEvent(p.name + ".done")
+	}
+	return p.doneEvent
+}
+
+// start launches the goroutine; called by the kernel on first activation.
+func (p *Proc) start() {
+	p.started = true
+	go func() {
+		defer func() {
+			r := recover()
+			if _, killed := r.(killToken); killed {
+				r = nil
+			}
+			p.state = ProcTerminated
+			p.clearWaitState()
+			if p.doneEvent != nil && !p.k.shuttingDown {
+				p.doneEvent.Notify()
+			}
+			// Hand control back to the kernel, propagating model panics.
+			p.k.procExited(p, r)
+		}()
+		if !<-p.resume {
+			panic(killToken{})
+		}
+		p.fn(p)
+	}()
+}
+
+// park suspends the calling process until the kernel resumes it. It must only
+// be called from the process's own goroutine with wake conditions already
+// registered.
+func (p *Proc) park() {
+	p.waitGen++
+	p.state = ProcWaiting
+	p.k.yielded <- nil // nil = suspended, not terminated
+	if !<-p.resume {
+		panic(killToken{})
+	}
+	p.state = ProcRunning
+}
+
+// checkContext panics unless the caller is the currently executing process.
+func (p *Proc) checkContext(op string) {
+	if p.k.current != p {
+		panic(fmt.Sprintf("sim: %s called on process %q from outside its own goroutine", op, p.name))
+	}
+}
+
+// clearWaitState unsubscribes from all wait sources.
+func (p *Proc) clearWaitState() {
+	for _, e := range p.waitEvents {
+		e.removeWaiter(p)
+	}
+	p.waitEvents = p.waitEvents[:0]
+	if p.timeout != nil {
+		p.timeout.dead = true
+		p.timeout = nil
+	}
+}
+
+// wakeFromEvent is called by an event firing while p waits on it.
+func (p *Proc) wakeFromEvent(e *Event) {
+	// The firing event already removed p from its own waiter list; remove p
+	// from the other events of a WaitAny and cancel the timeout.
+	for _, other := range p.waitEvents {
+		if other != e {
+			other.removeWaiter(p)
+		}
+	}
+	p.waitEvents = p.waitEvents[:0]
+	if p.timeout != nil {
+		p.timeout.dead = true
+		p.timeout = nil
+	}
+	p.wokenBy = e
+	p.timedOut = false
+	p.k.makeRunnable(p)
+}
+
+// wakeFromTimeout is called by the kernel when the timeout entry fires.
+func (p *Proc) wakeFromTimeout() {
+	for _, e := range p.waitEvents {
+		e.removeWaiter(p)
+	}
+	p.waitEvents = p.waitEvents[:0]
+	p.timeout = nil
+	p.wokenBy = nil
+	p.timedOut = true
+	p.k.makeRunnable(p)
+}
+
+// Wait suspends the process for duration d of simulated time. Wait(0) yields
+// for one delta cycle.
+func (p *Proc) Wait(d Time) {
+	p.checkContext("Wait")
+	if d < 0 {
+		panic("sim: Wait with negative duration")
+	}
+	if d == 0 {
+		p.WaitDelta()
+		return
+	}
+	p.timeout = p.k.scheduleTimed(p.k.now+d, nil, p)
+	p.park()
+}
+
+// WaitDelta suspends the process for exactly one delta cycle: it resumes at
+// the same simulated time, in the next evaluate phase.
+func (p *Proc) WaitDelta() {
+	p.checkContext("WaitDelta")
+	p.k.deltaProcs = append(p.k.deltaProcs, p)
+	p.park()
+}
+
+// WaitEvent suspends the process until event e fires.
+func (p *Proc) WaitEvent(e *Event) {
+	p.checkContext("WaitEvent")
+	e.addWaiter(p)
+	p.waitEvents = append(p.waitEvents, e)
+	p.park()
+}
+
+// WaitAny suspends the process until any of the given events fires and
+// returns the event that woke it.
+func (p *Proc) WaitAny(events ...*Event) *Event {
+	p.checkContext("WaitAny")
+	if len(events) == 0 {
+		panic("sim: WaitAny with no events")
+	}
+	for _, e := range events {
+		e.addWaiter(p)
+		p.waitEvents = append(p.waitEvents, e)
+	}
+	p.park()
+	return p.wokenBy
+}
+
+// SetSensitivity installs the process's static sensitivity list, the events
+// an argument-less wait resumes on (SystemC's `sensitive << e1 << e2`).
+// Callable from any context, typically at elaboration.
+func (p *Proc) SetSensitivity(events ...*Event) {
+	p.sensitivity = append(p.sensitivity[:0], events...)
+}
+
+// WaitStatic suspends the process until any event of its static sensitivity
+// list fires and returns the trigger — the analogue of SystemC's wait()
+// inside a statically sensitive thread.
+func (p *Proc) WaitStatic() *Event {
+	p.checkContext("WaitStatic")
+	if len(p.sensitivity) == 0 {
+		panic(fmt.Sprintf("sim: WaitStatic on process %q with no sensitivity list", p.name))
+	}
+	return p.WaitAny(p.sensitivity...)
+}
+
+// WaitAll suspends the process until every one of the given events has
+// fired at least once (SystemC's AND-list wait). The events are observed
+// one wake at a time: an event firing in the same delta cycle as another,
+// before the process has re-subscribed, is missed — the same behaviour as a
+// SystemC dynamic and-list.
+func (p *Proc) WaitAll(events ...*Event) {
+	p.checkContext("WaitAll")
+	if len(events) == 0 {
+		panic("sim: WaitAll with no events")
+	}
+	remaining := append([]*Event(nil), events...)
+	for len(remaining) > 0 {
+		woke := p.WaitAny(remaining...)
+		for i, e := range remaining {
+			if e == woke {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// WaitTimeout suspends the process until one of the events fires or duration
+// d elapses, whichever comes first. It returns the waking event and false,
+// or nil and true on timeout. This primitive is the foundation of the RTOS
+// model's time-accurate preemptible execution.
+func (p *Proc) WaitTimeout(d Time, events ...*Event) (woke *Event, timedOut bool) {
+	p.checkContext("WaitTimeout")
+	if d < 0 {
+		panic("sim: WaitTimeout with negative duration")
+	}
+	if len(events) == 0 {
+		p.Wait(d)
+		return nil, true
+	}
+	if d == 0 {
+		// A zero timeout still waits a delta so a simultaneous immediate
+		// notification can win; schedule the timeout as a delta wake. The
+		// generation guard discards the wake if an event got there first.
+		p.k.deltaTimeouts = append(p.k.deltaTimeouts, deltaTimeout{p, p.waitGen + 1})
+	} else {
+		p.timeout = p.k.scheduleTimed(p.k.now+d, nil, p)
+	}
+	for _, e := range events {
+		e.addWaiter(p)
+		p.waitEvents = append(p.waitEvents, e)
+	}
+	p.park()
+	return p.wokenBy, p.timedOut
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Signal is a primitive channel with SystemC sc_signal semantics: writes
+// performed during the evaluate phase become visible only in the following
+// delta cycle (after the update phase), and a value change notifies the
+// signal's change event. Signals model hardware wires and registers in the
+// co-simulated hardware part of a system.
+type Signal[T comparable] struct {
+	k       *Kernel
+	name    string
+	current T
+	next    T
+	pending bool
+	changed *Event
+}
+
+// NewSignal creates a signal with the given initial value.
+func NewSignal[T comparable](k *Kernel, name string, initial T) *Signal[T] {
+	return &Signal[T]{k: k, name: name, current: initial, next: initial}
+}
+
+// Name returns the signal's name.
+func (s *Signal[T]) Name() string { return s.name }
+
+// Read returns the signal's current value.
+func (s *Signal[T]) Read() T { return s.current }
+
+// Write schedules v to become the signal's value in the next delta cycle.
+// Multiple writes in one evaluate phase follow last-write-wins semantics.
+func (s *Signal[T]) Write(v T) {
+	s.next = v
+	if !s.pending {
+		s.pending = true
+		s.k.requestUpdate(s)
+	}
+}
+
+// Changed returns the event notified (as a delta notification) whenever the
+// signal's value actually changes.
+func (s *Signal[T]) Changed() *Event {
+	if s.changed == nil {
+		s.changed = s.k.NewEvent(s.name + ".changed")
+	}
+	return s.changed
+}
+
+// update applies the pending write; part of the kernel's update phase.
+func (s *Signal[T]) update() {
+	s.pending = false
+	if s.next == s.current {
+		return
+	}
+	s.current = s.next
+	if s.changed != nil {
+		s.changed.NotifyDelta()
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSignalUpdateVisibleNextDelta(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	var seenBefore, seenAfter int
+	k.Spawn("writer", func(p *Proc) {
+		s.Write(42)
+		seenBefore = s.Read() // same evaluate phase: old value
+		p.WaitDelta()
+		seenAfter = s.Read() // next delta: new value
+	})
+	k.Run()
+	if seenBefore != 0 {
+		t.Fatalf("value visible before update phase: %d", seenBefore)
+	}
+	if seenAfter != 42 {
+		t.Fatalf("value after delta = %d, want 42", seenAfter)
+	}
+}
+
+func TestSignalLastWriteWins(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	k.Spawn("writer", func(p *Proc) {
+		s.Write(1)
+		s.Write(2)
+		s.Write(3)
+	})
+	k.Run()
+	if s.Read() != 3 {
+		t.Fatalf("signal = %d, want 3", s.Read())
+	}
+}
+
+func TestSignalChangedEvent(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	var changes []int
+	k.Spawn("observer", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			p.WaitEvent(s.Changed())
+			changes = append(changes, s.Read())
+		}
+	})
+	k.Spawn("writer", func(p *Proc) {
+		p.Wait(Us)
+		s.Write(7)
+		p.Wait(Us)
+		s.Write(7) // no change: must not notify
+		p.Wait(Us)
+		s.Write(9)
+	})
+	k.Run()
+	if len(changes) != 2 || changes[0] != 7 || changes[1] != 9 {
+		t.Fatalf("changes = %v, want [7 9]", changes)
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "wire", false)
+	if s.Name() != "wire" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Read() != false {
+		t.Fatal("initial value wrong")
+	}
+}
+
+func TestMethodSensitivity(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	runs := 0
+	m := k.NewMethod("m", func() { runs++ }, false, e)
+	k.Spawn("driver", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(Us)
+			e.Notify()
+		}
+	})
+	k.Run()
+	if runs != 3 {
+		t.Fatalf("method ran %d times, want 3", runs)
+	}
+	_ = m
+}
+
+func TestMethodInitialRun(t *testing.T) {
+	k := New()
+	runs := 0
+	k.NewMethod("m", func() { runs++ }, true)
+	k.Run()
+	if runs != 1 {
+		t.Fatalf("initial run count = %d, want 1", runs)
+	}
+}
+
+func TestMethodLastTrigger(t *testing.T) {
+	k := New()
+	a, b := k.NewEvent("a"), k.NewEvent("b")
+	var triggers []string
+	var m *Method
+	m = k.NewMethod("m", func() {
+		if e := m.LastTrigger(); e != nil {
+			triggers = append(triggers, e.Name())
+		} else {
+			triggers = append(triggers, "-")
+		}
+	}, true, a, b)
+	k.Spawn("driver", func(p *Proc) {
+		p.Wait(Us)
+		a.Notify()
+		p.Wait(Us)
+		b.Notify()
+	})
+	k.Run()
+	if len(triggers) != 3 || triggers[0] != "-" || triggers[1] != "a" || triggers[2] != "b" {
+		t.Fatalf("triggers = %v", triggers)
+	}
+}
+
+func TestMethodCoalescesSameDelta(t *testing.T) {
+	k := New()
+	a, b := k.NewEvent("a"), k.NewEvent("b")
+	runs := 0
+	k.NewMethod("m", func() { runs++ }, false, a, b)
+	k.Spawn("driver", func(p *Proc) {
+		a.Notify()
+		b.Notify() // same evaluate phase: one method run
+	})
+	k.Run()
+	if runs != 1 {
+		t.Fatalf("method ran %d times, want 1 (coalesced)", runs)
+	}
+}
+
+func TestClockTicks(t *testing.T) {
+	k := New()
+	c := k.NewClock("clk", 10*Us, 0)
+	var ticks []Time
+	k.Spawn("sampler", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.WaitEvent(c.Tick())
+			ticks = append(ticks, p.Now())
+		}
+	})
+	k.RunUntil(Ms)
+	k.Shutdown()
+	if len(ticks) != 5 {
+		t.Fatalf("ticks = %d, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if want := Time(i+1) * 10 * Us; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if c.Ticks() < 5 {
+		t.Fatalf("clock tick counter = %d", c.Ticks())
+	}
+	if c.Period() != 10*Us {
+		t.Fatalf("Period = %v", c.Period())
+	}
+}
+
+func TestClockStartOffset(t *testing.T) {
+	k := New()
+	c := k.NewClock("clk", 10*Us, 100*Us)
+	var first Time = -1
+	k.Spawn("sampler", func(p *Proc) {
+		p.WaitEvent(c.Tick())
+		first = p.Now()
+	})
+	k.RunUntil(Ms)
+	k.Shutdown()
+	if first != 110*Us {
+		t.Fatalf("first tick at %v, want 110us", first)
+	}
+}
+
+func TestClockBadPeriodPanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive period")
+		}
+	}()
+	k.NewClock("clk", 0, 0)
+}

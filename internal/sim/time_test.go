@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{1, "1ps"},
+		{Ns, "1ns"},
+		{5 * Us, "5us"},
+		{15 * Us, "15us"},
+		{Ms, "1ms"},
+		{3 * Sec, "3s"},
+		{-5 * Us, "-5us"},
+		{1500 * Ns, "1500ns"},
+		{2500 * Us, "2500us"},
+		{1500*Ns + 1, "1.500001us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Ns != 1000*Ps || Us != 1000*Ns || Ms != 1000*Us || Sec != 1000*Ms {
+		t.Fatal("unit ladder broken")
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (500 * Ms).Seconds(); got != 0.5 {
+		t.Errorf("Seconds() = %v, want 0.5", got)
+	}
+	if got := (2500 * Ns).Microseconds(); got != 2.5 {
+		t.Errorf("Microseconds() = %v, want 2.5", got)
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	if got := (10 * Us).Scale(2.5); got != 25*Us {
+		t.Errorf("Scale(2.5) = %v, want 25us", got)
+	}
+	if got := (10 * Us).Scale(0); got != 0 {
+		t.Errorf("Scale(0) = %v, want 0", got)
+	}
+}
+
+func TestTimeScaleByOneIsIdentity(t *testing.T) {
+	f := func(v int32) bool {
+		d := Time(v) * Ns
+		return d.Scale(1) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type sc struct {
+	at sim.Time
+	s  TaskState
+}
+
+func recWith(task string, states []sc, overheads []OverheadSegment) *Recorder {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.Now)
+	for _, c := range states {
+		clk.now = c.at
+		r.TaskState(task, "cpu", c.s)
+	}
+	for _, o := range overheads {
+		r.Overhead(o.CPU, o.Task, o.Kind, o.Start, o.End)
+	}
+	return r
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := recWith("t", []sc{{0, StateRunning}, {10 * sim.Us, StateWaiting}}, nil)
+	b := recWith("t", []sc{{0, StateRunning}, {10 * sim.Us, StateWaiting}}, nil)
+	if d := Diff(a, b, 100*sim.Us, 10); d != "" {
+		t.Fatalf("identical traces diff:\n%s", d)
+	}
+}
+
+func TestDiffIgnoresZeroLengthSegments(t *testing.T) {
+	a := recWith("t", []sc{{0, StateRunning}, {10 * sim.Us, StateWaiting}}, nil)
+	// Same behaviour, but with a zero-length Ready blip at 10us.
+	b := recWith("t", []sc{{0, StateRunning}, {10 * sim.Us, StateReady}, {10 * sim.Us, StateWaiting}}, nil)
+	if d := Diff(a, b, 100*sim.Us, 10); d != "" {
+		t.Fatalf("zero-length blip reported:\n%s", d)
+	}
+}
+
+func TestDiffFindsSegmentDivergence(t *testing.T) {
+	a := recWith("t", []sc{{0, StateRunning}, {10 * sim.Us, StateWaiting}}, nil)
+	b := recWith("t", []sc{{0, StateRunning}, {12 * sim.Us, StateWaiting}}, nil)
+	d := Diff(a, b, 100*sim.Us, 10)
+	if !strings.Contains(d, `task "t" segment 0`) {
+		t.Fatalf("diff missed the divergence:\n%s", d)
+	}
+}
+
+func TestDiffFindsMissingTask(t *testing.T) {
+	a := recWith("t", []sc{{0, StateRunning}}, nil)
+	b := recWith("u", []sc{{0, StateRunning}}, nil)
+	d := Diff(a, b, sim.Ms, 10)
+	if !strings.Contains(d, `task "t" only in the first`) || !strings.Contains(d, `task "u" only in the second`) {
+		t.Fatalf("diff missed task-set divergence:\n%s", d)
+	}
+}
+
+func TestDiffFindsOverheadDivergence(t *testing.T) {
+	ov1 := []OverheadSegment{{CPU: "cpu", Task: "t", Kind: OverheadScheduling, Start: 0, End: 5 * sim.Us}}
+	ov2 := []OverheadSegment{{CPU: "cpu", Task: "t", Kind: OverheadScheduling, Start: 0, End: 7 * sim.Us}}
+	a := recWith("t", []sc{{0, StateRunning}}, ov1)
+	b := recWith("t", []sc{{0, StateRunning}}, ov2)
+	d := Diff(a, b, sim.Ms, 10)
+	if !strings.Contains(d, "overhead 0") {
+		t.Fatalf("diff missed overhead divergence:\n%s", d)
+	}
+}
+
+func TestDiffCapsFindings(t *testing.T) {
+	clkA := &fakeClock{}
+	a := NewRecorder(clkA.Now)
+	clkB := &fakeClock{}
+	b := NewRecorder(clkB.Now)
+	for i := 0; i < 30; i++ {
+		name := string(rune('a' + i%26))
+		clkA.now = sim.Time(i) * sim.Us
+		a.TaskState(name+"x", "cpu", StateRunning)
+		b.TaskState(name+"y", "cpu", StateRunning)
+	}
+	d := Diff(a, b, sim.Ms, 5)
+	if got := len(strings.Split(d, "\n")); got > 5 {
+		t.Fatalf("findings not capped: %d lines", got)
+	}
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// StateChange is one task state transition.
+type StateChange struct {
+	At    sim.Time
+	Task  string
+	CPU   string // empty for hardware tasks
+	State TaskState
+}
+
+// OverheadSegment is one completed RTOS overhead interval on a processor.
+type OverheadSegment struct {
+	CPU   string
+	Task  string // task saved/loaded; empty for a pure scheduling decision
+	Kind  OverheadKind
+	Start sim.Time
+	End   sim.Time
+}
+
+// Access is one interaction with a communication relation.
+type Access struct {
+	At     sim.Time
+	Actor  string
+	Object string
+	Kind   AccessKind
+}
+
+// DepthSample is a change of a relation's occupancy (queue depth, lock
+// holder count) used to compute utilization ratios.
+type DepthSample struct {
+	At       sim.Time
+	Object   string
+	Depth    int
+	Capacity int
+}
+
+// Recorder accumulates the execution trace of a simulated system. All
+// methods are safe to call on a nil Recorder (they do nothing), so model
+// code can trace unconditionally and tracing is zero-cost when disabled.
+//
+// A Recorder is bound to a simulation clock at construction; record methods
+// timestamp with the current simulated time.
+type Recorder struct {
+	now func() sim.Time
+
+	changes   []StateChange
+	overheads []OverheadSegment
+	accesses  []Access
+	depths    []DepthSample
+
+	tasks   []string
+	taskSet map[string]bool
+	objects []string
+	objSet  map[string]bool
+}
+
+// NewRecorder creates a recorder reading timestamps from now (typically
+// kernel.Now).
+func NewRecorder(now func() sim.Time) *Recorder {
+	return &Recorder{
+		now:     now,
+		taskSet: make(map[string]bool),
+		objSet:  make(map[string]bool),
+	}
+}
+
+// Now returns the recorder's current timestamp source value.
+func (r *Recorder) Now() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// TaskState records that task (on cpu, empty for hardware) entered state.
+func (r *Recorder) TaskState(task, cpu string, state TaskState) {
+	if r == nil {
+		return
+	}
+	r.noteTask(task)
+	r.changes = append(r.changes, StateChange{At: r.now(), Task: task, CPU: cpu, State: state})
+}
+
+// Overhead records a completed RTOS overhead interval.
+func (r *Recorder) Overhead(cpu, task string, kind OverheadKind, start, end sim.Time) {
+	if r == nil {
+		return
+	}
+	r.overheads = append(r.overheads, OverheadSegment{
+		CPU: cpu, Task: task, Kind: kind, Start: start, End: end,
+	})
+}
+
+// Access records an interaction between actor and a communication object.
+func (r *Recorder) Access(actor, object string, kind AccessKind) {
+	if r == nil {
+		return
+	}
+	r.noteObject(object)
+	r.accesses = append(r.accesses, Access{At: r.now(), Actor: actor, Object: object, Kind: kind})
+}
+
+// Depth records a change of object's occupancy.
+func (r *Recorder) Depth(object string, depth, capacity int) {
+	if r == nil {
+		return
+	}
+	r.noteObject(object)
+	r.depths = append(r.depths, DepthSample{At: r.now(), Object: object, Depth: depth, Capacity: capacity})
+}
+
+func (r *Recorder) noteTask(task string) {
+	if !r.taskSet[task] {
+		r.taskSet[task] = true
+		r.tasks = append(r.tasks, task)
+	}
+}
+
+func (r *Recorder) noteObject(obj string) {
+	if !r.objSet[obj] {
+		r.objSet[obj] = true
+		r.objects = append(r.objects, obj)
+	}
+}
+
+// Tasks returns the names of all traced tasks in first-appearance order.
+func (r *Recorder) Tasks() []string {
+	if r == nil {
+		return nil
+	}
+	return r.tasks
+}
+
+// Objects returns the names of all traced communication objects in
+// first-appearance order.
+func (r *Recorder) Objects() []string {
+	if r == nil {
+		return nil
+	}
+	return r.objects
+}
+
+// StateChanges returns all recorded state changes in chronological order.
+func (r *Recorder) StateChanges() []StateChange {
+	if r == nil {
+		return nil
+	}
+	return r.changes
+}
+
+// Overheads returns all recorded overhead segments.
+func (r *Recorder) Overheads() []OverheadSegment {
+	if r == nil {
+		return nil
+	}
+	return r.overheads
+}
+
+// Accesses returns all recorded communication accesses.
+func (r *Recorder) Accesses() []Access {
+	if r == nil {
+		return nil
+	}
+	return r.accesses
+}
+
+// Depths returns all recorded occupancy samples.
+func (r *Recorder) Depths() []DepthSample {
+	if r == nil {
+		return nil
+	}
+	return r.depths
+}
+
+// Segment is a maximal interval during which a task stayed in one state.
+type Segment struct {
+	Task  string
+	State TaskState
+	Start sim.Time
+	End   sim.Time
+}
+
+// Segments reconstructs the state intervals of one task from its recorded
+// transitions, closing the final segment at end. Transitions after end are
+// ignored; an empty slice is returned for unknown tasks.
+func (r *Recorder) Segments(task string, end sim.Time) []Segment {
+	if r == nil {
+		return nil
+	}
+	var segs []Segment
+	var cur *StateChange
+	for i := range r.changes {
+		c := &r.changes[i]
+		if c.Task != task || c.At > end {
+			continue
+		}
+		if cur != nil && c.At > cur.At {
+			segs = append(segs, Segment{Task: task, State: cur.State, Start: cur.At, End: c.At})
+		}
+		cur = c
+	}
+	if cur != nil && cur.At < end {
+		segs = append(segs, Segment{Task: task, State: cur.State, Start: cur.At, End: end})
+	}
+	return segs
+}
+
+// StateAt returns the state task was in at instant t (the state set by the
+// latest transition at or before t), and false if the task had no transition
+// yet at t.
+func (r *Recorder) StateAt(task string, t sim.Time) (TaskState, bool) {
+	if r == nil {
+		return 0, false
+	}
+	state, found := TaskState(0), false
+	for i := range r.changes {
+		c := &r.changes[i]
+		if c.Task != task {
+			continue
+		}
+		if c.At > t {
+			break
+		}
+		state, found = c.State, true
+	}
+	return state, found
+}
+
+// End returns the timestamp of the last recorded item, i.e. the natural end
+// of the observation window.
+func (r *Recorder) End() sim.Time {
+	if r == nil {
+		return 0
+	}
+	var end sim.Time
+	if n := len(r.changes); n > 0 && r.changes[n-1].At > end {
+		end = r.changes[n-1].At
+	}
+	for i := range r.overheads {
+		if r.overheads[i].End > end {
+			end = r.overheads[i].End
+		}
+	}
+	if n := len(r.accesses); n > 0 && r.accesses[n-1].At > end {
+		end = r.accesses[n-1].At
+	}
+	if n := len(r.depths); n > 0 && r.depths[n-1].At > end {
+		end = r.depths[n-1].At
+	}
+	return end
+}
+
+// SortedTasks returns the task names sorted lexicographically; useful for
+// stable report output.
+func (r *Recorder) SortedTasks() []string {
+	names := append([]string(nil), r.Tasks()...)
+	sort.Strings(names)
+	return names
+}

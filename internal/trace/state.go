@@ -1,0 +1,152 @@
+// Package trace records and renders the execution of a simulated real-time
+// system: task state changes, RTOS overhead segments, communication accesses
+// and queue occupancy.
+//
+// It is the repository's equivalent of the TimeLine chart and statistics
+// views of the paper's section 5 (Figures 6, 7 and 8): the same information
+// — task states over time, read/write/signal arrows, overhead durations,
+// activity/preempted/waiting ratios and communication utilization — is
+// recorded during simulation and rendered as text.
+package trace
+
+// TaskState is a task's scheduling state as shown on a TimeLine chart. The
+// values mirror the task states of the paper (section 4) plus the auxiliary
+// creation/termination and resource-wait states displayed by the TimeLine
+// tool (section 5).
+type TaskState uint8
+
+const (
+	// StateCreated: the task exists but has not started executing.
+	StateCreated TaskState = iota
+	// StateReady: waiting for processor availability (the paper's Ready
+	// state; time spent here is the "preempted ratio" of Figure 8).
+	StateReady
+	// StateRunning: executing on the processor.
+	StateRunning
+	// StateWaiting: waiting for a synchronization (event, message, delay).
+	StateWaiting
+	// StateWaitingResource: waiting for a mutually exclusive resource
+	// (shared variable lock).
+	StateWaitingResource
+	// StateOverhead: the processor is running RTOS code (context save,
+	// scheduling, context load) on behalf of the task.
+	StateOverhead
+	// StateTerminated: the task function returned.
+	StateTerminated
+)
+
+var stateNames = [...]string{
+	StateCreated:         "created",
+	StateReady:           "ready",
+	StateRunning:         "running",
+	StateWaiting:         "waiting",
+	StateWaitingResource: "waiting-resource",
+	StateOverhead:        "overhead",
+	StateTerminated:      "terminated",
+}
+
+func (s TaskState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "invalid"
+}
+
+// Glyph returns the single character used for this state on an ASCII
+// timeline chart.
+func (s TaskState) Glyph() byte {
+	switch s {
+	case StateCreated:
+		return '.'
+	case StateReady:
+		return 'r'
+	case StateRunning:
+		return '#'
+	case StateWaiting:
+		return '-'
+	case StateWaitingResource:
+		return 'm'
+	case StateOverhead:
+		return 'o'
+	case StateTerminated:
+		return ' '
+	}
+	return '?'
+}
+
+// OverheadKind identifies one of the three RTOS overhead contributions of
+// the paper's section 3.2.
+type OverheadKind uint8
+
+const (
+	// OverheadContextSave: copying the suspended task's context from the
+	// processor registers to memory.
+	OverheadContextSave OverheadKind = iota
+	// OverheadScheduling: the RTOS selecting the next ready task.
+	OverheadScheduling
+	// OverheadContextLoad: loading the elected task's context into the
+	// processor registers.
+	OverheadContextLoad
+)
+
+var overheadNames = [...]string{
+	OverheadContextSave: "context-save",
+	OverheadScheduling:  "scheduling",
+	OverheadContextLoad: "context-load",
+}
+
+func (k OverheadKind) String() string {
+	if int(k) < len(overheadNames) {
+		return overheadNames[k]
+	}
+	return "invalid"
+}
+
+// AccessKind classifies an interaction between an actor (task or hardware
+// process) and a communication relation; it maps to the arrow styles of the
+// TimeLine chart.
+type AccessKind uint8
+
+const (
+	// AccessSignal: an event was signalled.
+	AccessSignal AccessKind = iota
+	// AccessWait: an actor started waiting on an event.
+	AccessWait
+	// AccessWakeup: an actor's wait on an event was satisfied.
+	AccessWakeup
+	// AccessSend: a message was enqueued.
+	AccessSend
+	// AccessReceive: a message was dequeued.
+	AccessReceive
+	// AccessRead: a shared variable was read.
+	AccessRead
+	// AccessWrite: a shared variable was written.
+	AccessWrite
+	// AccessLock: a mutual-exclusion lock was acquired.
+	AccessLock
+	// AccessUnlock: a mutual-exclusion lock was released.
+	AccessUnlock
+	// AccessBlocked: an actor blocked on the relation (queue full/empty,
+	// lock busy, event not occurred).
+	AccessBlocked
+)
+
+var accessNames = [...]string{
+	AccessSignal:  "signal",
+	AccessWait:    "wait",
+	AccessWakeup:  "wakeup",
+	AccessSend:    "send",
+	AccessReceive: "receive",
+	AccessRead:    "read",
+	AccessWrite:   "write",
+	AccessLock:    "lock",
+	AccessUnlock:  "unlock",
+	AccessBlocked: "blocked",
+}
+
+func (k AccessKind) String() string {
+	if int(k) < len(accessNames) {
+		return accessNames[k]
+	}
+	return "invalid"
+}

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// TaskStats aggregates one task's time distribution over an observation
+// window, as displayed in the statistics view of the paper's Figure 8.
+type TaskStats struct {
+	Task   string
+	CPU    string
+	Window sim.Time
+
+	Running         sim.Time // activity on the processor (Fig. 8 mark 1)
+	Ready           sim.Time // preempted / waiting for the processor (mark 2)
+	Waiting         sim.Time // waiting for a synchronization
+	WaitingResource sim.Time // waiting for mutual exclusion (mark 3)
+	// Overhead is the RTOS context-save/load time charged on behalf of this
+	// task. It overlaps the adjacent Ready/Waiting time (the task is not
+	// running while the RTOS works for it), so it is informational and not
+	// part of the state-ratio partition.
+	Overhead sim.Time
+	Inactive sim.Time // before creation / after termination
+
+	Activations int // number of Ready->Running dispatches
+	Preemptions int // number of Running->Ready transitions
+}
+
+// ActivityRatio is the fraction of the window spent running.
+func (s TaskStats) ActivityRatio() float64 { return ratio(s.Running, s.Window) }
+
+// PreemptedRatio is the fraction of the window spent ready but not running.
+func (s TaskStats) PreemptedRatio() float64 { return ratio(s.Ready, s.Window) }
+
+// WaitingRatio is the fraction of the window spent waiting for
+// synchronizations.
+func (s TaskStats) WaitingRatio() float64 { return ratio(s.Waiting, s.Window) }
+
+// ResourceRatio is the fraction of the window spent blocked on mutual
+// exclusion.
+func (s TaskStats) ResourceRatio() float64 { return ratio(s.WaitingResource, s.Window) }
+
+// OverheadRatio is the fraction of the window spent in RTOS overhead
+// attributed to the task.
+func (s TaskStats) OverheadRatio() float64 { return ratio(s.Overhead, s.Window) }
+
+func ratio(part, whole sim.Time) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// ObjectStats aggregates a communication relation's usage over the window.
+type ObjectStats struct {
+	Object string
+	Window sim.Time
+
+	// Utilization is the time-weighted mean of depth/capacity (queue
+	// occupancy, lock held ratio). Zero for relations that never reported
+	// depth (pure events).
+	Utilization float64
+	// BusyTime is the total time with non-zero depth.
+	Busy sim.Time
+
+	Signals  int // AccessSignal count
+	Sends    int // AccessSend count
+	Receives int // AccessReceive count
+	Reads    int // AccessRead count
+	Writes   int // AccessWrite count
+	Blocks   int // AccessBlocked count
+}
+
+// UtilizationRatio is the fraction of the window during which the relation
+// was in use (non-zero occupancy), the "utilization ratio" of Figure 8.
+func (s ObjectStats) UtilizationRatio() float64 { return ratio(s.Busy, s.Window) }
+
+// ProcessorStats aggregates a processor's load over the window.
+type ProcessorStats struct {
+	CPU    string
+	Window sim.Time
+
+	Busy     sim.Time // some task running
+	Overhead sim.Time // RTOS overhead (save + scheduling + load)
+	Idle     sim.Time
+
+	ContextSwitches int
+}
+
+// LoadRatio is the fraction of the window with application code running.
+func (s ProcessorStats) LoadRatio() float64 { return ratio(s.Busy, s.Window) }
+
+// OverheadRatio is the fraction of the window spent in the RTOS.
+func (s ProcessorStats) OverheadRatio() float64 { return ratio(s.Overhead, s.Window) }
+
+// Stats is the full statistics report over an observation window.
+type Stats struct {
+	Window     sim.Time
+	Tasks      []TaskStats
+	Objects    []ObjectStats
+	Processors []ProcessorStats
+}
+
+// ComputeStats aggregates the recorded trace over [0, end]. With end zero the
+// recorder's natural end (last recorded timestamp) is used.
+func (r *Recorder) ComputeStats(end sim.Time) Stats {
+	if r == nil {
+		return Stats{}
+	}
+	if end == 0 {
+		end = r.End()
+	}
+	st := Stats{Window: end}
+
+	cpus := map[string]*ProcessorStats{}
+	cpuOf := map[string]string{}
+
+	for _, task := range r.Tasks() {
+		ts := TaskStats{Task: task, Window: end}
+		for _, seg := range r.Segments(task, end) {
+			d := seg.End - seg.Start
+			switch seg.State {
+			case StateRunning:
+				ts.Running += d
+			case StateReady:
+				ts.Ready += d
+			case StateWaiting:
+				ts.Waiting += d
+			case StateWaitingResource:
+				ts.WaitingResource += d
+			case StateOverhead:
+				ts.Overhead += d
+			case StateCreated, StateTerminated:
+				ts.Inactive += d
+			}
+		}
+		// Account for time before the first transition.
+		if segs := r.Segments(task, end); len(segs) > 0 {
+			ts.Inactive += segs[0].Start
+		} else {
+			ts.Inactive = end
+		}
+		var prev TaskState = StateCreated
+		for i := range r.changes {
+			c := &r.changes[i]
+			if c.Task != task || c.At > end {
+				continue
+			}
+			if c.CPU != "" {
+				ts.CPU = c.CPU
+			}
+			if c.State == StateRunning {
+				ts.Activations++
+			}
+			if prev == StateRunning && c.State == StateReady {
+				ts.Preemptions++
+			}
+			prev = c.State
+		}
+		cpuOf[task] = ts.CPU
+		st.Tasks = append(st.Tasks, ts)
+
+		if ts.CPU != "" {
+			cs := cpus[ts.CPU]
+			if cs == nil {
+				cs = &ProcessorStats{CPU: ts.CPU, Window: end}
+				cpus[ts.CPU] = cs
+			}
+			cs.Busy += ts.Running
+		}
+	}
+
+	taskIdx := map[string]int{}
+	for i := range st.Tasks {
+		taskIdx[st.Tasks[i].Task] = i
+	}
+	for i := range r.overheads {
+		o := &r.overheads[i]
+		if o.Start >= end {
+			continue
+		}
+		segEnd := min(o.End, end)
+		if o.Task != "" {
+			if ti, ok := taskIdx[o.Task]; ok {
+				st.Tasks[ti].Overhead += segEnd - o.Start
+			}
+		}
+		cs := cpus[o.CPU]
+		if cs == nil {
+			cs = &ProcessorStats{CPU: o.CPU, Window: end}
+			cpus[o.CPU] = cs
+		}
+		cs.Overhead += segEnd - o.Start
+		if o.Kind == OverheadContextLoad {
+			cs.ContextSwitches++
+		}
+	}
+	for _, cs := range cpus {
+		cs.Idle = cs.Window - cs.Busy - cs.Overhead
+		st.Processors = append(st.Processors, *cs)
+	}
+	sort.Slice(st.Processors, func(i, j int) bool { return st.Processors[i].CPU < st.Processors[j].CPU })
+
+	// Per-object: utilization from depth samples, counts from accesses.
+	type depthAccum struct {
+		last     DepthSample
+		weighted float64 // integral of depth/capacity dt
+		busy     sim.Time
+		seen     bool
+	}
+	accum := map[string]*depthAccum{}
+	for _, obj := range r.Objects() {
+		accum[obj] = &depthAccum{}
+	}
+	for i := range r.depths {
+		d := &r.depths[i]
+		if d.At > end {
+			continue
+		}
+		a := accum[d.Object]
+		if a.seen {
+			dt := d.At - a.last.At
+			if a.last.Capacity > 0 {
+				a.weighted += float64(dt) * float64(a.last.Depth) / float64(a.last.Capacity)
+			}
+			if a.last.Depth > 0 {
+				a.busy += dt
+			}
+		}
+		a.last, a.seen = *d, true
+	}
+	for _, obj := range r.Objects() {
+		a := accum[obj]
+		if a.seen && a.last.At < end {
+			dt := end - a.last.At
+			if a.last.Capacity > 0 {
+				a.weighted += float64(dt) * float64(a.last.Depth) / float64(a.last.Capacity)
+			}
+			if a.last.Depth > 0 {
+				a.busy += dt
+			}
+		}
+		os := ObjectStats{Object: obj, Window: end, Busy: a.busy}
+		if end > 0 {
+			os.Utilization = a.weighted / float64(end)
+		}
+		for i := range r.accesses {
+			acc := &r.accesses[i]
+			if acc.Object != obj || acc.At > end {
+				continue
+			}
+			switch acc.Kind {
+			case AccessSignal:
+				os.Signals++
+			case AccessSend:
+				os.Sends++
+			case AccessReceive:
+				os.Receives++
+			case AccessRead:
+				os.Reads++
+			case AccessWrite:
+				os.Writes++
+			case AccessBlocked:
+				os.Blocks++
+			}
+		}
+		st.Objects = append(st.Objects, os)
+	}
+	return st
+}
+
+// String renders the statistics as the textual analogue of Figure 8.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Statistics over %v\n", s.Window)
+	if len(s.Tasks) > 0 {
+		b.WriteString("\nTasks:\n")
+		fmt.Fprintf(&b, "  %-16s %-10s %8s %8s %8s %8s %8s  %5s %5s\n",
+			"task", "cpu", "run%", "ready%", "wait%", "mutex%", "ovhd%", "disp", "preem")
+		for _, t := range s.Tasks {
+			cpu := t.CPU
+			if cpu == "" {
+				cpu = "(hw)"
+			}
+			fmt.Fprintf(&b, "  %-16s %-10s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%  %5d %5d\n",
+				t.Task, cpu,
+				100*t.ActivityRatio(), 100*t.PreemptedRatio(), 100*t.WaitingRatio(),
+				100*t.ResourceRatio(), 100*t.OverheadRatio(),
+				t.Activations, t.Preemptions)
+		}
+	}
+	if len(s.Processors) > 0 {
+		b.WriteString("\nProcessors:\n")
+		fmt.Fprintf(&b, "  %-16s %8s %8s %8s  %8s\n", "cpu", "load%", "ovhd%", "idle%", "switches")
+		for _, c := range s.Processors {
+			fmt.Fprintf(&b, "  %-16s %7.2f%% %7.2f%% %7.2f%%  %8d\n",
+				c.CPU, 100*c.LoadRatio(), 100*c.OverheadRatio(),
+				100*ratio(c.Idle, c.Window), c.ContextSwitches)
+		}
+	}
+	if len(s.Objects) > 0 {
+		b.WriteString("\nCommunications:\n")
+		fmt.Fprintf(&b, "  %-20s %8s %8s  %6s %6s %6s %6s %6s %6s\n",
+			"relation", "util%", "busy%", "signal", "send", "recv", "read", "write", "block")
+		for _, o := range s.Objects {
+			fmt.Fprintf(&b, "  %-20s %7.2f%% %7.2f%%  %6d %6d %6d %6d %6d %6d\n",
+				o.Object, 100*o.Utilization, 100*o.UtilizationRatio(),
+				o.Signals, o.Sends, o.Receives, o.Reads, o.Writes, o.Blocks)
+		}
+	}
+	return b.String()
+}
+
+// TaskByName returns the stats row for the named task.
+func (s Stats) TaskByName(name string) (TaskStats, bool) {
+	for _, t := range s.Tasks {
+		if t.Task == name {
+			return t, true
+		}
+	}
+	return TaskStats{}, false
+}
+
+// ObjectByName returns the stats row for the named relation.
+func (s Stats) ObjectByName(name string) (ObjectStats, bool) {
+	for _, o := range s.Objects {
+		if o.Object == name {
+			return o, true
+		}
+	}
+	return ObjectStats{}, false
+}
+
+// ProcessorByName returns the stats row for the named processor.
+func (s Stats) ProcessorByName(name string) (ProcessorStats, bool) {
+	for _, p := range s.Processors {
+		if p.CPU == name {
+			return p, true
+		}
+	}
+	return ProcessorStats{}, false
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func svgFixture() *Recorder {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.Now)
+	clk.now = 0
+	r.TaskState("task<1>", "cpu", StateRunning)
+	clk.now = 40 * sim.Us
+	r.TaskState("task<1>", "cpu", StateReady)
+	clk.now = 60 * sim.Us
+	r.TaskState("task<1>", "cpu", StateRunning)
+	clk.now = 100 * sim.Us
+	r.TaskState("task<1>", "cpu", StateWaiting)
+	r.Overhead("cpu", "task<1>", OverheadContextSave, 100*sim.Us, 105*sim.Us)
+	clk.now = 50 * sim.Us
+	r.Access("task<1>", "ev&co", AccessSignal)
+	return r
+}
+
+func TestWriteSVG(t *testing.T) {
+	r := svgFixture()
+	var b strings.Builder
+	if err := r.WriteSVG(&b, SVGOptions{End: 120 * sim.Us, ShowAccesses: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"</svg>",
+		"task&lt;1&gt;",            // escaped task label
+		svgStateFill[StateRunning], // running segment colour
+		svgStateFill[StateReady],
+		svgStateFill[StateOverhead],
+		"ev&amp;co",      // escaped access target in tooltip
+		"TimeLine 0s",    // header
+		"running</text>", // legend
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 5 {
+		t.Errorf("suspiciously few rects:\n%s", out)
+	}
+}
+
+func TestWriteSVGEmptyWindowErrors(t *testing.T) {
+	r := NewRecorder(func() sim.Time { return 0 })
+	var b strings.Builder
+	if err := r.WriteSVG(&b, SVGOptions{}); err == nil {
+		t.Fatal("expected error for empty window")
+	}
+}
+
+func TestWriteSVGNilRecorder(t *testing.T) {
+	var r *Recorder
+	if err := r.WriteSVG(nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("xmlEscape = %q", got)
+	}
+}

@@ -1,0 +1,192 @@
+package rtosmodel_test
+
+// Tests of the public facade: everything a downstream user touches is
+// reachable and behaves through package rtosmodel alone.
+
+import (
+	"strings"
+	"testing"
+
+	rtosmodel "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := rtosmodel.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtosmodel.Config{
+		Policy:    rtosmodel.PriorityPreemptive{},
+		Overheads: rtosmodel.UniformOverheads(5 * rtosmodel.Us),
+	})
+	irqEvent := rtosmodel.NewEvent(sys.Rec, "irq", rtosmodel.Boolean)
+	queue := rtosmodel.NewQueue[string](sys.Rec, "mail", 4)
+	shared := rtosmodel.NewShared(sys.Rec, "config", 7)
+	react := sys.Constraints.NewLatency("react", 100*rtosmodel.Us)
+
+	var handled []string
+	cpu.NewTask("handler", rtosmodel.TaskConfig{Priority: 10}, func(c *rtosmodel.TaskCtx) {
+		for i := 0; i < 2; i++ {
+			irqEvent.Wait(c)
+			c.Execute(10 * rtosmodel.Us)
+			react.Stop()
+			queue.Put(c, "handled")
+		}
+	})
+	cpu.NewTask("worker", rtosmodel.TaskConfig{Priority: 1}, func(c *rtosmodel.TaskCtx) {
+		for i := 0; i < 2; i++ {
+			handled = append(handled, queue.Get(c))
+			shared.Lock(c)
+			c.Execute(5 * rtosmodel.Us)
+			shared.Set(c, shared.Get(c)+1)
+			shared.Unlock(c)
+		}
+	})
+	sys.NewHWTask("device", rtosmodel.HWConfig{}, func(c *rtosmodel.HWCtx) {
+		for i := 0; i < 2; i++ {
+			c.Wait(200 * rtosmodel.Us)
+			react.Start()
+			irqEvent.Signal(c)
+		}
+	})
+	sys.Run()
+
+	if len(handled) != 2 {
+		t.Fatalf("handled = %v", handled)
+	}
+	if !sys.Constraints.OK() {
+		t.Fatalf("violations: %v", sys.Constraints.Violations())
+	}
+	// At each interrupt the processor is idle (the worker is blocked on the
+	// empty queue), so the reaction is scheduling+load (10us) + work (10us).
+	if react.Worst() != 20*rtosmodel.Us {
+		t.Fatalf("worst reaction = %v, want 20us (10us dispatch + 10us work)", react.Worst())
+	}
+	st := sys.Stats(0)
+	if _, ok := st.TaskByName("handler"); !ok {
+		t.Fatal("handler missing from stats")
+	}
+	tl := sys.Timeline(rtosmodel.TimelineOptions{Width: 80, Legend: true})
+	if !strings.Contains(tl, "handler") || !strings.Contains(tl, "device") {
+		t.Fatalf("timeline incomplete:\n%s", tl)
+	}
+}
+
+func TestFacadeEngines(t *testing.T) {
+	for _, eng := range []rtosmodel.EngineKind{rtosmodel.EngineProcedural, rtosmodel.EngineThreaded} {
+		sys := rtosmodel.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtosmodel.Config{Engine: eng})
+		var end rtosmodel.Time
+		cpu.NewTask("t", rtosmodel.TaskConfig{}, func(c *rtosmodel.TaskCtx) {
+			c.Execute(42 * rtosmodel.Us)
+			end = c.Now()
+		})
+		sys.Run()
+		if end != 42*rtosmodel.Us {
+			t.Fatalf("engine %v: end = %v", eng, end)
+		}
+	}
+}
+
+func TestFacadeInterrupts(t *testing.T) {
+	sys := rtosmodel.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtosmodel.Config{})
+	var isrRan bool
+	irq := cpu.Interrupts().NewIRQ("line", 1, rtosmodel.Us, func(c *rtosmodel.ISRCtx) {
+		c.Execute(rtosmodel.Us)
+		isrRan = true
+	})
+	sys.NewHWTask("dev", rtosmodel.HWConfig{}, func(c *rtosmodel.HWCtx) {
+		c.Wait(10 * rtosmodel.Us)
+		irq.Raise()
+	})
+	sys.Run()
+	if !isrRan || irq.Serviced() != 1 {
+		t.Fatal("ISR did not run through the facade")
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	set := rtosmodel.AssignRMSpecs([]rtosmodel.AnalysisTask{
+		{Name: "a", Period: 10 * rtosmodel.Ms, WCET: 2 * rtosmodel.Ms},
+		{Name: "b", Period: 20 * rtosmodel.Ms, WCET: 4 * rtosmodel.Ms},
+	})
+	if u := rtosmodel.TaskSetUtilization(set); u != 0.4 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if rtosmodel.LiuLaylandBound(2) < 0.8 {
+		t.Fatal("LL bound wrong")
+	}
+	rta, err := rtosmodel.ResponseTimes(set, 0)
+	if err != nil || !rta.Schedulable {
+		t.Fatalf("rta = %+v, %v", rta, err)
+	}
+	if ok, err := rtosmodel.EDFSchedulable(set); err != nil || !ok {
+		t.Fatalf("edf = %v, %v", ok, err)
+	}
+	if !strings.Contains(rtosmodel.SchedulabilityReport(set, 0), "schedulable=true") {
+		t.Fatal("report wrong")
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	src := `{
+	  "horizon": "1ms",
+	  "processors": [{"name": "cpu"}],
+	  "tasks": [{"name": "t", "processor": "cpu", "body": [{"op": "execute", "for": "10us"}]}]
+	}`
+	desc, err := rtosmodel.ParseScenario([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := desc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Run()
+	if built.Sys.Now() != 10*rtosmodel.Us {
+		t.Fatalf("now = %v", built.Sys.Now())
+	}
+	if d, err := rtosmodel.ParseDuration("2.5ms"); err != nil || d != 2500*rtosmodel.Us {
+		t.Fatalf("ParseDuration = %v, %v", d, err)
+	}
+}
+
+func TestFacadeKernelAndSignals(t *testing.T) {
+	sys := rtosmodel.NewSystem()
+	k := sys.K
+	sig := rtosmodel.NewSignal(k, "wire", false)
+	clk := k.NewClock("clk", 10*rtosmodel.Us, 0)
+	edges := 0
+	k.Spawn("driver", func(p *rtosmodel.Proc) {
+		for i := 0; i < 3; i++ {
+			p.WaitEvent(clk.Tick())
+			sig.Write(!sig.Read())
+		}
+	})
+	k.Spawn("observer", func(p *rtosmodel.Proc) {
+		for {
+			p.WaitEvent(sig.Changed())
+			edges++
+		}
+	})
+	sys.RunUntil(100 * rtosmodel.Us)
+	sys.Shutdown()
+	if edges != 3 {
+		t.Fatalf("edges = %d, want 3", edges)
+	}
+}
+
+func TestFacadeMutexProtocols(t *testing.T) {
+	sys := rtosmodel.NewSystem()
+	if m := rtosmodel.NewMutex(sys.Rec, "plain"); m.Name() != "plain" {
+		t.Fatal("mutex name")
+	}
+	if m := rtosmodel.NewInheritMutex(sys.Rec, "pip"); m.Name() != "pip" {
+		t.Fatal("inherit mutex name")
+	}
+	if m := rtosmodel.NewCeilingMutex(sys.Rec, "pcp", 10); m.Name() != "pcp" {
+		t.Fatal("ceiling mutex name")
+	}
+	if s := rtosmodel.NewInheritShared(sys.Rec, "sv", 1); s.Name() != "sv" {
+		t.Fatal("inherit shared name")
+	}
+	sys.Shutdown()
+}
