@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -36,6 +38,7 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the trace as JSON to this file")
 		svgPath     = flag.String("svg", "", "write the TimeLine chart as SVG to this file")
 		analyze     = flag.Bool("analyze", false, "print schedulability analysis for periodic tasks before simulating")
+		faults      = flag.Bool("faults", true, "print the fault-tolerance report when faults were recorded")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtossim [flags] scenario.json\n\n")
@@ -79,15 +82,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	built.Run()
+	_, runErr := built.RunChecked()
 
 	sys := built.Sys
 	name := desc.Name
 	if name == "" {
 		name = flag.Arg(0)
 	}
-	fmt.Printf("scenario %s simulated to %v (%d kernel activations, %d delta cycles)\n",
-		name, sys.Now(), sys.K.Activations(), sys.K.DeltaCount())
+	fmt.Printf("scenario %s simulated to %v, finished %v (%d kernel activations, %d delta cycles)\n",
+		name, sys.Now(), sys.FinishReason(), sys.K.Activations(), sys.K.DeltaCount())
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "rtossim: simulation failed:")
+		for _, line := range strings.Split(runErr.Error(), "\n") {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+	}
 
 	if blocked := sys.BlockedTasks(); len(blocked) > 0 {
 		fmt.Printf("warning: %d task(s) still blocked at the end:", len(blocked))
@@ -116,6 +126,20 @@ func main() {
 		fmt.Println()
 		fmt.Print(sys.Constraints.Report())
 	}
+	if evs := sys.Rec.FaultEvents(); *faults && len(evs) > 0 {
+		m := analysis.ComputeFaultMetrics(evs, sys.Now())
+		for _, t := range built.Tasks {
+			m.Jobs += int(t.CompletedCycles() + t.AbortedCycles())
+			m.AbortedJobs += int(t.AbortedCycles())
+		}
+		for _, v := range sys.Constraints.Violations() {
+			if strings.HasSuffix(v.Name, ".deadline") {
+				m.Misses++
+			}
+		}
+		fmt.Println()
+		fmt.Print(m.Report())
+	}
 	if *csvPath != "" {
 		writeFile(*csvPath, sys.WriteCSV)
 	}
@@ -130,7 +154,7 @@ func main() {
 			return sys.WriteSVG(w, trace.SVGOptions{ShowAccesses: *accesses})
 		})
 	}
-	if !sys.Constraints.OK() {
+	if runErr != nil || !sys.Constraints.OK() {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FaultMetrics summarizes a simulation's fault-tolerance behaviour from its
+// recorded fault events: how many faults landed, how fast recovery actions
+// answered them, and how long the system spent in degraded mode (at least
+// one task between a fault's injection and its recovery).
+type FaultMetrics struct {
+	// Horizon is the observation window the rates are computed over.
+	Horizon sim.Time
+
+	// Injected counts fault activations (WCET inflations applied, crashes
+	// and hangs landing, IRQ raises dropped, latency spikes).
+	Injected int
+	// Recoveries counts completed recovery actions (jobs aborted or
+	// restarted, releases skipped) — including those triggered by genuine
+	// overload rather than an injected fault.
+	Recoveries int
+	// WatchdogFirings counts watchdog timeouts.
+	WatchdogFirings int
+	// ByLabel breaks the fault events down by label ("wcet-overrun",
+	// "crash", "miss-restart", ...).
+	ByLabel map[string]int
+
+	// RecoveryPairs counts injected faults answered by a later recovery
+	// action on the same task; Unrecovered counts fault episodes that never
+	// were (instantaneous faults such as dropped interrupts stay here).
+	RecoveryPairs int
+	Unrecovered   int
+	// MeanRecoveryLatency and MaxRecoveryLatency measure the time from a
+	// task's first unanswered fault injection to its next recovery action.
+	MeanRecoveryLatency sim.Time
+	MaxRecoveryLatency  sim.Time
+
+	// DegradedTime is the length of the union of all fault-to-recovery
+	// intervals across tasks: the time at least one task was operating
+	// under an unrecovered fault. Never exceeds Horizon.
+	DegradedTime sim.Time
+
+	// Jobs, Misses and AbortedJobs come from the RTOS task counters and the
+	// constraint monitor — the trace's fault events alone cannot provide
+	// them. Callers fill them in to make MissRate meaningful.
+	Jobs        int
+	Misses      int
+	AbortedJobs int
+}
+
+// ComputeFaultMetrics derives fault-tolerance metrics from the recorded
+// fault events. The events must be in record order (as returned by
+// trace.Recorder.FaultEvents); horizon bounds the degraded-time accounting.
+func ComputeFaultMetrics(events []trace.FaultRecord, horizon sim.Time) FaultMetrics {
+	m := FaultMetrics{Horizon: horizon, ByLabel: map[string]int{}}
+	type interval struct{ from, to sim.Time }
+	var intervals []interval
+	pending := map[string]sim.Time{} // task -> first unanswered injection
+	var latSum sim.Time
+	for _, e := range events {
+		m.ByLabel[e.Label]++
+		switch e.Kind {
+		case trace.FaultInjected:
+			m.Injected++
+			if _, open := pending[e.Task]; !open {
+				pending[e.Task] = e.At
+			}
+		case trace.RecoveryTaken:
+			m.Recoveries++
+			if from, open := pending[e.Task]; open {
+				delete(pending, e.Task)
+				m.RecoveryPairs++
+				lat := e.At - from
+				latSum += lat
+				if lat > m.MaxRecoveryLatency {
+					m.MaxRecoveryLatency = lat
+				}
+				intervals = append(intervals, interval{from, e.At})
+			}
+		case trace.WatchdogFired:
+			m.WatchdogFirings++
+		}
+	}
+	m.Unrecovered = len(pending)
+	if m.RecoveryPairs > 0 {
+		m.MeanRecoveryLatency = latSum / sim.Time(m.RecoveryPairs)
+	}
+	// Degraded time is the union of the recovery intervals (overlapping
+	// faults on different tasks count once).
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i].from < intervals[j].from })
+	var end sim.Time = -1
+	for _, iv := range intervals {
+		to := iv.to
+		if horizon > 0 && to > horizon {
+			to = horizon
+		}
+		if iv.from > end {
+			m.DegradedTime += to - iv.from
+			end = to
+		} else if to > end {
+			m.DegradedTime += to - end
+			end = to
+		}
+	}
+	return m
+}
+
+// MissRate returns the fraction of jobs that missed their deadline; zero
+// when the job counters were not filled in.
+func (m FaultMetrics) MissRate() float64 {
+	if m.Jobs == 0 {
+		return 0
+	}
+	return float64(m.Misses) / float64(m.Jobs)
+}
+
+// DegradedFraction returns the share of the horizon spent in degraded mode.
+func (m FaultMetrics) DegradedFraction() float64 {
+	if m.Horizon <= 0 {
+		return 0
+	}
+	return float64(m.DegradedTime) / float64(m.Horizon)
+}
+
+// Report renders the metrics as a human-readable block.
+func (m FaultMetrics) Report() string {
+	var b strings.Builder
+	b.WriteString("Fault tolerance:\n")
+	fmt.Fprintf(&b, "  faults injected        %d\n", m.Injected)
+	fmt.Fprintf(&b, "  recovery actions       %d\n", m.Recoveries)
+	fmt.Fprintf(&b, "  watchdog firings       %d\n", m.WatchdogFirings)
+	if m.RecoveryPairs > 0 {
+		fmt.Fprintf(&b, "  recovery latency       mean %v, max %v over %d episodes\n",
+			m.MeanRecoveryLatency, m.MaxRecoveryLatency, m.RecoveryPairs)
+	}
+	if m.Unrecovered > 0 {
+		fmt.Fprintf(&b, "  unrecovered episodes   %d\n", m.Unrecovered)
+	}
+	fmt.Fprintf(&b, "  degraded-mode time     %v (%.1f%% of horizon)\n",
+		m.DegradedTime, 100*m.DegradedFraction())
+	if m.Jobs > 0 {
+		fmt.Fprintf(&b, "  jobs                   %d run, %d aborted, %d deadline misses (%.1f%% miss rate)\n",
+			m.Jobs, m.AbortedJobs, m.Misses, 100*m.MissRate())
+	}
+	if len(m.ByLabel) > 0 {
+		labels := make([]string, 0, len(m.ByLabel))
+		for l := range m.ByLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		b.WriteString("  events by label:\n")
+		for _, l := range labels {
+			fmt.Fprintf(&b, "    %-20s %d\n", l, m.ByLabel[l])
+		}
+	}
+	return b.String()
+}

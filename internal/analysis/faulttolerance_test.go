@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestComputeFaultMetricsPairsAndLatency(t *testing.T) {
+	evs := []trace.FaultRecord{
+		{At: 100 * sim.Us, Kind: trace.FaultInjected, Task: "a", Label: "crash"},
+		{At: 130 * sim.Us, Kind: trace.RecoveryTaken, Task: "a", Label: "crash-abort"},
+		{At: 400 * sim.Us, Kind: trace.FaultInjected, Task: "a", Label: "hang"},
+		{At: 450 * sim.Us, Kind: trace.FaultInjected, Task: "a", Label: "hang"}, // still same episode
+		{At: 500 * sim.Us, Kind: trace.WatchdogFired, Task: "wd", Label: "timeout"},
+		{At: 510 * sim.Us, Kind: trace.RecoveryTaken, Task: "a", Label: "watchdog-restart"},
+	}
+	m := ComputeFaultMetrics(evs, sim.Ms)
+	if m.Injected != 3 || m.Recoveries != 2 || m.WatchdogFirings != 1 {
+		t.Fatalf("counts: %+v", m)
+	}
+	if m.RecoveryPairs != 2 || m.Unrecovered != 0 {
+		t.Fatalf("pairs=%d unrecovered=%d", m.RecoveryPairs, m.Unrecovered)
+	}
+	// Episode latencies: 30us and 110us (from the episode's first injection).
+	if m.MaxRecoveryLatency != 110*sim.Us {
+		t.Fatalf("max latency %v, want 110us", m.MaxRecoveryLatency)
+	}
+	if m.MeanRecoveryLatency != 70*sim.Us {
+		t.Fatalf("mean latency %v, want 70us", m.MeanRecoveryLatency)
+	}
+	if m.DegradedTime != 140*sim.Us {
+		t.Fatalf("degraded %v, want 140us", m.DegradedTime)
+	}
+}
+
+func TestComputeFaultMetricsDegradedUnion(t *testing.T) {
+	// Two tasks degraded over overlapping windows: [100, 300] on a and
+	// [200, 500] on b union to 400us of degraded time, not 500us.
+	evs := []trace.FaultRecord{
+		{At: 100 * sim.Us, Kind: trace.FaultInjected, Task: "a", Label: "crash"},
+		{At: 200 * sim.Us, Kind: trace.FaultInjected, Task: "b", Label: "crash"},
+		{At: 300 * sim.Us, Kind: trace.RecoveryTaken, Task: "a", Label: "crash-abort"},
+		{At: 500 * sim.Us, Kind: trace.RecoveryTaken, Task: "b", Label: "crash-abort"},
+	}
+	m := ComputeFaultMetrics(evs, sim.Ms)
+	if m.DegradedTime != 400*sim.Us {
+		t.Fatalf("degraded %v, want 400us", m.DegradedTime)
+	}
+	if m.DegradedFraction() != 0.4 {
+		t.Fatalf("fraction %v, want 0.4", m.DegradedFraction())
+	}
+}
+
+func TestComputeFaultMetricsUnrecovered(t *testing.T) {
+	// Dropped interrupts never get a recovery action: they show up as an
+	// unrecovered episode, not as open-ended degraded time.
+	evs := []trace.FaultRecord{
+		{At: 50 * sim.Us, Kind: trace.FaultInjected, Task: "isr:net", Label: "irq-drop"},
+		{At: 90 * sim.Us, Kind: trace.FaultInjected, Task: "isr:net", Label: "irq-drop"},
+	}
+	m := ComputeFaultMetrics(evs, sim.Ms)
+	if m.Unrecovered != 1 || m.RecoveryPairs != 0 || m.DegradedTime != 0 {
+		t.Fatalf("%+v", m)
+	}
+	if m.ByLabel["irq-drop"] != 2 {
+		t.Fatalf("labels: %v", m.ByLabel)
+	}
+}
+
+func TestFaultMetricsReport(t *testing.T) {
+	m := ComputeFaultMetrics([]trace.FaultRecord{
+		{At: 10 * sim.Us, Kind: trace.FaultInjected, Task: "a", Label: "wcet-overrun"},
+		{At: 25 * sim.Us, Kind: trace.RecoveryTaken, Task: "a", Label: "miss-restart"},
+	}, 100*sim.Us)
+	m.Jobs, m.Misses, m.AbortedJobs = 10, 2, 1
+	if m.MissRate() != 0.2 {
+		t.Fatalf("miss rate %v", m.MissRate())
+	}
+	r := m.Report()
+	for _, want := range []string{"faults injected", "recovery latency", "15us", "miss-restart", "20.0% miss rate"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+}

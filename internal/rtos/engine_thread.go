@@ -31,6 +31,9 @@ func newThreadedEngine(cpu *Processor) *threadedEngine {
 
 func (e *threadedEngine) start() {
 	e.proc = e.cpu.k.Spawn(e.cpu.name+".rtos", e.run)
+	// The scheduler thread idles on RTKRun forever by design; exclude it
+	// from the kernel's deadlock accounting.
+	e.proc.SetDaemon(true)
 }
 
 // run is the RTOS scheduler thread. It loops forever: process pending

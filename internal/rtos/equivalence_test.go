@@ -130,6 +130,20 @@ func traceSignature(rec *trace.Recorder, end sim.Time) string {
 	}
 	sort.Strings(ov)
 	b.WriteString(strings.Join(ov, "\n"))
+	// Fault-subsystem events, sorted: within one instant the engines may
+	// interleave same-time injections differently, but the set must match.
+	var fs []string
+	for _, f := range rec.FaultEvents() {
+		if f.At >= end {
+			continue
+		}
+		fs = append(fs, fmt.Sprintf("%v %s %s %s", f.At, f.Kind, f.Task, f.Label))
+	}
+	sort.Strings(fs)
+	if len(fs) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(strings.Join(fs, "\n"))
+	}
 	return b.String()
 }
 
@@ -169,6 +183,142 @@ func TestEngineEquivalenceDeterminism(t *testing.T) {
 		b, _, _ := randomWorkload(42, eng, sim.Ms)
 		if a != b {
 			t.Fatalf("engine %v: two runs of the same workload differ", eng)
+		}
+	}
+}
+
+// faultedWorkload builds a deterministic periodic workload with every fault
+// injector active (WCET overrun, crash, hang plus watchdog, IRQ drop and
+// latency) and randomized miss policies, and returns its trace signature.
+func faultedWorkload(seed int64, eng rtos.EngineKind, horizon sim.Time) (string, *trace.Recorder) {
+	rng := rand.New(rand.NewSource(seed))
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{
+		Engine:    eng,
+		Overheads: rtos.UniformOverheads(sim.Time(rng.Intn(3)) * sim.Us),
+	})
+
+	policies := []rtos.MissPolicy{
+		rtos.MissContinue, rtos.MissAbortJob, rtos.MissSkipNextRelease, rtos.MissRestartTask,
+	}
+	nTasks := 3 + rng.Intn(3)
+	tasks := make([]*rtos.Task, nTasks)
+	for i := range tasks {
+		execT := sim.Time(10+rng.Intn(50)) * sim.Us
+		cfg := rtos.TaskConfig{
+			Priority: rng.Intn(10),
+			Period:   sim.Time(80+rng.Intn(150)) * sim.Us,
+			OnMiss:   policies[rng.Intn(len(policies))],
+		}
+		tasks[i] = cpu.NewPeriodicTask(fmt.Sprintf("t%d", i), cfg, func(c *rtos.TaskCtx, cycle int) {
+			c.Execute(execT)
+		})
+	}
+	tasks[rng.Intn(nTasks)].InjectWCETOverrun(rtos.WCETOverrun{
+		Factor:      2 + float64(rng.Intn(3)),
+		Extra:       sim.Time(rng.Intn(20)) * sim.Us,
+		Probability: 0.5,
+		Seed:        seed,
+		After:       sim.Time(rng.Intn(500)) * sim.Us,
+	})
+	tasks[rng.Intn(nTasks)].InjectCrashAt(sim.Time(50+rng.Intn(1500)) * sim.Us)
+	tasks[rng.Intn(nTasks)].InjectHangAt(
+		sim.Time(100+rng.Intn(1000))*sim.Us, sim.Time(30+rng.Intn(200))*sim.Us)
+	guarded := tasks[rng.Intn(nTasks)]
+	guarded.InjectHangAt(sim.Time(200+rng.Intn(1000))*sim.Us, 0)
+	cpu.NewWatchdog("wd", sim.Time(150+rng.Intn(300))*sim.Us, guarded)
+
+	irq := cpu.Interrupts().NewIRQ("rx", 1, sim.Time(rng.Intn(5))*sim.Us, func(c *rtos.ISRCtx) {
+		c.Execute(sim.Time(1+rng.Intn(5)) * sim.Us)
+	})
+	irq.InjectDrop(0.3, seed)
+	irq.InjectLatencySpike(sim.Time(10+rng.Intn(40))*sim.Us, 0.5, seed+1)
+	period := sim.Time(60+rng.Intn(150)) * sim.Us
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for {
+			c.Wait(period)
+			irq.Raise()
+		}
+	})
+
+	sys.RunUntil(horizon)
+	sys.Shutdown()
+	return traceSignature(sys.Rec, horizon), sys.Rec
+}
+
+// TestEngineEquivalenceUnderFaults extends the central equivalence property
+// to the fault subsystem: with all injectors active and recovery policies
+// firing, both engines must still produce identical task timelines, overhead
+// windows and fault/recovery event sets.
+func TestEngineEquivalenceUnderFaults(t *testing.T) {
+	const horizon = 2 * sim.Ms
+	for seed := int64(0); seed < 30; seed++ {
+		sigP, recP := faultedWorkload(seed, rtos.EngineProcedural, horizon)
+		sigT, recT := faultedWorkload(seed, rtos.EngineThreaded, horizon)
+		if sigP != sigT {
+			t.Fatalf("seed %d: faulted traces diverge:\n%s", seed, trace.Diff(recP, recT, horizon, 8))
+		}
+	}
+}
+
+// TestEngineEquivalenceFaultMatrix runs one directed scenario per (fault
+// injector, miss policy) pair on both engines and compares signatures, so
+// every injector and every recovery policy is covered even if the randomized
+// sweep misses a combination.
+func TestEngineEquivalenceFaultMatrix(t *testing.T) {
+	const horizon = sim.Ms
+	injectors := []string{"wcet", "crash", "hang", "hang-watchdog", "irq-drop", "irq-latency"}
+	policies := []rtos.MissPolicy{
+		rtos.MissContinue, rtos.MissAbortJob, rtos.MissSkipNextRelease, rtos.MissRestartTask,
+	}
+	build := func(eng rtos.EngineKind, injector string, policy rtos.MissPolicy) (string, *trace.Recorder) {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu0", rtos.Config{Engine: eng, Overheads: rtos.UniformOverheads(sim.Us)})
+		load := cpu.NewPeriodicTask("load", rtos.TaskConfig{
+			Period: 100 * sim.Us, Priority: 5, OnMiss: policy,
+		}, func(c *rtos.TaskCtx, cycle int) { c.Execute(60 * sim.Us) })
+		cpu.NewPeriodicTask("rival", rtos.TaskConfig{
+			Period: 130 * sim.Us, Priority: 7,
+		}, func(c *rtos.TaskCtx, cycle int) { c.Execute(30 * sim.Us) })
+		switch injector {
+		case "wcet":
+			load.InjectWCETOverrun(rtos.WCETOverrun{Factor: 2, Probability: 0.5, Seed: 11})
+		case "crash":
+			load.InjectCrashAt(150 * sim.Us)
+			load.InjectCrashAt(480 * sim.Us)
+		case "hang":
+			load.InjectHangAt(220*sim.Us, 90*sim.Us)
+		case "hang-watchdog":
+			load.InjectHangAt(220*sim.Us, 0)
+			cpu.NewWatchdog("wd", 150*sim.Us, load)
+		case "irq-drop", "irq-latency":
+			irq := cpu.Interrupts().NewIRQ("rx", 1, 2*sim.Us, func(c *rtos.ISRCtx) {
+				c.Execute(5 * sim.Us)
+			})
+			if injector == "irq-drop" {
+				irq.InjectDrop(0.5, 7)
+			} else {
+				irq.InjectLatencySpike(25*sim.Us, 0.5, 7)
+			}
+			sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+				for {
+					c.Wait(70 * sim.Us)
+					irq.Raise()
+				}
+			})
+		}
+		sys.RunUntil(horizon)
+		sys.Shutdown()
+		return traceSignature(sys.Rec, horizon), sys.Rec
+	}
+	for _, inj := range injectors {
+		for _, pol := range policies {
+			sigP, recP := build(rtos.EngineProcedural, inj, pol)
+			sigT, recT := build(rtos.EngineThreaded, inj, pol)
+			if sigP != sigT {
+				t.Fatalf("injector %s, policy %v: traces diverge:\n%s",
+					inj, pol, trace.Diff(recP, recT, horizon, 8))
+			}
 		}
 	}
 }

@@ -60,6 +60,9 @@ type IRQ struct {
 	// worstLatency tracks the worst observed raise-to-ISR-start delay.
 	raiseAt      sim.Time
 	worstLatency sim.Time
+
+	// faults holds the line's injected faults (fault.go).
+	faults irqFaults
 }
 
 // ISRCtx is the API available inside an interrupt service routine. ISRs may
@@ -79,6 +82,9 @@ func (cpu *Processor) Interrupts() *InterruptController {
 			doneEv:  cpu.k.NewEvent(cpu.name + ".irqDone"),
 		}
 		ic.proc = cpu.k.Spawn(cpu.name+".irqctrl", ic.run)
+		// Infrastructure process: waiting forever for the next raise is
+		// normal, not a deadlock symptom.
+		ic.proc.SetDaemon(true)
 		cpu.irqCtrl = ic
 	}
 	return cpu.irqCtrl
@@ -118,6 +124,9 @@ func (q *IRQ) WorstLatency() sim.Time { return q.worstLatency }
 func (q *IRQ) Raise() {
 	q.raised++
 	q.ctrl.cpu.rec.Access("hw", q.name, trace.AccessSignal)
+	if q.dropRaise() {
+		return
+	}
 	if q.queued || q.ctrl.active == q {
 		return
 	}
@@ -153,8 +162,8 @@ func (ic *InterruptController) run(p *sim.Proc) {
 		ic.pending = append(ic.pending[:best], ic.pending[best+1:]...)
 		irq.queued = false
 
-		if irq.latency > 0 {
-			p.Wait(irq.latency)
+		if lat := irq.latency + irq.extraLatency(); lat > 0 {
+			p.Wait(lat)
 		}
 		ic.active = irq
 		if lat := cpu.k.Now() - irq.raiseAt; lat > irq.worstLatency {

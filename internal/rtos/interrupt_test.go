@@ -1,6 +1,7 @@
 package rtos_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -162,7 +163,7 @@ func TestISRCannotBlock(t *testing.T) {
 	})
 	defer func() {
 		r := recover()
-		if r == nil || !strings.Contains(r.(string), "must not block") {
+		if r == nil || !strings.Contains(fmt.Sprint(r), "must not block") {
 			t.Fatalf("expected must-not-block panic, got %v", r)
 		}
 	}()

@@ -1,6 +1,7 @@
 package rtos_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestBrokenPolicySelectNilPanics(t *testing.T) {
 	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Us) })
 	defer func() {
 		r := recover()
-		if r == nil || !strings.Contains(r.(string), "selected no task") {
+		if r == nil || !strings.Contains(fmt.Sprint(r), "selected no task") {
 			t.Fatalf("expected policy panic, got %v", r)
 		}
 	}()
@@ -43,7 +44,7 @@ func TestBrokenPolicySelectForeignPanics(t *testing.T) {
 	cpu.NewTask("t", rtos.TaskConfig{}, func(c *rtos.TaskCtx) { c.Execute(sim.Us) })
 	defer func() {
 		r := recover()
-		if r == nil || !strings.Contains(r.(string), "not ready") {
+		if r == nil || !strings.Contains(fmt.Sprint(r), "not ready") {
 			t.Fatalf("expected not-ready panic, got %v", r)
 		}
 	}()

@@ -261,6 +261,7 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 	armed := -1
 	grace := false
 	var armedDeadline sim.Time
+	var tsk *Task // assigned below; the watch method only runs during simulation
 	dlEvent := cpu.k.NewEvent(name + ".deadlineWatch")
 	cpu.k.NewMethod(name+".deadlineCheck", func() {
 		if completed >= armed {
@@ -277,12 +278,14 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 		}
 		grace = false
 		cpu.sys.Constraints.report(name, armedDeadline, cpu.k.Now())
+		tsk.deadlineMissed(armed, armedDeadline)
 	}, false, dlEvent)
 	// Arm the first cycle at elaboration: a task so starved that it never
 	// even dispatches must still have its deadline miss detected.
 	armed, armedDeadline = 0, cfg.StartAt+relDeadline
 	dlEvent.NotifyAt(armedDeadline)
-	return cpu.NewTask(name, cfg, func(c *TaskCtx) {
+	tsk = cpu.NewTask(name, cfg, func(c *TaskCtx) {
+		t := c.Task()
 		// The release schedule anchors at the configured first release, not
 		// at the first dispatch: a task dispatched late (higher-priority
 		// load) still owes its work against the nominal period boundaries.
@@ -295,6 +298,7 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 				// Dispatched after the deadline already passed: immediate
 				// miss, no point arming the watchdog.
 				cpu.sys.Constraints.report(name, deadline, c.Now())
+				t.deadlineMissed(cycle, deadline)
 			} else {
 				dlEvent.Cancel()
 				dlEvent.NotifyAt(deadline)
@@ -303,9 +307,26 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 				// Jittered activation; the deadline stays nominal.
 				c.DelayUntil(release + j)
 			}
-			body(c, cycle)
+			aborted := t.runCycle(c, cycle, body)
 			completed = cycle
+			if aborted {
+				t.abortedCycles++
+				if t.restartPending {
+					// Restart recovery: re-release immediately with a fresh
+					// deadline counted from now.
+					t.restartPending = false
+					release = c.Now()
+					continue
+				}
+			} else {
+				t.completedCycles++
+			}
 			release += cfg.Period
+			if t.skipNext {
+				// Skip-next recovery: surrender one release to catch up.
+				t.skipNext = false
+				release += cfg.Period
+			}
 			if release > c.Now() {
 				c.DelayUntil(release)
 			} else {
@@ -313,6 +334,7 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 			}
 		}
 	})
+	return tsk
 }
 
 // releaseJitter returns a deterministic pseudo-random jitter in [0, max]

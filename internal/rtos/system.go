@@ -1,6 +1,7 @@
 package rtos
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/sim"
@@ -29,6 +30,7 @@ func NewSystem() *System {
 	k := sim.New()
 	s := &System{K: k, Rec: trace.NewRecorder(k.Now)}
 	s.Constraints = &ConstraintSet{sys: s}
+	k.SetDiagnostic(s.diagnostic)
 	return s
 }
 
@@ -39,7 +41,29 @@ func NewSystem() *System {
 func NewUntracedSystem() *System {
 	s := &System{K: sim.New()}
 	s.Constraints = &ConstraintSet{sys: s}
+	s.K.SetDiagnostic(s.diagnostic)
 	return s
+}
+
+// diagnostic produces the RTOS-level context lines attached to a
+// sim.SimError: what each processor was doing when the failure was detected.
+func (s *System) diagnostic() []string {
+	var out []string
+	for _, cpu := range s.cpus {
+		doing := "idle"
+		switch {
+		case cpu.running != nil:
+			doing = "running " + cpu.running.name
+		case cpu.switching:
+			doing = "context-switching"
+		}
+		if ic := cpu.irqCtrl; ic != nil && ic.active != nil {
+			doing += ", in ISR " + ic.active.name
+		}
+		out = append(out, fmt.Sprintf("cpu %s [%s/%s]: %s, %d ready",
+			cpu.name, cpu.engineKind, cpu.policy.Name(), doing, len(cpu.ready)))
+	}
+	return out
 }
 
 // Run simulates until no further activity is possible, then shuts the
@@ -52,6 +76,16 @@ func (s *System) RunUntil(t sim.Time) { s.K.RunUntil(t) }
 
 // RunFor simulates for duration d of simulated time.
 func (s *System) RunFor(d sim.Time) { s.K.RunFor(d) }
+
+// RunChecked simulates until absolute time limit (pass sim.TimeMax to run to
+// exhaustion), recovering model panics and reporting deadlock/starvation as
+// a structured *sim.SimError with per-processor context. Call Shutdown when
+// done.
+func (s *System) RunChecked(limit sim.Time) (sim.Report, error) { return s.K.RunChecked(limit) }
+
+// FinishReason reports why the most recent run returned: quiescent,
+// deadlock, limit, stopped or panic.
+func (s *System) FinishReason() sim.FinishReason { return s.K.FinishReason() }
 
 // Shutdown unwinds all simulation processes.
 func (s *System) Shutdown() { s.K.Shutdown() }

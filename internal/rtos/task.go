@@ -72,6 +72,14 @@ type TaskConfig struct {
 	// [0, Jitter] while its deadline stays anchored at the nominal release.
 	// Must be smaller than the period.
 	Jitter sim.Time
+	// OnMiss selects the automatic recovery action taken when a cycle of a
+	// periodic task misses its deadline; the default MissContinue takes
+	// none. Ignored for aperiodic tasks.
+	OnMiss MissPolicy
+	// OnMissHook, when non-nil, is consulted at each deadline miss and
+	// returns the recovery action to take, overriding OnMiss. It runs in
+	// simulation context and must not block.
+	OnMissHook func(MissInfo) MissPolicy
 }
 
 // Task is a software task scheduled by a Processor's RTOS model. Create
@@ -103,10 +111,24 @@ type Task struct {
 
 	ctx *TaskCtx
 
+	// Fault-injection and recovery state (fault.go, recovery.go).
+	wcetFault      *WCETOverrun
+	execSeq        uint64 // Execute occurrence counter for fault decisions
+	inJob          bool   // a job (periodic cycle or one-shot body) is in flight
+	abortPending   bool   // abandon the current job at the next checkpoint
+	abortReason    string // recovery label recorded when the abort lands
+	restartPending bool   // re-release immediately after the abort
+	skipNext       bool   // skip the next periodic release
+	hangPending    bool   // become stuck at the next Execute instant
+	hangDur        sim.Time
+	hung           bool // currently stuck in an injected hang
+
 	// Aggregate counters, readable after the simulation.
-	dispatches  uint64
-	preemptions uint64
-	cpuTime     sim.Time
+	dispatches      uint64
+	preemptions     uint64
+	cpuTime         sim.Time
+	completedCycles uint64
+	abortedCycles   uint64
 }
 
 // Name returns the task name.
@@ -156,6 +178,14 @@ func (t *Task) Preemptions() uint64 { return t.preemptions }
 
 // CPUTime returns the total simulated processor time the task consumed.
 func (t *Task) CPUTime() sim.Time { return t.cpuTime }
+
+// CompletedCycles returns how many periodic cycles (or one-shot jobs) ran to
+// completion.
+func (t *Task) CompletedCycles() uint64 { return t.completedCycles }
+
+// AbortedCycles returns how many jobs were abandoned by a recovery action
+// (injected crash, deadline-miss policy, watchdog restart).
+func (t *Task) AbortedCycles() uint64 { return t.abortedCycles }
 
 // preemptible reports whether the task may currently be preempted.
 func (t *Task) preemptible() bool {
@@ -230,8 +260,32 @@ func (t *Task) threadBody(p *sim.Proc) {
 	}
 	t.cpu.eng.taskIsReady(t)
 	t.awaitDispatch()
-	t.fn(t.ctx)
+	t.runBehaviour()
 	t.cpu.eng.taskFinished(t)
+}
+
+// runBehaviour runs the task function. A job abort that unwinds all the way
+// here (a one-shot task, or a crash outside the periodic cycle wrapper)
+// terminates the task early instead of killing the simulation.
+func (t *Task) runBehaviour() {
+	defer func() {
+		t.inJob = false
+		if r := recover(); r != nil {
+			if _, ok := r.(jobAborted); !ok {
+				panic(r)
+			}
+			t.abortedCycles++
+			label := t.abortReason
+			if label == "" {
+				label = "abort"
+			}
+			t.abortReason = ""
+			t.cpu.rec.Fault(trace.RecoveryTaken, t.name, label, "one-shot job aborted; task terminates")
+		}
+	}()
+	t.inJob = true
+	t.fn(t.ctx)
+	t.completedCycles++
 }
 
 // TaskCtx is the API a task behaviour uses to interact with the RTOS model:
@@ -274,8 +328,18 @@ func (c *TaskCtx) Execute(d sim.Time) {
 	if t.state != trace.StateRunning {
 		panic(fmt.Sprintf("rtos: Execute called by task %q in state %v", t.name, t.state))
 	}
-	remaining := t.cpu.scaleExec(d)
+	remaining := t.inflateWCET(t.cpu.scaleExec(d))
 	for remaining > 0 {
+		// Abort and hang checkpoints: an injected crash, a deadline-miss
+		// recovery or a watchdog restart takes effect here; an injected hang
+		// parks the task in place, preserving the remaining duration.
+		if t.abortPending {
+			t.abortJob()
+		}
+		if t.hangPending {
+			t.enterHang()
+			continue
+		}
 		if ic := t.cpu.irqCtrl; ic != nil && ic.active != nil {
 			// An ISR has borrowed the processor: wait in place (no RTOS
 			// call, no context switch) until interrupt handling completes.
@@ -312,15 +376,24 @@ func (c *TaskCtx) Delay(d sim.Time) {
 	if d == 0 {
 		return
 	}
+	t.armDelayWake()
+	t.delayEvent.NotifyIn(d)
+	t.cpu.eng.taskIsBlocked(t, trace.StateWaiting)
+	t.awaitDispatch()
+	if t.abortPending {
+		t.abortJob()
+	}
+}
+
+// armDelayWake lazily creates the event (and wake method) that ends a Delay;
+// also reused by an injected finite hang.
+func (t *Task) armDelayWake() {
 	if t.delayEvent == nil {
 		t.delayEvent = t.proc.Kernel().NewEvent(t.name + ".delay")
 		t.proc.Kernel().NewMethod(t.name+".delayWake", func() {
 			t.cpu.eng.taskIsReady(t)
 		}, false, t.delayEvent)
 	}
-	t.delayEvent.NotifyIn(d)
-	t.cpu.eng.taskIsBlocked(t, trace.StateWaiting)
-	t.awaitDispatch()
 }
 
 // SleepFor suspends the task for d without using the processor; it makes

@@ -24,6 +24,8 @@ type Built struct {
 	Buses       map[string]*bus.Bus
 	Channels    map[string]*bus.Channel[int]
 	Servers     map[string]*rtos.Server
+	Tasks       map[string]*rtos.Task
+	Watchdogs   map[string]*rtos.Watchdog
 
 	// traceCursors tracks each named duration trace's position; a trace has
 	// one global cursor shared by all its execute_trace sites, advancing
@@ -45,6 +47,8 @@ func (s *System) Build() (*Built, error) {
 		Buses:        map[string]*bus.Bus{},
 		Channels:     map[string]*bus.Channel[int]{},
 		Servers:      map[string]*rtos.Server{},
+		Tasks:        map[string]*rtos.Task{},
+		Watchdogs:    map[string]*rtos.Watchdog{},
 		traceCursors: map[string]int{},
 	}
 	for _, p := range s.Processors {
@@ -147,13 +151,21 @@ func (s *System) Build() (*Built, error) {
 			Deadline: t.Deadline.Time(),
 			Jitter:   t.Jitter.Time(),
 		}
+		switch t.OnMiss {
+		case "abort":
+			cfg.OnMiss = rtos.MissAbortJob
+		case "skip_next":
+			cfg.OnMiss = rtos.MissSkipNextRelease
+		case "restart":
+			cfg.OnMiss = rtos.MissRestartTask
+		}
 		if t.Period > 0 {
-			cpu.NewPeriodicTask(t.Name, cfg, func(c *rtos.TaskCtx, cycle int) {
+			b.Tasks[t.Name] = cpu.NewPeriodicTask(t.Name, cfg, func(c *rtos.TaskCtx, cycle int) {
 				b.runOps(swOps(c), t.Body)
 			})
 			continue
 		}
-		cpu.NewTask(t.Name, cfg, func(c *rtos.TaskCtx) {
+		b.Tasks[t.Name] = cpu.NewTask(t.Name, cfg, func(c *rtos.TaskCtx) {
 			ops := swOps(c)
 			if t.Loop {
 				for {
@@ -179,6 +191,32 @@ func (s *System) Build() (*Built, error) {
 			}
 		})
 	}
+
+	for _, w := range s.Watchdogs {
+		b.Watchdogs[w.Name] = b.Processors[w.Processor].NewWatchdog(
+			w.Name, w.Timeout.Time(), b.Tasks[w.Task]) // Task "" maps to nil
+	}
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case "wcet_overrun":
+			b.Tasks[f.Task].InjectWCETOverrun(rtos.WCETOverrun{
+				Factor:      f.Factor,
+				Extra:       f.Extra.Time(),
+				Probability: f.Probability,
+				Seed:        f.Seed,
+				After:       f.After.Time(),
+				Until:       f.Until.Time(),
+			})
+		case "crash":
+			b.Tasks[f.Task].InjectCrashAt(f.At.Time())
+		case "hang":
+			b.Tasks[f.Task].InjectHangAt(f.At.Time(), f.For.Time())
+		case "irq_drop":
+			b.IRQs[f.IRQ].InjectDrop(f.Probability, f.Seed)
+		case "irq_latency":
+			b.IRQs[f.IRQ].InjectLatencySpike(f.Extra.Time(), f.Probability, f.Seed)
+		}
+	}
 	return b, nil
 }
 
@@ -191,6 +229,22 @@ func (b *Built) Run() {
 		return
 	}
 	b.Sys.Run()
+}
+
+// RunChecked simulates the built scenario to its horizon (or to event
+// starvation) with failure diagnosis: model panics, deadlock and starvation
+// come back as a structured *sim.SimError instead of a panic or a silent
+// stop. On a clean finish the kernel is shut down and the report returned.
+func (b *Built) RunChecked() (sim.Report, error) {
+	limit := sim.TimeMax
+	if h := b.Desc.Horizon.Time(); h > 0 {
+		limit = h
+	}
+	rep, err := b.Sys.RunChecked(limit)
+	if err == nil {
+		b.Sys.Shutdown()
+	}
+	return rep, err
 }
 
 // opActor abstracts the software/hardware task APIs for the interpreter.
@@ -285,6 +339,8 @@ func (b *Built) runOps(a opActor, ops []Op) {
 			b.Constraints[op.Constraint].Start()
 		case "lat_stop":
 			b.Constraints[op.Constraint].Stop()
+		case "kick":
+			b.Watchdogs[op.Watchdog].Kick()
 		case "repeat":
 			for i := 0; i < op.Count; i++ {
 				b.runOps(a, op.Body)

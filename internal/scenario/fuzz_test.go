@@ -28,6 +28,17 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"bogus":1}`)
 	f.Add(`not json at all`)
 	f.Add(`{"processors":[{"name":"p","policy":"rr","quantum":"1us"}],"queues":[{"name":"q","capacity":1}],"tasks":[{"name":"t","processor":"p","repeat":2,"body":[{"op":"put","queue":"q"},{"op":"get","queue":"q"}]}]}`)
+	// Fault-injection section seeds: every fault kind, a watchdog with its
+	// kick op, a recovery policy, and descriptions the validator must reject
+	// (bad kind, bad factor, onMiss without a period, cross-CPU watchdog).
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","onMiss":"restart","body":[{"op":"execute","for":"40us"}]}],"faults":[{"kind":"wcet_overrun","task":"t","factor":3,"probability":0.5,"seed":7}]}`)
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","onMiss":"abort","body":[{"op":"execute","for":"40us"}]}],"faults":[{"kind":"crash","task":"t","at":"120us"},{"kind":"hang","task":"t","at":"320us","for":"30us"}]}`)
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p"}],"irqs":[{"name":"i","processor":"p","priority":1,"body":[{"op":"execute","for":"2us"}]}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"execute","for":"10us"},{"op":"raise","irq":"i"}]}],"faults":[{"kind":"irq_drop","irq":"i","probability":0.5,"seed":3},{"kind":"irq_latency","irq":"i","extra":"5us","probability":0.5,"seed":4}]}`)
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p"}],"watchdogs":[{"name":"w","processor":"p","timeout":"150us","task":"t"}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"kick","watchdog":"w"},{"op":"execute","for":"40us"}]}],"faults":[{"kind":"hang","task":"t","at":"210us"}]}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}],"faults":[{"kind":"meteor","task":"t"}]}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}],"faults":[{"kind":"wcet_overrun","task":"t","factor":0.5}]}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","onMiss":"restart","body":[{"op":"execute","for":"1us"}]}]}`)
+	f.Add(`{"processors":[{"name":"a"},{"name":"b"}],"watchdogs":[{"name":"w","processor":"a","timeout":"1us","task":"t"}],"tasks":[{"name":"t","processor":"b","body":[{"op":"execute","for":"1us"}]}]}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse([]byte(src))
 		if err != nil {

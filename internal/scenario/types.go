@@ -93,13 +93,67 @@ type System struct {
 	// Traces are named sequences of execution durations for trace-driven
 	// simulation: an execute_trace op consumes them in order, wrapping
 	// around (e.g. per-frame decode times measured on a reference platform).
-	Traces   map[string][]Duration `json:"traces"`
-	IRQs     []IRQDef              `json:"irqs"`
-	Buses    []BusDef              `json:"buses"`
-	Channels []ChannelDef          `json:"channels"`
-	Servers  []ServerDef           `json:"servers"`
-	Tasks    []SWTask              `json:"tasks"`
-	Hardware []HWTask              `json:"hardware"`
+	Traces    map[string][]Duration `json:"traces"`
+	IRQs      []IRQDef              `json:"irqs"`
+	Buses     []BusDef              `json:"buses"`
+	Channels  []ChannelDef          `json:"channels"`
+	Servers   []ServerDef           `json:"servers"`
+	Tasks     []SWTask              `json:"tasks"`
+	Hardware  []HWTask              `json:"hardware"`
+	Faults    []FaultDef            `json:"faults"`
+	Watchdogs []WatchdogDef         `json:"watchdogs"`
+}
+
+// FaultDef describes one injected fault. The fields used depend on Kind:
+//
+//	wcet_overrun {task, factor and/or extra, probability?, seed?, after?, until?}
+//	    every affected execute of the task takes factor times its duration
+//	    plus extra; probability selects affected calls (omitted: all of them)
+//	crash {task, at}
+//	    the task's job in flight at time at is aborted at its next execute
+//	    or delay; a periodic task resumes at its next release, a one-shot
+//	    task terminates
+//	hang {task, at, for?}
+//	    at its next execute instant after at, the task stops consuming
+//	    processor time for the given duration — forever when for is omitted,
+//	    in which case only a watchdog recovers it
+//	irq_drop {irq, probability?, seed?}
+//	    a fraction of raises of the line vanish (omitted probability: all)
+//	irq_latency {irq, extra, probability?, seed?}
+//	    a fraction of ISR activations suffer extra dispatch latency
+type FaultDef struct {
+	Kind string `json:"kind"`
+	// Task names the target software task (task-directed kinds).
+	Task string `json:"task"`
+	// IRQ names the target interrupt line (irq-directed kinds).
+	IRQ string `json:"irq"`
+	// At is the absolute injection instant (crash, hang).
+	At Duration `json:"at"`
+	// For is the hang duration; zero or omitted hangs forever.
+	For Duration `json:"for"`
+	// Factor multiplies execute durations (wcet_overrun); 0 means 1.
+	Factor float64 `json:"factor"`
+	// Extra is added per execute (wcet_overrun) or per activation (irq_latency).
+	Extra Duration `json:"extra"`
+	// Probability in [0,1] selects affected occurrences; 0 or 1 means all.
+	Probability float64 `json:"probability"`
+	// Seed drives the deterministic per-occurrence decisions.
+	Seed int64 `json:"seed"`
+	// After/Until bound the active window of a wcet_overrun fault.
+	After Duration `json:"after"`
+	Until Duration `json:"until"`
+}
+
+// WatchdogDef describes a per-processor watchdog timer. Task bodies pet it
+// with the kick op; when the timeout elapses without a kick it fires,
+// aborting and restarting the guarded task's job in flight (if any).
+type WatchdogDef struct {
+	Name      string   `json:"name"`
+	Processor string   `json:"processor"`
+	Timeout   Duration `json:"timeout"`
+	// Task is the software task restarted on firing; empty means the
+	// watchdog only records the event.
+	Task string `json:"task"`
 }
 
 // BusDef describes a shared interconnect.
@@ -213,8 +267,11 @@ type SWTask struct {
 	// Loop repeats the body forever (aperiodic cyclic task).
 	Loop bool `json:"loop"`
 	// Repeat runs the body a fixed number of times (default 1).
-	Repeat int  `json:"repeat"`
-	Body   []Op `json:"body"`
+	Repeat int `json:"repeat"`
+	// OnMiss selects the deadline-miss recovery policy of a periodic task:
+	// "continue" (default), "abort", "skip_next" or "restart".
+	OnMiss string `json:"onMiss"`
+	Body   []Op   `json:"body"`
 }
 
 // HWTask describes a hardware task.
@@ -254,6 +311,7 @@ type HWTask struct {
 //	yield                  release the processor voluntarily (sw only)
 //	lat_start {constraint} start a latency-constraint occurrence
 //	lat_stop {constraint}  stop the oldest occurrence
+//	kick {watchdog}        pet a watchdog timer (software tasks and ISRs)
 //	repeat {count, body}   run the nested body count times
 type Op struct {
 	Op         string   `json:"op"`
@@ -266,6 +324,7 @@ type Op struct {
 	Channel    string   `json:"channel"`
 	Server     string   `json:"server"`
 	Trace      string   `json:"trace"`
+	Watchdog   string   `json:"watchdog"`
 	Value      int      `json:"value"`
 	Count      int      `json:"count"`
 	Body       []Op     `json:"body"`

@@ -110,10 +110,22 @@ func (s *System) validate() error {
 		traces[name] = true
 	}
 	irqs := map[string]bool{}
+	// Watchdog names are collected up front so task and ISR bodies can kick
+	// them; the rest of each definition is checked after the tasks are known.
+	watchdogs := map[string]bool{}
+	for _, w := range s.Watchdogs {
+		if w.Name == "" {
+			return fmt.Errorf("scenario: watchdog with empty name")
+		}
+		if watchdogs[w.Name] {
+			return fmt.Errorf("scenario: duplicate watchdog %q", w.Name)
+		}
+		watchdogs[w.Name] = true
+	}
 	refs := refSets{
 		events: events, queues: queues, shared: shared,
 		constraints: constraints, irqs: irqs, channels: channels, servers: servers,
-		traces: traces,
+		traces: traces, watchdogs: watchdogs,
 	}
 	for _, srv := range s.Servers {
 		if servers[srv.Name] {
@@ -149,6 +161,7 @@ func (s *System) validate() error {
 	}
 
 	names := map[string]bool{}
+	taskCPU := map[string]string{}
 	for _, t := range s.Tasks {
 		if names[t.Name] {
 			return fmt.Errorf("scenario: duplicate task %q", t.Name)
@@ -157,11 +170,21 @@ func (s *System) validate() error {
 		if !cpus[t.Processor] {
 			return fmt.Errorf("scenario: task %q: unknown processor %q", t.Name, t.Processor)
 		}
+		taskCPU[t.Name] = t.Processor
 		if t.Loop && t.Period > 0 {
 			return fmt.Errorf("scenario: task %q: loop and period are mutually exclusive", t.Name)
 		}
 		if t.Jitter > 0 && (t.Period == 0 || t.Jitter >= t.Period) {
 			return fmt.Errorf("scenario: task %q: jitter requires a period larger than the jitter", t.Name)
+		}
+		switch t.OnMiss {
+		case "", "continue":
+		case "abort", "skip_next", "restart":
+			if t.Period == 0 {
+				return fmt.Errorf("scenario: task %q: onMiss %q requires a period", t.Name, t.OnMiss)
+			}
+		default:
+			return fmt.Errorf("scenario: task %q: unknown onMiss policy %q", t.Name, t.OnMiss)
 		}
 		if len(t.Body) == 0 {
 			return fmt.Errorf("scenario: task %q has an empty body", t.Name)
@@ -185,11 +208,98 @@ func (s *System) validate() error {
 	if len(s.Tasks) == 0 && len(s.Hardware) == 0 {
 		return fmt.Errorf("scenario: no tasks")
 	}
+
+	for _, w := range s.Watchdogs {
+		if !cpus[w.Processor] {
+			return fmt.Errorf("scenario: watchdog %q: unknown processor %q", w.Name, w.Processor)
+		}
+		if w.Timeout <= 0 {
+			return fmt.Errorf("scenario: watchdog %q: timeout must be positive", w.Name)
+		}
+		if w.Task != "" {
+			cpu, ok := taskCPU[w.Task]
+			if !ok {
+				return fmt.Errorf("scenario: watchdog %q: unknown task %q", w.Name, w.Task)
+			}
+			if cpu != w.Processor {
+				return fmt.Errorf("scenario: watchdog %q: task %q runs on processor %q, not %q",
+					w.Name, w.Task, cpu, w.Processor)
+			}
+		}
+	}
+	if err := s.validateFaults(taskCPU, irqs); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateFaults mirrors the preconditions of the rtos fault injectors so a
+// bad description is an error, not an elaboration panic.
+func (s *System) validateFaults(taskCPU map[string]string, irqs map[string]bool) error {
+	for i, f := range s.Faults {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("scenario: fault %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
+		}
+		needTask := func() error {
+			if taskCPU[f.Task] == "" {
+				return fail("unknown task %q", f.Task)
+			}
+			return nil
+		}
+		if f.Probability < 0 || f.Probability > 1 {
+			return fail("probability out of [0, 1]")
+		}
+		switch f.Kind {
+		case "wcet_overrun":
+			if err := needTask(); err != nil {
+				return err
+			}
+			if f.Factor != 0 && f.Factor < 1 {
+				return fail("factor must be at least 1")
+			}
+			if f.Extra < 0 {
+				return fail("negative extra")
+			}
+			if (f.Factor == 0 || f.Factor == 1) && f.Extra == 0 {
+				return fail("no effect: needs factor > 1 and/or a positive extra")
+			}
+			if f.After < 0 || f.Until < 0 || (f.Until > 0 && f.Until <= f.After) {
+				return fail("active window [after, until) is empty")
+			}
+		case "crash":
+			if err := needTask(); err != nil {
+				return err
+			}
+			if f.At < 0 {
+				return fail("negative injection time")
+			}
+		case "hang":
+			if err := needTask(); err != nil {
+				return err
+			}
+			if f.At < 0 || f.For < 0 {
+				return fail("negative time")
+			}
+		case "irq_drop":
+			if !irqs[f.IRQ] {
+				return fail("unknown irq %q", f.IRQ)
+			}
+		case "irq_latency":
+			if !irqs[f.IRQ] {
+				return fail("unknown irq %q", f.IRQ)
+			}
+			if f.Extra <= 0 {
+				return fail("needs a positive extra latency")
+			}
+		default:
+			return fail("unknown fault kind")
+		}
+	}
 	return nil
 }
 
 type refSets struct {
-	events, queues, shared, constraints, irqs, channels, servers, traces map[string]bool
+	events, queues, shared, constraints, irqs, channels, servers, traces, watchdogs map[string]bool
 }
 
 // opsKind selects the operation whitelist for a body.
@@ -264,6 +374,13 @@ func validateOps(task string, ops []Op, kind opsKind, refs refSets) error {
 		case "lat_start", "lat_stop":
 			if !refs.constraints[op.Constraint] {
 				return fail("unknown constraint %q", op.Constraint)
+			}
+		case "kick":
+			if kind == hwOpsKind {
+				return fail("watchdogs are kicked from software tasks or ISRs")
+			}
+			if !refs.watchdogs[op.Watchdog] {
+				return fail("unknown watchdog %q", op.Watchdog)
 			}
 		case "raise":
 			if kind == isrOps {

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunForOverflowClamps is the regression test for the Time overflow in
+// RunFor: starting from a non-zero now, RunFor(TimeMax) used to compute
+// now + d < now and panic "RunUntil into the past".
+func TestRunForOverflowClamps(t *testing.T) {
+	k := New()
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(Us)
+	})
+	k.RunFor(Us)
+	if k.Now() != Us {
+		t.Fatalf("now = %v, want 1us", k.Now())
+	}
+	k.RunFor(TimeMax) // must clamp, not panic
+	if k.FinishReason() != FinishQuiescent {
+		t.Fatalf("finish = %v, want quiescent", k.FinishReason())
+	}
+	k.Shutdown()
+}
+
+// TestNotifyInOverflowClamps checks that a huge relative notification is
+// clamped to TimeMax instead of wrapping into the past.
+func TestNotifyInOverflowClamps(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(Us)
+		e.NotifyIn(TimeMax) // must not panic "NotifyAt in the past"
+		p.Wait(Us)
+	})
+	k.RunUntil(10 * Us)
+	if k.FinishReason() != FinishLimit {
+		t.Fatalf("finish = %v, want limit", k.FinishReason())
+	}
+	k.Shutdown()
+}
+
+// TestWaitOverflowClamps checks Wait and WaitTimeout with near-TimeMax
+// durations from a non-zero instant.
+func TestWaitOverflowClamps(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(Us)
+		p.WaitTimeout(TimeMax, e)
+	})
+	k.Spawn("q", func(p *Proc) {
+		p.Wait(Us)
+		p.Wait(TimeMax)
+	})
+	k.RunUntil(Ms)
+	if k.FinishReason() != FinishLimit {
+		t.Fatalf("finish = %v, want limit", k.FinishReason())
+	}
+	k.Shutdown()
+}
+
+func TestFinishReasons(t *testing.T) {
+	// Quiescent: everything terminates.
+	k := New()
+	k.Spawn("p", func(p *Proc) { p.Wait(Us) })
+	k.RunUntil(TimeMax)
+	if k.FinishReason() != FinishQuiescent {
+		t.Fatalf("finish = %v, want quiescent", k.FinishReason())
+	}
+	k.Shutdown()
+
+	// Limit: pending activity past the horizon.
+	k = New()
+	k.Spawn("p", func(p *Proc) { p.Wait(Ms) })
+	k.RunUntil(Us)
+	if k.FinishReason() != FinishLimit {
+		t.Fatalf("finish = %v, want limit", k.FinishReason())
+	}
+	k.Shutdown()
+
+	// Stopped.
+	k = New()
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(Us)
+		p.Kernel().Stop()
+		p.Wait(Us)
+	})
+	k.RunUntil(TimeMax)
+	if k.FinishReason() != FinishStopped {
+		t.Fatalf("finish = %v, want stopped", k.FinishReason())
+	}
+	k.Shutdown()
+
+	// Deadlock: a process waits on an event nobody notifies.
+	k = New()
+	e := k.NewEvent("never")
+	k.Spawn("victim", func(p *Proc) { p.WaitEvent(e) })
+	k.RunUntil(TimeMax)
+	if k.FinishReason() != FinishDeadlock {
+		t.Fatalf("finish = %v, want deadlock", k.FinishReason())
+	}
+	k.Shutdown()
+}
+
+func TestRunCheckedDeadlock(t *testing.T) {
+	k := New()
+	e := k.NewEvent("lock.acquire")
+	k.Spawn("victim", func(p *Proc) { p.WaitEvent(e) })
+	k.Spawn("idler", func(p *Proc) { p.WaitEvent(e) })
+	k.Spawn("daemon", func(p *Proc) { p.WaitEvent(k.NewEvent("infra")) }).SetDaemon(true)
+	rep, err := k.RunChecked(TimeMax)
+	if rep.Reason != FinishDeadlock {
+		t.Fatalf("reason = %v, want deadlock", rep.Reason)
+	}
+	if err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+	se, ok := err.(*SimError)
+	if !ok {
+		t.Fatalf("error type %T, want *SimError", err)
+	}
+	if len(se.Blocked) != 2 {
+		t.Fatalf("blocked = %v, want the two victims (daemon excluded)", se.Blocked)
+	}
+	msg := err.Error()
+	for _, want := range []string{"deadlock", "victim", "idler", "lock.acquire"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "daemon") {
+		t.Fatalf("error %q should not list the daemon process", msg)
+	}
+	k.Shutdown()
+}
+
+func TestRunCheckedRecoversPanic(t *testing.T) {
+	k := New()
+	k.SetDiagnostic(func() []string { return []string{"cpu0: running task bad"} })
+	k.Spawn("bad", func(p *Proc) {
+		p.Wait(Us)
+		panic("boom")
+	})
+	rep, err := k.RunChecked(TimeMax)
+	if err == nil {
+		t.Fatal("expected an error from the panicking process")
+	}
+	se, ok := err.(*SimError)
+	if !ok {
+		t.Fatalf("error type %T, want *SimError", err)
+	}
+	if se.Proc != "bad" || se.At != Us || se.PanicValue != "boom" {
+		t.Fatalf("unexpected SimError: %+v", se)
+	}
+	if rep.Reason != FinishPanic {
+		t.Fatalf("reason = %v, want panic", rep.Reason)
+	}
+	if !strings.Contains(err.Error(), "cpu0: running task bad") {
+		t.Fatalf("error %q lacks the diagnostic context", err)
+	}
+	k.Shutdown()
+}
+
+func TestRunCheckedQuiescent(t *testing.T) {
+	k := New()
+	k.Spawn("p", func(p *Proc) { p.Wait(Us) })
+	rep, err := k.RunChecked(TimeMax)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if rep.Reason != FinishQuiescent || rep.End != Us || len(rep.Blocked) != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	k.Shutdown()
+}

@@ -62,7 +62,8 @@ func (e *Event) NotifyDelta() {
 
 // NotifyIn schedules the event to fire after duration d. NotifyIn(0) is
 // equivalent to NotifyDelta. A pending earlier notification wins; a pending
-// later one is replaced.
+// later one is replaced. The fire instant saturates at TimeMax for very
+// large durations.
 func (e *Event) NotifyIn(d Time) {
 	if d < 0 {
 		panic("sim: NotifyIn with negative duration")
@@ -71,7 +72,7 @@ func (e *Event) NotifyIn(d Time) {
 		e.NotifyDelta()
 		return
 	}
-	e.NotifyAt(e.k.now + d)
+	e.NotifyAt(addSat(e.k.now, d))
 }
 
 // NotifyAt schedules the event to fire at absolute time t, which must not be

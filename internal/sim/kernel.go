@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // deltaTimeout records a process to wake at the next delta cycle unless it
 // has already been woken (generation mismatch) in the meantime.
 type deltaTimeout struct {
@@ -50,6 +48,9 @@ type Kernel struct {
 	running       bool
 	stopRequested bool
 	shuttingDown  bool
+
+	finish     FinishReason
+	diagnostic func() []string
 
 	deltaCount  uint64
 	activations uint64
@@ -101,8 +102,14 @@ func (k *Kernel) RunUntil(t Time) {
 	k.run(t)
 }
 
-// RunFor executes the simulation for duration d of simulated time.
-func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+// RunFor executes the simulation for duration d of simulated time. The end
+// instant saturates at TimeMax for very large durations.
+func (k *Kernel) RunFor(d Time) {
+	if d < 0 {
+		panic("sim: RunFor with negative duration")
+	}
+	k.RunUntil(addSat(k.now, d))
+}
 
 // Shutdown unwinds every non-terminated process goroutine. It is idempotent.
 // Events notified by terminating processes are not propagated.
@@ -150,6 +157,7 @@ func (k *Kernel) run(limit Time) {
 			break
 		}
 		if k.stopRequested {
+			k.finish = FinishStopped
 			return
 		}
 
@@ -189,10 +197,19 @@ func (k *Kernel) run(limit Time) {
 		// Timed notification phase: advance to the earliest pending action.
 		head := k.timed.peek()
 		if head == nil {
-			return // event starvation: nothing can ever happen again
+			// Event starvation: nothing can ever happen again. Clean
+			// quiescence if no non-daemon process is left waiting, a
+			// deadlock otherwise.
+			if len(k.BlockedProcs()) > 0 {
+				k.finish = FinishDeadlock
+			} else {
+				k.finish = FinishQuiescent
+			}
+			return
 		}
 		if head.at > limit {
 			k.now = limit
+			k.finish = FinishLimit
 			return
 		}
 		k.now = head.at
@@ -225,7 +242,7 @@ func (k *Kernel) dispatch(p *Proc) {
 	exit := <-k.yielded
 	k.current = nil
 	if exit != nil && exit.panicVal != nil {
-		panic(fmt.Sprintf("sim: process %q panicked: %v", exit.p.name, exit.panicVal))
+		panic(&SimError{At: k.now, Proc: exit.p.name, PanicValue: exit.panicVal})
 	}
 }
 

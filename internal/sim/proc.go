@@ -54,6 +54,10 @@ type Proc struct {
 	resume  chan bool // kernel -> proc; false means unwind (kill)
 	state   ProcState
 	started bool
+	// daemon marks infrastructure processes (RTOS scheduler threads,
+	// interrupt controllers) that legitimately wait forever; they are
+	// excluded from deadlock accounting.
+	daemon bool
 
 	// Wake bookkeeping while waiting.
 	waitEvents []*Event    // events subscribed for the current wait
@@ -98,6 +102,27 @@ func (p *Proc) State() ProcState { return p.state }
 
 // Kernel returns the kernel this process belongs to.
 func (p *Proc) Kernel() *Kernel { return p.k }
+
+// SetDaemon marks the process as infrastructure: a daemon blocked forever is
+// not a deadlock (it is expected to idle when the model has no work for it).
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// Daemon reports whether the process is marked as infrastructure.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// WaitingOn returns the names of the events the process is currently
+// subscribed to; empty when the process is not waiting on events (pure
+// timeout, delta wait, or not waiting at all).
+func (p *Proc) WaitingOn() []string {
+	if p.state != ProcWaiting || len(p.waitEvents) == 0 {
+		return nil
+	}
+	names := make([]string, len(p.waitEvents))
+	for i, e := range p.waitEvents {
+		names[i] = e.name
+	}
+	return names
+}
 
 // Now returns the current simulated time.
 func (p *Proc) Now() Time { return p.k.now }
@@ -208,7 +233,7 @@ func (p *Proc) Wait(d Time) {
 		p.WaitDelta()
 		return
 	}
-	p.timeout = p.k.scheduleTimed(p.k.now+d, nil, p)
+	p.timeout = p.k.scheduleTimed(addSat(p.k.now, d), nil, p)
 	p.park()
 }
 
@@ -302,7 +327,7 @@ func (p *Proc) WaitTimeout(d Time, events ...*Event) (woke *Event, timedOut bool
 		// generation guard discards the wake if an event got there first.
 		p.k.deltaTimeouts = append(p.k.deltaTimeouts, deltaTimeout{p, p.waitGen + 1})
 	} else {
-		p.timeout = p.k.scheduleTimed(p.k.now+d, nil, p)
+		p.timeout = p.k.scheduleTimed(addSat(p.k.now, d), nil, p)
 	}
 	for _, e := range events {
 		e.addWaiter(p)

@@ -81,3 +81,13 @@ func (t Time) Microseconds() float64 { return float64(t) / float64(Us) }
 // Scale multiplies a duration by a dimensionless factor, rounding to the
 // nearest picosecond. It is useful in user overhead formulas.
 func (t Time) Scale(f float64) Time { return Time(math.Round(float64(t) * f)) }
+
+// addSat returns a+b saturated at TimeMax; both operands must be
+// non-negative. The kernel uses it wherever "now + duration" could wrap past
+// TimeMax (RunFor, NotifyIn, timed waits).
+func addSat(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return TimeMax
+}

@@ -192,6 +192,15 @@ func (r *Recorder) RenderChronology() string {
 		lines = append(lines, line{a.At, seq, fmt.Sprintf("%-12v %-10s %s %s %s", a.At, "comm", a.Actor, a.Kind, a.Object)})
 		seq++
 	}
+	for i := range r.faults {
+		f := &r.faults[i]
+		text := fmt.Sprintf("%-12v %-10s %s %s %s", f.At, "fault", f.Kind, f.Task, f.Label)
+		if f.Detail != "" {
+			text += " (" + f.Detail + ")"
+		}
+		lines = append(lines, line{f.At, seq, text})
+		seq++
+	}
 	sort.SliceStable(lines, func(i, j int) bool {
 		if lines[i].at != lines[j].at {
 			return lines[i].at < lines[j].at

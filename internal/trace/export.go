@@ -17,6 +17,15 @@ type jsonTrace struct {
 	Overheads []jsonOverhead    `json:"overheads"`
 	Accesses  []jsonAccess      `json:"accesses"`
 	Depths    []jsonDepth       `json:"depths"`
+	Faults    []jsonFault       `json:"faults,omitempty"`
+}
+
+type jsonFault struct {
+	AtPs   sim.Time `json:"at_ps"`
+	Kind   string   `json:"kind"`
+	Task   string   `json:"task"`
+	Label  string   `json:"label"`
+	Detail string   `json:"detail,omitempty"`
 }
 
 type jsonStateChange struct {
@@ -77,6 +86,12 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		d := &r.depths[i]
 		out.Depths = append(out.Depths, jsonDepth{
 			AtPs: d.At, Object: d.Object, Depth: d.Depth, Capacity: d.Capacity,
+		})
+	}
+	for i := range r.faults {
+		f := &r.faults[i]
+		out.Faults = append(out.Faults, jsonFault{
+			AtPs: f.At, Kind: f.Kind.String(), Task: f.Task, Label: f.Label, Detail: f.Detail,
 		})
 	}
 	enc := json.NewEncoder(w)

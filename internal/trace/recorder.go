@@ -40,6 +40,22 @@ type DepthSample struct {
 	Capacity int
 }
 
+// FaultRecord is one fault-subsystem event: a fault injection, a recovery
+// action, or a watchdog expiry.
+type FaultRecord struct {
+	At sim.Time
+	// Kind classifies the event.
+	Kind FaultEventKind
+	// Task is the affected task (or the watchdog name for WatchdogFired).
+	Task string
+	// Label is a short machine-matchable identifier of the fault or
+	// recovery action, e.g. "wcet-overrun", "crash", "miss-restart",
+	// "watchdog-restart". The fault-tolerance metrics aggregate on it.
+	Label string
+	// Detail is a free-form human-readable elaboration.
+	Detail string
+}
+
 // Recorder accumulates the execution trace of a simulated system. All
 // methods are safe to call on a nil Recorder (they do nothing), so model
 // code can trace unconditionally and tracing is zero-cost when disabled.
@@ -53,6 +69,7 @@ type Recorder struct {
 	overheads []OverheadSegment
 	accesses  []Access
 	depths    []DepthSample
+	faults    []FaultRecord
 
 	tasks   []string
 	taskSet map[string]bool
@@ -104,6 +121,26 @@ func (r *Recorder) Access(actor, object string, kind AccessKind) {
 	}
 	r.noteObject(object)
 	r.accesses = append(r.accesses, Access{At: r.now(), Actor: actor, Object: object, Kind: kind})
+}
+
+// Fault records a fault-subsystem event (fault injection, recovery action,
+// watchdog expiry) against a task.
+func (r *Recorder) Fault(kind FaultEventKind, task, label, detail string) {
+	if r == nil {
+		return
+	}
+	r.faults = append(r.faults, FaultRecord{
+		At: r.now(), Kind: kind, Task: task, Label: label, Detail: detail,
+	})
+}
+
+// FaultEvents returns all recorded fault-subsystem events in chronological
+// order.
+func (r *Recorder) FaultEvents() []FaultRecord {
+	if r == nil {
+		return nil
+	}
+	return r.faults
 }
 
 // Depth records a change of object's occupancy.
@@ -252,6 +289,9 @@ func (r *Recorder) End() sim.Time {
 	}
 	if n := len(r.depths); n > 0 && r.depths[n-1].At > end {
 		end = r.depths[n-1].At
+	}
+	if n := len(r.faults); n > 0 && r.faults[n-1].At > end {
+		end = r.faults[n-1].At
 	}
 	return end
 }

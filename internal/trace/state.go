@@ -150,3 +150,33 @@ func (k AccessKind) String() string {
 	}
 	return "invalid"
 }
+
+// FaultEventKind classifies the events of the fault-injection and
+// fault-tolerance subsystem: faults being injected into the model, recovery
+// actions being taken (deadline-miss policies, job aborts, restarts), and
+// watchdog expiries.
+type FaultEventKind uint8
+
+const (
+	// FaultInjected: an injected fault took effect (WCET overrun applied,
+	// task crashed or hung, IRQ dropped or delayed).
+	FaultInjected FaultEventKind = iota
+	// RecoveryTaken: a recovery action completed (job aborted, task
+	// restarted, release skipped).
+	RecoveryTaken
+	// WatchdogFired: a watchdog timeout expired without a kick.
+	WatchdogFired
+)
+
+var faultEventNames = [...]string{
+	FaultInjected: "fault-injected",
+	RecoveryTaken: "recovery-taken",
+	WatchdogFired: "watchdog-fired",
+}
+
+func (k FaultEventKind) String() string {
+	if int(k) < len(faultEventNames) {
+		return faultEventNames[k]
+	}
+	return "invalid"
+}

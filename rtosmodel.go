@@ -146,6 +146,61 @@ type (
 	AperiodicJob = rtos.AperiodicJob
 )
 
+// Fault injection, recovery and failure diagnosis.
+type (
+	// WCETOverrun describes a worst-case-execution-time inflation fault
+	// for Task.InjectWCETOverrun.
+	WCETOverrun = rtos.WCETOverrun
+	// MissPolicy selects a task's deadline-miss recovery action.
+	MissPolicy = rtos.MissPolicy
+	// MissInfo describes one deadline miss to an OnMissHook.
+	MissInfo = rtos.MissInfo
+	// Watchdog is a per-processor watchdog timer (kick or it fires).
+	Watchdog = rtos.Watchdog
+	// FinishReason tells why a run returned (quiescent, deadlock, ...).
+	FinishReason = sim.FinishReason
+	// SimReport summarizes a checked run.
+	SimReport = sim.Report
+	// SimError is the structured failure a RunChecked call returns.
+	SimError = sim.SimError
+	// BlockedProc names one process blocked forever and its wait object.
+	BlockedProc = sim.BlockedProc
+	// FaultRecord is one recorded fault/recovery/watchdog trace event.
+	FaultRecord = trace.FaultRecord
+	// FaultMetrics summarizes a run's fault-tolerance behaviour.
+	FaultMetrics = analysis.FaultMetrics
+)
+
+// Deadline-miss recovery policies (TaskConfig.OnMiss).
+const (
+	MissContinue        = rtos.MissContinue
+	MissAbortJob        = rtos.MissAbortJob
+	MissSkipNextRelease = rtos.MissSkipNextRelease
+	MissRestartTask     = rtos.MissRestartTask
+)
+
+// Finish reasons reported by System.FinishReason and SimReport.Reason.
+const (
+	FinishQuiescent = sim.FinishQuiescent
+	FinishDeadlock  = sim.FinishDeadlock
+	FinishLimit     = sim.FinishLimit
+	FinishStopped   = sim.FinishStopped
+	FinishPanic     = sim.FinishPanic
+)
+
+// Fault trace event kinds (FaultRecord.Kind).
+const (
+	FaultInjected = trace.FaultInjected
+	RecoveryTaken = trace.RecoveryTaken
+	WatchdogFired = trace.WatchdogFired
+)
+
+// ComputeFaultMetrics derives miss-rate, recovery-latency and degraded-mode
+// metrics from recorded fault events (typically sys.Rec.FaultEvents()).
+func ComputeFaultMetrics(events []FaultRecord, horizon Time) FaultMetrics {
+	return analysis.ComputeFaultMetrics(events, horizon)
+}
+
 // RTOS engine kinds.
 const (
 	// EngineProcedural integrates the RTOS into the task state transitions
