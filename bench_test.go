@@ -12,6 +12,7 @@ package rtosmodel_test
 //	go test -bench=. -benchmem
 
 import (
+	"strconv"
 	"testing"
 
 	rtosmodel "repro"
@@ -60,21 +61,7 @@ func BenchmarkEngineComparison(b *testing.B) {
 }
 
 func benchName(eng rtosmodel.EngineKind, n int) string {
-	return eng.String() + "/tasks=" + itoa(n)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
+	return eng.String() + "/tasks=" + strconv.Itoa(n)
 }
 
 // BenchmarkFigure6 is E4: building, simulating and extracting the annotated

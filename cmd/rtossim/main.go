@@ -5,10 +5,12 @@
 // Usage:
 //
 //	rtossim [flags] scenario.json
+//	rtossim sweep [flags] sweep.json
 //
-// Example:
+// Examples:
 //
 //	rtossim -timeline -stats examples/scenarios/figure6.json
+//	rtossim sweep -workers 8 examples/scenarios/sweep.json
 package main
 
 import (
@@ -24,6 +26,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
+		return
+	}
 	var (
 		until       = flag.String("until", "", "override the scenario horizon (e.g. 2ms)")
 		engine      = flag.String("engine", "", "override every processor's engine: procedural or threaded")

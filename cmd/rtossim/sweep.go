@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/batch"
+	"repro/internal/scenario"
+)
+
+// sweepMain implements `rtossim sweep [flags] sweep.json`: a parallel
+// parameter sweep of one base scenario over the cross-product of the spec's
+// axes (engines, policies, speeds, overhead sets, fault seeds).
+func sweepMain(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		workers  = fs.Int("workers", 0, "worker pool size (0: the spec's workers field, then GOMAXPROCS)")
+		table    = fs.Bool("table", true, "print the per-variant result table")
+		jsonPath = fs.String("json", "", "write the results as JSON to this file")
+		quiet    = fs.Bool("quiet", false, "suppress the progress line")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: rtossim sweep [flags] sweep.json\n\n")
+		fmt.Fprintf(fs.Output(), "The sweep file names a base scenario and the axes to cross, e.g.:\n")
+		fmt.Fprintf(fs.Output(), `  {"scenario": "figure6.json", "engines": ["procedural", "threaded"],`+"\n")
+		fmt.Fprintf(fs.Output(), `   "policies": ["priority", "edf"], "speeds": [0.5, 1, 2], "seeds": [1, 2, 3]}`+"\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	specPath := fs.Arg(0)
+	specData, err := os.ReadFile(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := batch.ParseSpec(specData)
+	if err != nil {
+		fatal(err)
+	}
+	if spec.Scenario == "" {
+		fatal(fmt.Errorf("sweep spec %s names no base scenario", specPath))
+	}
+	// The base scenario path is relative to the spec file.
+	scenPath := spec.Scenario
+	if !filepath.IsAbs(scenPath) {
+		scenPath = filepath.Join(filepath.Dir(specPath), scenPath)
+	}
+	base, err := os.ReadFile(scenPath)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := scenario.Parse(base); err != nil {
+		fatal(fmt.Errorf("base scenario %s: %w", scenPath, err))
+	}
+
+	variants, err := spec.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	opts := batch.Options{Workers: *workers}
+	if opts.Workers == 0 {
+		opts.Workers = spec.Workers
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results := spec.Run(base, variants, opts)
+
+	if *table {
+		fmt.Print(batch.Table(results))
+		fmt.Println()
+	}
+	sum := batch.Summarize(results)
+	fmt.Print(sum.Report())
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if sum.Failures > 0 {
+		os.Exit(1)
+	}
+}

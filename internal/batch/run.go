@@ -1,0 +1,249 @@
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Metrics are the aggregate outcomes of one sweep run, extracted from the
+// simulation so the full trace can be discarded. They are pure functions of
+// the variant (simulations are deterministic), which is what makes parallel
+// and serial sweeps comparable result-for-result.
+type Metrics struct {
+	// End is the simulated time the run finished at; Finish tells why.
+	End    sim.Time
+	Finish string
+	// Activations and DeltaCycles are the kernel's effort counters — the
+	// paper's efficiency metric for comparing the two RTOS implementations.
+	Activations uint64
+	DeltaCycles uint64
+	// Dispatches and Preemptions are summed over all processors.
+	Dispatches  uint64
+	Preemptions uint64
+	// ContextSwitches is summed over all processors (from the trace).
+	ContextSwitches int
+	// Violations counts timing-constraint violations; DeadlineMisses the
+	// subset from periodic-task deadline watchdogs.
+	Violations     int
+	DeadlineMisses int
+	// Jobs and AbortedJobs count periodic-task cycles.
+	Jobs        int
+	AbortedJobs int
+	// Utilization is the mean processor load ratio over the run.
+	Utilization float64
+}
+
+// Result is the outcome of one variant's simulation. Err carries the failure
+// text (deadlock, model panic) — a string, not an error, so results compare
+// with == and survive JSON round-trips.
+type Result struct {
+	Variant Variant
+	Metrics Metrics
+	Err     string
+}
+
+// Options configures a sweep execution.
+type Options struct {
+	// Workers bounds the number of concurrent simulations (<= 0: GOMAXPROCS).
+	Workers int
+	// Progress, when set, is called after each completed run with the number
+	// done so far and the total. Calls are serialized but not ordered by
+	// variant index.
+	Progress func(done, total int)
+}
+
+// Run simulates every variant of the sweep against the base scenario bytes
+// and returns the results ordered by variant index. Each run re-parses the
+// base bytes into a private scenario (deep copy) and owns a private kernel,
+// so runs share nothing; with Workers=1 the sweep is fully serial and yields
+// the same results as any parallel execution.
+func (s *Spec) Run(base []byte, variants []Variant, opts Options) []Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(variants) {
+		workers = len(variants)
+	}
+	results := make([]Result, len(variants))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = s.runOne(base, variants[i])
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(done, len(variants))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range variants {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Sweep is the one-call form: expand the spec's axes and run them all.
+func (s *Spec) Sweep(base []byte, opts Options) ([]Result, error) {
+	variants, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.Workers
+	}
+	return s.Run(base, variants, opts), nil
+}
+
+// runOne simulates a single variant in isolation.
+func (s *Spec) runOne(base []byte, v Variant) Result {
+	res := Result{Variant: v}
+	desc, err := scenario.Parse(base)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	s.apply(desc, v)
+	built, err := desc.Build()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rep, runErr := built.RunChecked()
+	if runErr != nil {
+		res.Err = runErr.Error()
+		// RunChecked only shuts down on success; unwind the parked process
+		// goroutines so a sweep full of failing variants does not leak them.
+		shutdownQuietly(built)
+	}
+	res.Metrics = computeMetrics(built, rep)
+	return res
+}
+
+// shutdownQuietly unwinds a failed run's kernel, swallowing any secondary
+// panic: the run is already reported as failed.
+func shutdownQuietly(built *scenario.Built) {
+	defer func() { _ = recover() }()
+	built.Sys.Shutdown()
+}
+
+// computeMetrics extracts the aggregate outcomes from a finished run.
+func computeMetrics(built *scenario.Built, rep sim.Report) Metrics {
+	sys := built.Sys
+	m := Metrics{
+		End:         sys.Now(),
+		Finish:      rep.Reason.String(),
+		Activations: rep.Activations,
+		DeltaCycles: rep.DeltaCycles,
+	}
+	for _, cpu := range sys.Processors() {
+		m.Dispatches += cpu.Dispatches()
+		m.Preemptions += cpu.Preemptions()
+	}
+	for _, v := range sys.Constraints.Violations() {
+		m.Violations++
+		if strings.HasSuffix(v.Name, ".deadline") {
+			m.DeadlineMisses++
+		}
+	}
+	for _, t := range built.Tasks {
+		m.Jobs += int(t.CompletedCycles() + t.AbortedCycles())
+		m.AbortedJobs += int(t.AbortedCycles())
+	}
+	st := sys.Stats(0)
+	for i := range st.Processors {
+		m.ContextSwitches += st.Processors[i].ContextSwitches
+		m.Utilization += st.Processors[i].LoadRatio()
+	}
+	if n := len(st.Processors); n > 0 {
+		m.Utilization /= float64(n)
+	}
+	return m
+}
+
+// Summary aggregates a sweep's results.
+type Summary struct {
+	Runs            int
+	Failures        int
+	TotalMisses     int
+	TotalViolations int
+	MinEnd, MaxEnd  sim.Time
+	MeanUtilization float64
+}
+
+// Summarize rolls the per-variant results up into a Summary.
+func Summarize(results []Result) Summary {
+	var s Summary
+	s.Runs = len(results)
+	for _, r := range results {
+		if r.Err != "" {
+			s.Failures++
+			continue
+		}
+		s.TotalMisses += r.Metrics.DeadlineMisses
+		s.TotalViolations += r.Metrics.Violations
+		s.MeanUtilization += r.Metrics.Utilization
+		if s.MinEnd == 0 || r.Metrics.End < s.MinEnd {
+			s.MinEnd = r.Metrics.End
+		}
+		if r.Metrics.End > s.MaxEnd {
+			s.MaxEnd = r.Metrics.End
+		}
+	}
+	if ok := s.Runs - s.Failures; ok > 0 {
+		s.MeanUtilization /= float64(ok)
+	}
+	return s
+}
+
+// Table renders one row per result, ordered by variant index, for terminal
+// reports. The output is deterministic.
+func Table(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-40s %10s %8s %8s %8s %7s %6s %6s\n",
+		"#", "variant", "end", "activ", "disp", "preempt", "miss", "viol", "util")
+	for _, r := range results {
+		if r.Err != "" {
+			line := r.Err
+			if i := strings.IndexByte(line, '\n'); i >= 0 {
+				line = line[:i]
+			}
+			fmt.Fprintf(&b, "%-4d %-40s FAILED: %s\n", r.Variant.Index, r.Variant.Label(), line)
+			continue
+		}
+		m := r.Metrics
+		fmt.Fprintf(&b, "%-4d %-40s %10v %8d %8d %8d %7d %6d %5.1f%%\n",
+			r.Variant.Index, r.Variant.Label(), m.End, m.Activations,
+			m.Dispatches, m.Preemptions, m.DeadlineMisses, m.Violations,
+			m.Utilization*100)
+	}
+	return b.String()
+}
+
+// Report renders the summary for terminal output.
+func (s Summary) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d run(s), %d failure(s)\n", s.Runs, s.Failures)
+	if s.Runs > s.Failures {
+		fmt.Fprintf(&b, "  deadline misses: %d   constraint violations: %d\n",
+			s.TotalMisses, s.TotalViolations)
+		fmt.Fprintf(&b, "  simulated end: %v .. %v   mean utilization: %.1f%%\n",
+			s.MinEnd, s.MaxEnd, s.MeanUtilization*100)
+	}
+	return b.String()
+}

@@ -50,7 +50,12 @@ func (q *waitQueue) empty() bool  { return len(q.actors) == 0 }
 func (q *waitQueue) len() int     { return len(q.actors) }
 func (q *waitQueue) popFIFO() Actor {
 	a := q.actors[0]
-	q.actors = q.actors[1:]
+	// Copy-down pop: reslicing from the front would strand the buffer's
+	// capacity and force every later push to reallocate.
+	last := len(q.actors) - 1
+	copy(q.actors, q.actors[1:])
+	q.actors[last] = nil
+	q.actors = q.actors[:last]
 	return a
 }
 
@@ -63,6 +68,9 @@ func (q *waitQueue) popPriority() Actor {
 		}
 	}
 	a := q.actors[best]
-	q.actors = append(q.actors[:best], q.actors[best+1:]...)
+	last := len(q.actors) - 1
+	copy(q.actors[best:], q.actors[best+1:])
+	q.actors[last] = nil
+	q.actors = q.actors[:last]
 	return a
 }

@@ -1,0 +1,45 @@
+package rtos_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// TestAllocsPerContextSwitch pins the RTOS-level hot path at zero heap
+// allocations per context switch on both engine implementations: two tasks
+// ping-ponging through counter events, untraced (the recorder would
+// otherwise grow with the run). This covers the whole stack — comm event
+// wait queues, the engines' dispatch machinery, the processor's ready-queue
+// bookkeeping and the kernel underneath.
+func TestAllocsPerContextSwitch(t *testing.T) {
+	for _, eng := range []rtos.EngineKind{rtos.EngineProcedural, rtos.EngineThreaded} {
+		t.Run(eng.String(), func(t *testing.T) {
+			sys := rtos.NewUntracedSystem()
+			cpu := sys.NewProcessor("cpu", rtos.Config{Engine: eng})
+			ping := comm.NewEvent(sys.Rec, "ping", comm.Counter)
+			pong := comm.NewEvent(sys.Rec, "pong", comm.Counter)
+			cpu.NewTask("a", rtos.TaskConfig{Priority: 2}, func(c *rtos.TaskCtx) {
+				for {
+					c.Execute(sim.Us)
+					ping.Signal(c)
+					pong.Wait(c)
+				}
+			})
+			cpu.NewTask("b", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+				for {
+					ping.Wait(c)
+					c.Execute(sim.Us)
+					pong.Signal(c)
+				}
+			})
+			sys.RunFor(200 * sim.Us) // steady state
+			defer sys.Shutdown()
+			if avg := testing.AllocsPerRun(100, func() { sys.RunFor(2 * sim.Us) }); avg > 0 {
+				t.Errorf("%s engine allocates %.2f objects per switch round, want 0", eng, avg)
+			}
+		})
+	}
+}

@@ -45,7 +45,11 @@ func (e *threadedEngine) run(p *sim.Proc) {
 		switch {
 		case len(e.outgoing) > 0:
 			out := e.outgoing[0]
-			e.outgoing = e.outgoing[1:]
+			// Copy-down pop: reslicing from the front would strand the
+			// buffer's capacity and force append to reallocate forever.
+			n := copy(e.outgoing, e.outgoing[1:])
+			e.outgoing[n] = nil
+			e.outgoing = e.outgoing[:n]
 			cpu.charge(p, trace.OverheadContextSave, out, cpu.overheadCtx(out))
 			p.WaitDelta() // settle: same-instant arrivals join the ready queue
 			e.dispatch(p)

@@ -1,6 +1,8 @@
 package rtos_test
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/comm"
+	"repro/internal/experiments"
 	"repro/internal/rtos"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -261,64 +264,127 @@ func TestEngineEquivalenceUnderFaults(t *testing.T) {
 	}
 }
 
+var faultMatrixInjectors = []string{"wcet", "crash", "hang", "hang-watchdog", "irq-drop", "irq-latency"}
+
+var faultMatrixPolicies = []rtos.MissPolicy{
+	rtos.MissContinue, rtos.MissAbortJob, rtos.MissSkipNextRelease, rtos.MissRestartTask,
+}
+
+// buildFaultMatrix runs one directed fault scenario (one injector, one miss
+// policy) on the given engine and returns its trace signature and recorder.
+// It is shared by the fault-matrix equivalence test and the trace-export
+// golden guard.
+func buildFaultMatrix(eng rtos.EngineKind, injector string, policy rtos.MissPolicy, horizon sim.Time) (string, *trace.Recorder) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtos.Config{Engine: eng, Overheads: rtos.UniformOverheads(sim.Us)})
+	load := cpu.NewPeriodicTask("load", rtos.TaskConfig{
+		Period: 100 * sim.Us, Priority: 5, OnMiss: policy,
+	}, func(c *rtos.TaskCtx, cycle int) { c.Execute(60 * sim.Us) })
+	cpu.NewPeriodicTask("rival", rtos.TaskConfig{
+		Period: 130 * sim.Us, Priority: 7,
+	}, func(c *rtos.TaskCtx, cycle int) { c.Execute(30 * sim.Us) })
+	switch injector {
+	case "wcet":
+		load.InjectWCETOverrun(rtos.WCETOverrun{Factor: 2, Probability: 0.5, Seed: 11})
+	case "crash":
+		load.InjectCrashAt(150 * sim.Us)
+		load.InjectCrashAt(480 * sim.Us)
+	case "hang":
+		load.InjectHangAt(220*sim.Us, 90*sim.Us)
+	case "hang-watchdog":
+		load.InjectHangAt(220*sim.Us, 0)
+		cpu.NewWatchdog("wd", 150*sim.Us, load)
+	case "irq-drop", "irq-latency":
+		irq := cpu.Interrupts().NewIRQ("rx", 1, 2*sim.Us, func(c *rtos.ISRCtx) {
+			c.Execute(5 * sim.Us)
+		})
+		if injector == "irq-drop" {
+			irq.InjectDrop(0.5, 7)
+		} else {
+			irq.InjectLatencySpike(25*sim.Us, 0.5, 7)
+		}
+		sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+			for {
+				c.Wait(70 * sim.Us)
+				irq.Raise()
+			}
+		})
+	}
+	sys.RunUntil(horizon)
+	sys.Shutdown()
+	return traceSignature(sys.Rec, horizon), sys.Rec
+}
+
 // TestEngineEquivalenceFaultMatrix runs one directed scenario per (fault
 // injector, miss policy) pair on both engines and compares signatures, so
 // every injector and every recovery policy is covered even if the randomized
 // sweep misses a combination.
 func TestEngineEquivalenceFaultMatrix(t *testing.T) {
 	const horizon = sim.Ms
-	injectors := []string{"wcet", "crash", "hang", "hang-watchdog", "irq-drop", "irq-latency"}
-	policies := []rtos.MissPolicy{
-		rtos.MissContinue, rtos.MissAbortJob, rtos.MissSkipNextRelease, rtos.MissRestartTask,
-	}
-	build := func(eng rtos.EngineKind, injector string, policy rtos.MissPolicy) (string, *trace.Recorder) {
-		sys := rtos.NewSystem()
-		cpu := sys.NewProcessor("cpu0", rtos.Config{Engine: eng, Overheads: rtos.UniformOverheads(sim.Us)})
-		load := cpu.NewPeriodicTask("load", rtos.TaskConfig{
-			Period: 100 * sim.Us, Priority: 5, OnMiss: policy,
-		}, func(c *rtos.TaskCtx, cycle int) { c.Execute(60 * sim.Us) })
-		cpu.NewPeriodicTask("rival", rtos.TaskConfig{
-			Period: 130 * sim.Us, Priority: 7,
-		}, func(c *rtos.TaskCtx, cycle int) { c.Execute(30 * sim.Us) })
-		switch injector {
-		case "wcet":
-			load.InjectWCETOverrun(rtos.WCETOverrun{Factor: 2, Probability: 0.5, Seed: 11})
-		case "crash":
-			load.InjectCrashAt(150 * sim.Us)
-			load.InjectCrashAt(480 * sim.Us)
-		case "hang":
-			load.InjectHangAt(220*sim.Us, 90*sim.Us)
-		case "hang-watchdog":
-			load.InjectHangAt(220*sim.Us, 0)
-			cpu.NewWatchdog("wd", 150*sim.Us, load)
-		case "irq-drop", "irq-latency":
-			irq := cpu.Interrupts().NewIRQ("rx", 1, 2*sim.Us, func(c *rtos.ISRCtx) {
-				c.Execute(5 * sim.Us)
-			})
-			if injector == "irq-drop" {
-				irq.InjectDrop(0.5, 7)
-			} else {
-				irq.InjectLatencySpike(25*sim.Us, 0.5, 7)
-			}
-			sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
-				for {
-					c.Wait(70 * sim.Us)
-					irq.Raise()
-				}
-			})
-		}
-		sys.RunUntil(horizon)
-		sys.Shutdown()
-		return traceSignature(sys.Rec, horizon), sys.Rec
-	}
-	for _, inj := range injectors {
-		for _, pol := range policies {
-			sigP, recP := build(rtos.EngineProcedural, inj, pol)
-			sigT, recT := build(rtos.EngineThreaded, inj, pol)
+	for _, inj := range faultMatrixInjectors {
+		for _, pol := range faultMatrixPolicies {
+			sigP, recP := buildFaultMatrix(rtos.EngineProcedural, inj, pol, horizon)
+			sigT, recT := buildFaultMatrix(rtos.EngineThreaded, inj, pol, horizon)
 			if sigP != sigT {
 				t.Fatalf("injector %s, policy %v: traces diverge:\n%s",
 					inj, pol, trace.Diff(recP, recT, horizon, 8))
 			}
+		}
+	}
+}
+
+// exportHash returns the SHA-256 of the recorder's JSON trace export.
+func exportHash(t *testing.T, rec *trace.Recorder) string {
+	t.Helper()
+	h := sha256.New()
+	if err := rec.WriteJSON(h); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// traceExportGoldens pins the SHA-256 of the JSON trace exports of the
+// canonical scenarios, captured on the pre-optimization (seed) kernel. They
+// guard the hot-path optimizations: pooling, ring buffers and the ready-queue
+// cache must not change a single recorded state transition, overhead window
+// or fault event on either engine. Regenerate only for an intentional model
+// semantics change, never for a performance change.
+var traceExportGoldens = map[string]string{
+	"figure6/procedural":      "8ea81db1c562da8a53495ed8a1c201c7db6ad0d79b463d8f2a3c4495b0a275cb",
+	"figure6/threaded":        "8ea81db1c562da8a53495ed8a1c201c7db6ad0d79b463d8f2a3c4495b0a275cb",
+	"figure7/procedural":      "857f86dbc4b60bb550d3faf9e75b13a026a7fad548f98fe6bdc2e6d2d362869a",
+	"figure7/threaded":        "857f86dbc4b60bb550d3faf9e75b13a026a7fad548f98fe6bdc2e6d2d362869a",
+	"fault-matrix/procedural": "3db971c57019b0a08860fa214e2013d5996acd45fd81c756886513cec3728d06",
+	"fault-matrix/threaded":   "3db971c57019b0a08860fa214e2013d5996acd45fd81c756886513cec3728d06",
+}
+
+// TestTraceExportGolden is the before/after determinism guard for kernel
+// optimizations: the optimized kernel must produce byte-identical trace
+// exports for the Figure 6/7 and fault-matrix scenarios on both engines.
+func TestTraceExportGolden(t *testing.T) {
+	const horizon = sim.Ms
+	got := map[string]string{}
+	for _, eng := range engines() {
+		r6 := experiments.RunFigure6(experiments.Figure6Config{Engine: eng})
+		got["figure6/"+eng.String()] = exportHash(t, r6.Fig.Sys.Rec)
+		r7 := experiments.RunFigure7(eng, experiments.Figure7Plain)
+		got["figure7/"+eng.String()] = exportHash(t, r7.Sys.Rec)
+		// The whole fault matrix folds into one hash per engine: every
+		// per-scenario export is hashed in a fixed order.
+		h := sha256.New()
+		for _, inj := range faultMatrixInjectors {
+			for _, pol := range faultMatrixPolicies {
+				_, rec := buildFaultMatrix(eng, inj, pol, horizon)
+				if err := rec.WriteJSON(h); err != nil {
+					t.Fatalf("WriteJSON: %v", err)
+				}
+			}
+		}
+		got["fault-matrix/"+eng.String()] = hex.EncodeToString(h.Sum(nil))
+	}
+	for key, want := range traceExportGoldens {
+		if got[key] != want {
+			t.Errorf("%s: trace export hash changed:\n  got  %s\n  want %s", key, got[key], want)
 		}
 	}
 }

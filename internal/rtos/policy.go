@@ -30,6 +30,33 @@ type QuantumPolicy interface {
 	Quantum() sim.Time
 }
 
+// orderedPolicy is implemented by policies whose Select is exactly the argmin
+// of a strict total order over the ready tasks. For such policies the
+// processor maintains an incremental best-ready cache: each arrival costs one
+// comparison and elections reuse the cached winner instead of rescanning the
+// queue. All built-in policies are ordered (readySeq is the unique tiebreak);
+// user-supplied policies without this method keep the full-scan path.
+type orderedPolicy interface {
+	Policy
+	// prefer reports whether a must be dispatched before b. It must be a
+	// strict total order over simultaneously ready tasks: irreflexive,
+	// transitive, and total (for a != b exactly one of prefer(a,b) and
+	// prefer(b,a) holds).
+	prefer(a, b *Task) bool
+}
+
+// selectOrdered is the shared Select of the built-in policies: the argmin of
+// the policy's preference order.
+func selectOrdered(p orderedPolicy, ready []*Task) *Task {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if p.prefer(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
 // PriorityPreemptive is the fixed-priority preemptive policy, the most
 // widely used real-time scheduling policy and the paper's default. Higher
 // numeric priority wins; ties are broken by ready-queue arrival order.
@@ -40,15 +67,13 @@ func (PriorityPreemptive) Name() string { return "priority-preemptive" }
 
 // Select implements Policy: the highest-priority ready task, FIFO among
 // equals.
-func (PriorityPreemptive) Select(ready []*Task) *Task {
-	best := ready[0]
-	for _, t := range ready[1:] {
-		if t.EffectivePriority() > best.EffectivePriority() ||
-			(t.EffectivePriority() == best.EffectivePriority() && t.readySeq < best.readySeq) {
-			best = t
-		}
-	}
-	return best
+func (p PriorityPreemptive) Select(ready []*Task) *Task { return selectOrdered(p, ready) }
+
+// prefer implements orderedPolicy: higher effective priority first, FIFO
+// (readySeq) among equals.
+func (PriorityPreemptive) prefer(a, b *Task) bool {
+	pa, pb := a.EffectivePriority(), b.EffectivePriority()
+	return pa > pb || (pa == pb && a.readySeq < b.readySeq)
 }
 
 // ShouldPreempt implements Policy: strictly higher priority preempts.
@@ -64,15 +89,10 @@ type FIFO struct{}
 func (FIFO) Name() string { return "fifo" }
 
 // Select implements Policy: the earliest-ready task.
-func (FIFO) Select(ready []*Task) *Task {
-	best := ready[0]
-	for _, t := range ready[1:] {
-		if t.readySeq < best.readySeq {
-			best = t
-		}
-	}
-	return best
-}
+func (p FIFO) Select(ready []*Task) *Task { return selectOrdered(p, ready) }
+
+// prefer implements orderedPolicy: arrival order.
+func (FIFO) prefer(a, b *Task) bool { return a.readySeq < b.readySeq }
 
 // ShouldPreempt implements Policy: never.
 func (FIFO) ShouldPreempt(n, r *Task) bool { return false }
@@ -89,7 +109,10 @@ type RoundRobin struct {
 func (p RoundRobin) Name() string { return "round-robin" }
 
 // Select implements Policy: the earliest-ready task.
-func (p RoundRobin) Select(ready []*Task) *Task { return FIFO{}.Select(ready) }
+func (p RoundRobin) Select(ready []*Task) *Task { return selectOrdered(p, ready) }
+
+// prefer implements orderedPolicy: arrival order.
+func (RoundRobin) prefer(a, b *Task) bool { return a.readySeq < b.readySeq }
 
 // ShouldPreempt implements Policy: arrivals never preempt; only the quantum
 // does.
@@ -108,15 +131,12 @@ func (EDF) Name() string { return "edf" }
 
 // Select implements Policy: the earliest absolute deadline, FIFO among
 // equals.
-func (EDF) Select(ready []*Task) *Task {
-	best := ready[0]
-	for _, t := range ready[1:] {
-		if t.deadline < best.deadline ||
-			(t.deadline == best.deadline && t.readySeq < best.readySeq) {
-			best = t
-		}
-	}
-	return best
+func (p EDF) Select(ready []*Task) *Task { return selectOrdered(p, ready) }
+
+// prefer implements orderedPolicy: earlier deadline first, FIFO (readySeq)
+// among equals.
+func (EDF) prefer(a, b *Task) bool {
+	return a.deadline < b.deadline || (a.deadline == b.deadline && a.readySeq < b.readySeq)
 }
 
 // ShouldPreempt implements Policy: strictly earlier deadline preempts.

@@ -96,6 +96,15 @@ type Processor struct {
 	tasks   []*Task
 	ready   []*Task
 	running *Task
+
+	// ordered is the policy's incremental-order view, nil for custom policies
+	// without a built-in preference order. When set, (readyBest, readyBestIdx)
+	// cache the argmin of ready under the order while readyBestOK holds, so
+	// arrivals cost one comparison and elections skip the queue rescan.
+	ordered      orderedPolicy
+	readyBest    *Task
+	readyBestIdx int
+	readyBestOK  bool
 	// switching is true while a dispatch sequence is in progress (between a
 	// task leaving the processor or a ready task starting an idle-processor
 	// wakeup, and the elected task completing its context load). New ready
@@ -137,6 +146,7 @@ func (s *System) NewProcessor(name string, cfg Config) *Processor {
 	if cpu.speed < 0 {
 		panic("rtos: processor speed must be positive")
 	}
+	cpu.ordered, _ = cpu.policy.(orderedPolicy)
 	if qp, ok := cpu.policy.(QuantumPolicy); ok {
 		cpu.quantum = qp.Quantum()
 		if cpu.quantum <= 0 {
@@ -387,7 +397,36 @@ func (cpu *Processor) enqueueReady(t *Task) {
 	cpu.readySeqCtr++
 	t.readySeq = cpu.readySeqCtr
 	cpu.ready = append(cpu.ready, t)
+	if cpu.ordered != nil {
+		if n := len(cpu.ready); n == 1 {
+			cpu.readyBest, cpu.readyBestIdx, cpu.readyBestOK = t, 0, true
+		} else if cpu.readyBestOK && cpu.ordered.prefer(t, cpu.readyBest) {
+			cpu.readyBest, cpu.readyBestIdx = t, n-1
+		}
+	}
 	t.setState(trace.StateReady)
+}
+
+// invalidateReadyBest drops the best-ready cache; called when an ordering
+// input of a task (priority, deadline) changes.
+func (cpu *Processor) invalidateReadyBest() {
+	cpu.readyBest, cpu.readyBestOK = nil, false
+}
+
+// readyBestTask returns the argmin of the non-empty ready queue under the
+// ordered policy's preference order, rescanning only when the cache was
+// invalidated.
+func (cpu *Processor) readyBestTask() *Task {
+	if !cpu.readyBestOK {
+		best, idx := cpu.ready[0], 0
+		for i, t := range cpu.ready[1:] {
+			if cpu.ordered.prefer(t, best) {
+				best, idx = t, i+1
+			}
+		}
+		cpu.readyBest, cpu.readyBestIdx, cpu.readyBestOK = best, idx, true
+	}
+	return cpu.readyBest
 }
 
 // elect runs the scheduling policy and removes the winner from the ready
@@ -395,6 +434,18 @@ func (cpu *Processor) enqueueReady(t *Task) {
 func (cpu *Processor) elect() *Task {
 	if len(cpu.ready) == 0 {
 		panic("rtos: elect with empty ready queue")
+	}
+	if cpu.ordered != nil {
+		// The cached winner's position is stable (arrivals only append), so
+		// removal is a swap with the tail: ordered elections are independent
+		// of queue positions, only of the preference order.
+		e := cpu.readyBestTask()
+		last := len(cpu.ready) - 1
+		cpu.ready[cpu.readyBestIdx] = cpu.ready[last]
+		cpu.ready[last] = nil
+		cpu.ready = cpu.ready[:last]
+		cpu.invalidateReadyBest()
+		return e
 	}
 	e := cpu.policy.Select(cpu.ready)
 	if e == nil {
@@ -447,6 +498,14 @@ func (cpu *Processor) leaveRunning(t *Task, s trace.TaskState) {
 func (cpu *Processor) checkPreemptRunning() {
 	r := cpu.running
 	if r == nil || r.preemptPending || !r.preemptible() {
+		return
+	}
+	if cpu.ordered != nil {
+		// A preference order makes the cached best the decisive candidate: if
+		// it does not warrant preemption, no lesser ready task does.
+		if len(cpu.ready) > 0 && cpu.policy.ShouldPreempt(cpu.readyBestTask(), r) {
+			r.requestPreempt()
+		}
 		return
 	}
 	for _, n := range cpu.ready {

@@ -148,6 +148,7 @@ func (t *Task) BasePriority() int { return t.basePrio }
 func (t *Task) SetBasePriority(p int) {
 	t.basePrio = p
 	if t.cpu != nil && t.cpu.eng != nil {
+		t.cpu.invalidateReadyBest()
 		t.cpu.eng.reevaluate()
 	}
 }
@@ -421,6 +422,7 @@ func (c *TaskCtx) SetPriority(p int) { c.t.SetBasePriority(p) }
 // SetDeadline sets the task's absolute deadline (for the EDF policy).
 func (c *TaskCtx) SetDeadline(at sim.Time) {
 	c.t.deadline = at
+	c.t.cpu.invalidateReadyBest()
 	c.t.cpu.eng.reevaluate()
 }
 
@@ -471,6 +473,7 @@ func (c *TaskCtx) Resume() {
 // (priority-inheritance support for comm.Mutex).
 func (c *TaskCtx) BoostPriority(p int) {
 	c.t.boosts = append(c.t.boosts, p)
+	c.t.cpu.invalidateReadyBest()
 	c.t.cpu.eng.reevaluate()
 }
 
@@ -481,5 +484,6 @@ func (c *TaskCtx) UnboostPriority() {
 		panic("rtos: UnboostPriority without matching BoostPriority")
 	}
 	c.t.boosts = c.t.boosts[:n-1]
+	c.t.cpu.invalidateReadyBest()
 	c.t.cpu.eng.reevaluate()
 }

@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+// The kernel's steady-state hot paths are allocation-free: timed entries are
+// pooled, the run/method queues are rings, and the delta/update/waiter lists
+// are double-buffered. These tests pin that property so a regression shows
+// up as a test failure, not as a slow creep in benchmark numbers.
+
+func TestAllocsPerTimedWait(t *testing.T) {
+	k := New()
+	k.Spawn("t", func(p *Proc) {
+		for {
+			p.Wait(Us)
+		}
+	})
+	k.RunFor(100 * Us) // reach steady state (buffers at final size)
+	defer k.Shutdown()
+	if avg := testing.AllocsPerRun(100, func() { k.RunFor(Us) }); avg > 0 {
+		t.Errorf("timed wait allocates %.2f objects per activation, want 0", avg)
+	}
+}
+
+func TestAllocsPerEventNotify(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	k.Spawn("waiter", func(p *Proc) {
+		for {
+			p.WaitEvent(e)
+		}
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		for {
+			p.Wait(Us)
+			e.Notify()
+		}
+	})
+	k.RunFor(100 * Us)
+	defer k.Shutdown()
+	if avg := testing.AllocsPerRun(100, func() { k.RunFor(Us) }); avg > 0 {
+		t.Errorf("event notify cycle allocates %.2f objects, want 0", avg)
+	}
+}
+
+func TestAllocsPerDeltaCycle(t *testing.T) {
+	k := New()
+	e := k.NewEvent("e")
+	k.Spawn("pinger", func(p *Proc) {
+		for {
+			e.NotifyDelta()
+			p.WaitDelta()
+			p.Wait(Us)
+		}
+	})
+	k.Spawn("listener", func(p *Proc) {
+		for {
+			p.WaitEvent(e)
+		}
+	})
+	k.RunFor(100 * Us)
+	defer k.Shutdown()
+	if avg := testing.AllocsPerRun(100, func() { k.RunFor(Us) }); avg > 0 {
+		t.Errorf("delta cycle allocates %.2f objects, want 0", avg)
+	}
+}
+
+func TestAllocsPerCancelledTimeout(t *testing.T) {
+	// WaitTimeout whose event always fires first: the timed entry is
+	// cancelled each round and must be recycled, not leaked into the heap.
+	k := New()
+	e := k.NewEvent("e")
+	k.Spawn("waiter", func(p *Proc) {
+		for {
+			p.WaitTimeout(Ms, e)
+		}
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		for {
+			p.Wait(Us)
+			e.Notify()
+		}
+	})
+	k.RunFor(100 * Us)
+	defer k.Shutdown()
+	if avg := testing.AllocsPerRun(100, func() { k.RunFor(Us) }); avg > 0 {
+		t.Errorf("cancelled-timeout cycle allocates %.2f objects, want 0", avg)
+	}
+}

@@ -21,6 +21,9 @@ type Event struct {
 
 	// Processes dynamically waiting on this event.
 	waiters []*Proc
+	// waitersSpare double-buffers the waiter list: fire swaps it in instead
+	// of dropping the backing array, so notify/wait cycles do not allocate.
+	waitersSpare []*Proc
 	// Methods statically sensitive to this event.
 	methods []*Method
 
@@ -53,7 +56,7 @@ func (e *Event) NotifyDelta() {
 		return
 	}
 	if e.pendingTimed != nil {
-		e.pendingTimed.dead = true
+		e.k.cancelTimed(e.pendingTimed)
 		e.pendingTimed = nil
 	}
 	e.pendingDelta = true
@@ -89,7 +92,7 @@ func (e *Event) NotifyAt(t Time) {
 		if e.pendingTimed.at <= t {
 			return
 		}
-		e.pendingTimed.dead = true
+		e.k.cancelTimed(e.pendingTimed)
 	}
 	e.pendingTimed = e.k.scheduleTimed(t, e, nil)
 }
@@ -103,7 +106,7 @@ func (e *Event) HasPending() bool { return e.pendingDelta || e.pendingTimed != n
 
 func (e *Event) cancelPending() {
 	if e.pendingTimed != nil {
-		e.pendingTimed.dead = true
+		e.k.cancelTimed(e.pendingTimed)
 		e.pendingTimed = nil
 	}
 	if e.pendingDelta {
@@ -118,10 +121,14 @@ func (e *Event) cancelPending() {
 // kernel's delta/timed machinery calls fire at the right phase boundary.
 func (e *Event) fire() {
 	if len(e.waiters) > 0 {
+		// Swap in the spare list (processes woken during the loop may
+		// re-subscribe); ws is iterated below and recycled for the next fire.
 		ws := e.waiters
-		e.waiters = nil // fresh list; ws is iterated below
-		for _, p := range ws {
+		e.waiters = e.waitersSpare[:0]
+		e.waitersSpare = ws
+		for i, p := range ws {
 			p.wakeFromEvent(e)
+			ws[i] = nil
 		}
 	}
 	for _, m := range e.methods {

@@ -9,6 +9,7 @@ type deltaTimeout struct {
 
 // procExit is the message a terminating process goroutine hands back to the
 // kernel; panicVal carries a model panic to re-raise in the kernel goroutine.
+// Each Proc embeds one record so termination does not allocate.
 type procExit struct {
 	p        *Proc
 	panicVal any
@@ -24,18 +25,28 @@ type updater interface{ update() }
 //
 // A Kernel is not safe for concurrent use: all model code runs inside
 // simulation processes which the kernel serializes, and the Run family must
-// be called from a single goroutine.
+// be called from a single goroutine. Independent kernels are fully isolated,
+// so many simulations can run concurrently on separate goroutines (package
+// batch exploits this for parameter sweeps).
 type Kernel struct {
 	now Time
 
 	procs []*Proc
 
-	runQueue    []*Proc   // processes runnable in the current evaluate phase
-	methodQueue []*Method // methods triggered in the current evaluate phase
+	runQueue    ring[*Proc]   // processes runnable in the current evaluate phase
+	methodQueue ring[*Method] // methods triggered in the current evaluate phase
 
 	deltaQueue    []*Event // events with a pending delta notification
 	deltaProcs    []*Proc  // processes doing WaitDelta
 	deltaTimeouts []deltaTimeout
+
+	// Spare buffers double-buffering the delta and update queues: each delta
+	// cycle swaps the filled queue for the (drained) spare instead of
+	// allocating a fresh slice, so steady-state delta cycles do not allocate.
+	deltaQueueSpare    []*Event
+	deltaProcsSpare    []*Proc
+	deltaTimeoutsSpare []deltaTimeout
+	updateSpare        []updater
 
 	updateQueue []updater
 
@@ -139,15 +150,12 @@ func (k *Kernel) run(limit Time) {
 		// none are left. Methods are drained before each process dispatch so
 		// combinational reactions settle promptly; order is deterministic.
 		for !k.stopRequested {
-			if len(k.methodQueue) > 0 {
-				m := k.methodQueue[0]
-				k.methodQueue = k.methodQueue[1:]
-				m.run()
+			if k.methodQueue.len() > 0 {
+				k.methodQueue.pop().run()
 				continue
 			}
-			if len(k.runQueue) > 0 {
-				p := k.runQueue[0]
-				k.runQueue = k.runQueue[1:]
+			if k.runQueue.len() > 0 {
+				p := k.runQueue.pop()
 				if p.state != ProcRunnable {
 					continue // terminated or rescheduled since queuing
 				}
@@ -164,9 +172,11 @@ func (k *Kernel) run(limit Time) {
 		// Update phase: apply primitive-channel writes.
 		if len(k.updateQueue) > 0 {
 			ups := k.updateQueue
-			k.updateQueue = nil
-			for _, u := range ups {
+			k.updateQueue = k.updateSpare[:0]
+			k.updateSpare = ups
+			for i, u := range ups {
 				u.update()
+				ups[i] = nil
 			}
 		}
 
@@ -174,22 +184,28 @@ func (k *Kernel) run(limit Time) {
 		if len(k.deltaQueue) > 0 || len(k.deltaProcs) > 0 || len(k.deltaTimeouts) > 0 {
 			k.deltaCount++
 			dq, dp, dt := k.deltaQueue, k.deltaProcs, k.deltaTimeouts
-			k.deltaQueue, k.deltaProcs, k.deltaTimeouts = nil, nil, nil
-			for _, e := range dq {
+			k.deltaQueue = k.deltaQueueSpare[:0]
+			k.deltaProcs = k.deltaProcsSpare[:0]
+			k.deltaTimeouts = k.deltaTimeoutsSpare[:0]
+			k.deltaQueueSpare, k.deltaProcsSpare, k.deltaTimeoutsSpare = dq, dp, dt
+			for i, e := range dq {
 				if e.pendingDelta {
 					e.pendingDelta = false
 					e.fire()
 				}
+				dq[i] = nil
 			}
-			for _, p := range dp {
+			for i, p := range dp {
 				if p.state == ProcWaiting {
 					k.makeRunnable(p)
 				}
+				dp[i] = nil
 			}
-			for _, d := range dt {
+			for i, d := range dt {
 				if d.p.state == ProcWaiting && d.p.waitGen == d.gen {
 					d.p.wakeFromTimeout()
 				}
+				dt[i] = deltaTimeout{}
 			}
 			continue
 		}
@@ -221,10 +237,14 @@ func (k *Kernel) run(limit Time) {
 			k.timed.pop()
 			switch {
 			case h.event != nil:
-				h.event.pendingTimed = nil
-				h.event.fire()
+				ev := h.event
+				ev.pendingTimed = nil
+				k.timed.release(h)
+				ev.fire()
 			case h.proc != nil:
-				h.proc.wakeFromTimeout()
+				pr := h.proc
+				k.timed.release(h)
+				pr.wakeFromTimeout()
 			}
 		}
 	}
@@ -246,8 +266,12 @@ func (k *Kernel) dispatch(p *Proc) {
 	}
 }
 
-// procExited is called from a terminating process goroutine.
-func (p *Proc) noteExit(r any) { p.k.yielded <- &procExit{p: p, panicVal: r} }
+// noteExit is called from a terminating process goroutine. The exit record is
+// embedded in the Proc so even termination avoids the heap.
+func (p *Proc) noteExit(r any) {
+	p.exit = procExit{p: p, panicVal: r}
+	p.k.yielded <- &p.exit
+}
 
 func (k *Kernel) procExited(p *Proc, r any) { p.noteExit(r) }
 
@@ -261,16 +285,22 @@ func (k *Kernel) makeRunnable(p *Proc) {
 		return
 	}
 	p.state = ProcRunnable
-	k.runQueue = append(k.runQueue, p)
+	k.runQueue.push(p)
 }
 
-// scheduleTimed inserts a future action into the timed heap.
+// scheduleTimed inserts a future action into the timed heap. The entry comes
+// from the heap's free list, so the steady-state schedule/fire/cancel cycle
+// performs no allocations.
 func (k *Kernel) scheduleTimed(at Time, e *Event, p *Proc) *timedEntry {
 	k.seq++
-	entry := &timedEntry{at: at, seq: k.seq, event: e, proc: p}
+	entry := k.timed.alloc(at, k.seq, e, p)
 	k.timed.push(entry)
 	return entry
 }
+
+// cancelTimed cancels a scheduled entry (and forgets it for compaction
+// accounting). Callers must drop their pointer to it.
+func (k *Kernel) cancelTimed(entry *timedEntry) { k.timed.kill(entry) }
 
 // requestUpdate queues an updater for the update phase of the current delta
 // cycle. Deduplication is the caller's responsibility.

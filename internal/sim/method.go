@@ -46,7 +46,7 @@ func (m *Method) Trigger() {
 	}
 	m.queued = true
 	m.lastTrigger = nil
-	m.k.methodQueue = append(m.k.methodQueue, m)
+	m.k.methodQueue.push(m)
 }
 
 // trigger is called by a firing event in the sensitivity list.
@@ -56,7 +56,7 @@ func (m *Method) trigger(e *Event) {
 	}
 	m.queued = true
 	m.lastTrigger = e
-	m.k.methodQueue = append(m.k.methodQueue, m)
+	m.k.methodQueue.push(m)
 }
 
 // run executes the method body once.

@@ -54,6 +54,9 @@ type Proc struct {
 	resume  chan bool // kernel -> proc; false means unwind (kill)
 	state   ProcState
 	started bool
+	// exit is the reusable termination record sent to the kernel's yielded
+	// channel, embedded so terminating does not allocate.
+	exit procExit
 	// daemon marks infrastructure processes (RTOS scheduler threads,
 	// interrupt controllers) that legitimately wait forever; they are
 	// excluded from deadlock accounting.
@@ -186,7 +189,7 @@ func (p *Proc) clearWaitState() {
 	}
 	p.waitEvents = p.waitEvents[:0]
 	if p.timeout != nil {
-		p.timeout.dead = true
+		p.k.cancelTimed(p.timeout)
 		p.timeout = nil
 	}
 }
@@ -202,7 +205,7 @@ func (p *Proc) wakeFromEvent(e *Event) {
 	}
 	p.waitEvents = p.waitEvents[:0]
 	if p.timeout != nil {
-		p.timeout.dead = true
+		p.k.cancelTimed(p.timeout)
 		p.timeout = nil
 	}
 	p.wokenBy = e

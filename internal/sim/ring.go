@@ -1,0 +1,49 @@
+package sim
+
+// ring is a growable FIFO ring buffer. The kernel's runnable-process and
+// triggered-method queues are rings rather than head-popped slices: a slice
+// pop (q = q[1:]) strands the consumed head in the backing array, so every
+// delta cycle leaks capacity and the append path reallocates over and over on
+// the simulation hot path. A ring reuses its storage indefinitely; steady
+// state enqueue/dequeue does zero allocations.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the first element
+	n    int // number of elements
+}
+
+// push appends v at the tail, growing the buffer when full.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the head element; callers must check len first.
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // drop the reference for the GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+// grow doubles the buffer (power-of-two capacity keeps the index math a
+// mask) and linearizes the live elements to the front.
+func (r *ring[T]) grow() {
+	cap := len(r.buf) * 2
+	if cap == 0 {
+		cap = 16
+	}
+	buf := make([]T, cap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestReservePreSizesWithoutDataLoss(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.Now)
+	r.TaskState("t", "cpu", StateReady)
+	r.Reserve(128, 64, 32)
+	if got := len(r.StateChanges()); got != 1 {
+		t.Fatalf("Reserve lost records: len=%d", got)
+	}
+	if c := cap(r.changes); c < 128 {
+		t.Fatalf("changes cap = %d, want >= 128", c)
+	}
+	if c := cap(r.overheads); c < 64 {
+		t.Fatalf("overheads cap = %d, want >= 64", c)
+	}
+	if c := cap(r.accesses); c < 32 {
+		t.Fatalf("accesses cap = %d, want >= 32", c)
+	}
+	// Reserving less than current capacity is a no-op.
+	before := cap(r.changes)
+	r.Reserve(1, 1, 1)
+	if cap(r.changes) != before {
+		t.Fatal("Reserve shrank a buffer")
+	}
+	// Appends up to the reserved size must not reallocate.
+	base := &r.changes[0]
+	for i := 1; i < 128; i++ {
+		clk.now = sim.Time(i)
+		r.TaskState("t", "cpu", StateRunning)
+	}
+	if &r.changes[0] != base {
+		t.Fatal("append within reserved capacity reallocated")
+	}
+}
+
+func TestSetLimitKeepsMostRecent(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.Now)
+	r.SetLimit(10)
+	if r.Limit() != 10 {
+		t.Fatalf("Limit() = %d, want 10", r.Limit())
+	}
+	for i := 0; i < 100; i++ {
+		clk.now = sim.Time(i)
+		r.TaskState("t", "cpu", StateRunning)
+	}
+	cs := r.StateChanges()
+	if len(cs) < 10 || len(cs) >= 20 {
+		t.Fatalf("retained %d changes, want in [10,20)", len(cs))
+	}
+	// The retained window is the most recent records, contiguous to the end.
+	last := cs[len(cs)-1].At
+	if last != 99 {
+		t.Fatalf("last retained At = %v, want 99", last)
+	}
+	first := cs[0].At
+	if want := last - sim.Time(len(cs)-1); first != want {
+		t.Fatalf("first retained At = %v, want %v (contiguous window)", first, want)
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("Dropped() = 0 after overflowing the limit")
+	}
+	if got := uint64(len(cs)) + r.Dropped(); got != 100 {
+		t.Fatalf("retained+dropped = %d, want 100", got)
+	}
+}
+
+func TestSetLimitTrimsExistingAndLifts(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.Now)
+	for i := 0; i < 50; i++ {
+		clk.now = sim.Time(i)
+		r.TaskState("t", "cpu", StateRunning)
+		r.Access("t", "o", AccessSignal)
+		r.Depth("o", i, 50)
+		r.Fault(FaultInjected, "t", "l", "")
+		r.Overhead("cpu", "t", OverheadScheduling, sim.Time(i), sim.Time(i+1))
+	}
+	r.SetLimit(5)
+	for _, n := range []int{
+		len(r.StateChanges()), len(r.Accesses()), len(r.Depths()),
+		len(r.FaultEvents()), len(r.Overheads()),
+	} {
+		if n != 5 {
+			t.Fatalf("category retained %d records after SetLimit(5)", n)
+		}
+	}
+	if got := r.Dropped(); got != 5*45 {
+		t.Fatalf("Dropped() = %d, want %d", got, 5*45)
+	}
+	if last := r.StateChanges()[4].At; last != 49 {
+		t.Fatalf("last change At = %v, want 49", last)
+	}
+	// Lifting the cap stops further trimming.
+	r.SetLimit(0)
+	dropped := r.Dropped()
+	for i := 0; i < 30; i++ {
+		r.TaskState("t", "cpu", StateReady)
+	}
+	if len(r.StateChanges()) != 35 {
+		t.Fatalf("unbounded append retained %d, want 35", len(r.StateChanges()))
+	}
+	if r.Dropped() != dropped {
+		t.Fatal("Dropped() advanced with the cap lifted")
+	}
+}
+
+func TestNilRecorderLimitMethods(t *testing.T) {
+	var r *Recorder
+	r.Reserve(10, 10, 10)
+	r.SetLimit(10)
+	if r.Limit() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder reported a limit")
+	}
+}

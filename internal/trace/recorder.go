@@ -62,6 +62,11 @@ type FaultRecord struct {
 //
 // A Recorder is bound to a simulation clock at construction; record methods
 // timestamp with the current simulated time.
+//
+// By default the trace grows without bound with the simulation. Long-running
+// simulations that only need the recent past (or only the statistics) can
+// cap it with SetLimit; Reserve pre-sizes the buffers so a simulation of a
+// known magnitude records without growth reallocations.
 type Recorder struct {
 	now func() sim.Time
 
@@ -70,6 +75,11 @@ type Recorder struct {
 	accesses  []Access
 	depths    []DepthSample
 	faults    []FaultRecord
+
+	// limit caps each record category to the most recent limit entries
+	// (0: unbounded); dropped counts records discarded by the cap.
+	limit   int
+	dropped uint64
 
 	tasks   []string
 	taskSet map[string]bool
@@ -87,6 +97,81 @@ func NewRecorder(now func() sim.Time) *Recorder {
 	}
 }
 
+// Reserve pre-sizes the recorder's buffers for a simulation expected to
+// produce about the given numbers of state changes, overhead segments and
+// communication accesses, eliminating growth reallocations during the run.
+func (r *Recorder) Reserve(stateChanges, overheads, accesses int) {
+	if r == nil {
+		return
+	}
+	if stateChanges > cap(r.changes) {
+		r.changes = append(make([]StateChange, 0, stateChanges), r.changes...)
+	}
+	if overheads > cap(r.overheads) {
+		r.overheads = append(make([]OverheadSegment, 0, overheads), r.overheads...)
+	}
+	if accesses > cap(r.accesses) {
+		r.accesses = append(make([]Access, 0, accesses), r.accesses...)
+	}
+}
+
+// SetLimit caps every record category to the most recent n entries (ring
+// mode): long simulations keep a bounded window of trace history instead of
+// growing without bound. Older records are discarded and counted by Dropped.
+// Segments/StateAt/Stats then only see the retained window. n <= 0 removes
+// the cap.
+func (r *Recorder) SetLimit(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = 0
+	}
+	r.limit = n
+	r.changes = trimTail(r.changes, n, &r.dropped)
+	r.overheads = trimTail(r.overheads, n, &r.dropped)
+	r.accesses = trimTail(r.accesses, n, &r.dropped)
+	r.depths = trimTail(r.depths, n, &r.dropped)
+	r.faults = trimTail(r.faults, n, &r.dropped)
+}
+
+// Limit returns the per-category record cap (0: unbounded).
+func (r *Recorder) Limit() int {
+	if r == nil {
+		return 0
+	}
+	return r.limit
+}
+
+// Dropped returns how many records the SetLimit cap has discarded so far —
+// zero means the trace is complete.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// capped applies the ring-mode cap after an append: once a category reaches
+// twice the limit, the oldest half is discarded in one copy, keeping the
+// most recent limit entries with amortized O(1) cost and no reallocation.
+func capped[T any](s []T, limit int, dropped *uint64) []T {
+	if limit <= 0 || len(s) < 2*limit {
+		return s
+	}
+	return trimTail(s, limit, dropped)
+}
+
+// trimTail keeps the most recent limit entries of s in place.
+func trimTail[T any](s []T, limit int, dropped *uint64) []T {
+	if limit <= 0 || len(s) <= limit {
+		return s
+	}
+	*dropped += uint64(len(s) - limit)
+	n := copy(s, s[len(s)-limit:])
+	return s[:n]
+}
+
 // Now returns the recorder's current timestamp source value.
 func (r *Recorder) Now() sim.Time {
 	if r == nil {
@@ -101,7 +186,7 @@ func (r *Recorder) TaskState(task, cpu string, state TaskState) {
 		return
 	}
 	r.noteTask(task)
-	r.changes = append(r.changes, StateChange{At: r.now(), Task: task, CPU: cpu, State: state})
+	r.changes = capped(append(r.changes, StateChange{At: r.now(), Task: task, CPU: cpu, State: state}), r.limit, &r.dropped)
 }
 
 // Overhead records a completed RTOS overhead interval.
@@ -109,9 +194,9 @@ func (r *Recorder) Overhead(cpu, task string, kind OverheadKind, start, end sim.
 	if r == nil {
 		return
 	}
-	r.overheads = append(r.overheads, OverheadSegment{
+	r.overheads = capped(append(r.overheads, OverheadSegment{
 		CPU: cpu, Task: task, Kind: kind, Start: start, End: end,
-	})
+	}), r.limit, &r.dropped)
 }
 
 // Access records an interaction between actor and a communication object.
@@ -120,7 +205,7 @@ func (r *Recorder) Access(actor, object string, kind AccessKind) {
 		return
 	}
 	r.noteObject(object)
-	r.accesses = append(r.accesses, Access{At: r.now(), Actor: actor, Object: object, Kind: kind})
+	r.accesses = capped(append(r.accesses, Access{At: r.now(), Actor: actor, Object: object, Kind: kind}), r.limit, &r.dropped)
 }
 
 // Fault records a fault-subsystem event (fault injection, recovery action,
@@ -129,9 +214,9 @@ func (r *Recorder) Fault(kind FaultEventKind, task, label, detail string) {
 	if r == nil {
 		return
 	}
-	r.faults = append(r.faults, FaultRecord{
+	r.faults = capped(append(r.faults, FaultRecord{
 		At: r.now(), Kind: kind, Task: task, Label: label, Detail: detail,
-	})
+	}), r.limit, &r.dropped)
 }
 
 // FaultEvents returns all recorded fault-subsystem events in chronological
@@ -149,7 +234,7 @@ func (r *Recorder) Depth(object string, depth, capacity int) {
 		return
 	}
 	r.noteObject(object)
-	r.depths = append(r.depths, DepthSample{At: r.now(), Object: object, Depth: depth, Capacity: capacity})
+	r.depths = capped(append(r.depths, DepthSample{At: r.now(), Object: object, Depth: depth, Capacity: capacity}), r.limit, &r.dropped)
 }
 
 func (r *Recorder) noteTask(task string) {

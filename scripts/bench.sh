@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmark set and records ns/op, B/op, allocs/op (and
+# switches/run where reported) into BENCH_PR2.json, next to the committed
+# pre-optimization baseline from scripts/bench_baseline.json.
+#
+# The baseline was measured on the seed code; re-running this script only
+# refreshes the "optimized" side, so before/after stays comparable as long as
+# both run on the same machine. Knobs:
+#
+#   BENCHTIME=2s COUNT=3 scripts/bench.sh     # longer, repeated runs
+#   OUT=/tmp/bench.json scripts/bench.sh      # alternate output path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_PR2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+bench() { # bench <pattern> <package>
+	go test -run '^$' -bench "$1" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem "$2"
+}
+
+{
+	bench 'BenchmarkKernelProcessSwitch$|BenchmarkRTOSContextSwitch$|BenchmarkMPEG2SoC$|BenchmarkEngineProcedural$|BenchmarkEngineThreaded$' .
+	bench 'BenchmarkTimedWait$|BenchmarkEventNotify$|BenchmarkDeltaCycle$|BenchmarkWaitTimeoutNoFire$' ./internal/sim/
+	bench 'BenchmarkSweep$' ./internal/batch/
+} | tee "$RAW"
+
+# Fold the benchmark lines into a JSON object: with COUNT > 1 the last
+# repetition of each benchmark wins.
+{
+	printf '{\n  "benchtime": "%s",\n  "count": %s,\n  "baseline": ' "$BENCHTIME" "$COUNT"
+	cat scripts/bench_baseline.json
+	printf ',\n  "optimized": '
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "Benchmark", name)
+			ns = bytes = allocs = sw = runs = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				else if ($i == "B/op") bytes = $(i-1)
+				else if ($i == "allocs/op") allocs = $(i-1)
+				else if ($i == "switches/run") sw = $(i-1)
+				else if ($i == "runs/op") runs = $(i-1)
+			}
+			line = "\"" name "\": {\"ns_op\": " ns
+			if (bytes != "") line = line ", \"bytes_op\": " bytes
+			if (allocs != "") line = line ", \"allocs_op\": " allocs
+			if (sw != "") line = line ", \"switches_run\": " sw
+			if (runs != "") line = line ", \"runs_op\": " runs
+			line = line "}"
+			if (!(name in seen)) order[++n] = name
+			seen[name] = line
+		}
+		END {
+			printf "{\n"
+			for (i = 1; i <= n; i++) printf "    %s%s\n", seen[order[i]], (i < n ? "," : "")
+			printf "  }"
+		}
+	' "$RAW"
+	printf '\n}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
