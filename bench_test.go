@@ -185,6 +185,53 @@ func BenchmarkPriorityInheritance(b *testing.B) {
 	}
 }
 
+// BenchmarkSMPGlobal is E16: a dual-core processor under the global
+// scheduling domain — three periodic tasks sharing one ready queue and
+// migrating between cores. Untraced, so the numbers isolate the scheduler
+// hot path; migrations/run confirms the global domain is actually exercised.
+func BenchmarkSMPGlobal(b *testing.B) {
+	for _, eng := range []rtosmodel.EngineKind{rtosmodel.EngineProcedural, rtosmodel.EngineThreaded} {
+		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var migrations uint64
+			for i := 0; i < b.N; i++ {
+				sys := rtosmodel.NewUntracedSystem()
+				cpu := sys.NewProcessor("cpu0", rtosmodel.Config{
+					Engine:    eng,
+					Cores:     2,
+					Domain:    rtosmodel.DomainGlobal,
+					Overheads: rtosmodel.UniformOverheads(1 * sim.Us),
+				})
+				for _, t := range []struct {
+					name   string
+					prio   int
+					period sim.Time
+					exec   sim.Time
+				}{
+					{"sensor", 3, 100 * sim.Us, 60 * sim.Us},
+					{"control", 2, 90 * sim.Us, 50 * sim.Us},
+					{"logger", 1, 150 * sim.Us, 55 * sim.Us},
+				} {
+					t := t
+					cpu.NewPeriodicTask(t.name, rtosmodel.TaskConfig{
+						Priority: t.prio,
+						Period:   t.period,
+					}, func(c *rtosmodel.TaskCtx, cycle int) {
+						c.Execute(t.exec)
+					})
+				}
+				sys.RunUntil(20 * sim.Ms)
+				migrations = cpu.Migrations()
+				sys.Shutdown()
+				if migrations == 0 {
+					b.Fatal("global domain produced no migrations")
+				}
+			}
+			b.ReportMetric(float64(migrations), "migrations/run")
+		})
+	}
+}
+
 // BenchmarkInterrupts is E13: the interrupt-handling design ablation.
 func BenchmarkInterrupts(b *testing.B) {
 	b.ReportAllocs()

@@ -127,6 +127,13 @@ func main() {
 	if *stats {
 		fmt.Println()
 		fmt.Print(sys.Stats(0).String())
+		for _, cpu := range sys.Processors() {
+			if cpu.Cores() > 1 {
+				fmt.Println()
+				fmt.Print(analysis.CoreLoadReport(analysis.CoreLoads(sys.Rec, 0)))
+				break
+			}
+		}
 	}
 	if *constraints {
 		fmt.Println()

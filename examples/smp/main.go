@@ -1,0 +1,91 @@
+// SMP: the multi-core extension of the RTOS model. One task set — sensor
+// (60us/100us), control (50us/90us), logger (55us/150us), utilization 1.52 —
+// is simulated twice on a dual-core processor:
+//
+//   - partitioned: sensor and logger pinned to core 0, control to core 1.
+//     Core 0 carries utilization 0.97 and the response-time recurrence for
+//     logger diverges past its deadline — it misses every period.
+//   - global: one shared ready queue. Any core takes the next best task, the
+//     load spreads (0.76 per core) and every deadline is met, at the price of
+//     task migrations between cores.
+//
+// This is the classical partitioned-vs-global trade: bin-packing loss versus
+// migration overhead, here observable on the same model that reproduces the
+// paper's single-CPU figures (a single-core processor is the degenerate case
+// of both domains).
+//
+// Run with:
+//
+//	go run ./examples/smp
+package main
+
+import (
+	"fmt"
+
+	rtosmodel "repro"
+)
+
+func run(domain rtosmodel.SchedDomain, affinities []int) (*rtosmodel.System, *rtosmodel.Processor) {
+	sys := rtosmodel.NewSystem()
+	cpu := sys.NewProcessor("cpu0", rtosmodel.Config{
+		Cores:     2,
+		Domain:    domain,
+		Overheads: rtosmodel.UniformOverheads(1 * rtosmodel.Us),
+	})
+	specs := []struct {
+		name   string
+		prio   int
+		period rtosmodel.Time
+		exec   rtosmodel.Time
+		start  rtosmodel.Time
+	}{
+		{"sensor", 3, 100 * rtosmodel.Us, 60 * rtosmodel.Us, 0},
+		{"control", 2, 90 * rtosmodel.Us, 50 * rtosmodel.Us, 0},
+		{"logger", 1, 150 * rtosmodel.Us, 55 * rtosmodel.Us, 5 * rtosmodel.Us},
+	}
+	for i, s := range specs {
+		s := s
+		cpu.NewPeriodicTask(s.name, rtosmodel.TaskConfig{
+			Priority: s.prio,
+			Period:   s.period,
+			StartAt:  s.start,
+			Affinity: affinities[i],
+		}, func(c *rtosmodel.TaskCtx, cycle int) {
+			c.Execute(s.exec)
+		})
+	}
+	sys.RunUntil(3 * rtosmodel.Ms)
+	sys.Shutdown()
+	return sys, cpu
+}
+
+func report(label string, sys *rtosmodel.System, cpu *rtosmodel.Processor) int {
+	misses := len(sys.Constraints.Violations())
+	fmt.Printf("%-12s deadline misses: %-3d migrations: %-3d\n", label, misses, cpu.Migrations())
+	for _, l := range rtosmodel.CoreLoads(sys.Rec, 0) {
+		fmt.Printf("  core %d: load %5.1f%%  dispatches %-3d migrations in %d\n",
+			l.Core, 100*l.LoadRatio(), l.Dispatches, l.MigrationsIn)
+	}
+	return misses
+}
+
+func main() {
+	fmt.Println("Dual-core RTOS model: partitioned vs global scheduling of one task set")
+	fmt.Println()
+
+	sysP, cpuP := run(rtosmodel.DomainPartitioned, []int{0, 1, 0})
+	missP := report("partitioned", sysP, cpuP)
+	fmt.Println()
+	sysG, cpuG := run(rtosmodel.DomainGlobal, []int{0, 0, 0})
+	missG := report("global", sysG, cpuG)
+
+	fmt.Println()
+	switch {
+	case missP > 0 && missG == 0:
+		fmt.Println("partitioned scheduling overloads core 0; the global domain meets every")
+		fmt.Println("deadline by migrating tasks to whichever core is free.")
+	default:
+		fmt.Println("unexpected outcome — the task set was tuned so that only the")
+		fmt.Println("partitioned domain misses; re-check the model.")
+	}
+}

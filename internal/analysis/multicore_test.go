@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestPartitionFirstFit(t *testing.T) {
+	// Three tasks of utilization 0.55 fit on no single core (1.65 > 1) but
+	// first-fit-decreasing places them on two cores... it cannot: 0.55+0.55 >
+	// 1, so each needs its own core. Two cores fail, three succeed.
+	tasks := []TaskSpec{
+		{Name: "a", Period: 100 * sim.Us, WCET: 55 * sim.Us},
+		{Name: "b", Period: 100 * sim.Us, WCET: 55 * sim.Us},
+		{Name: "c", Period: 100 * sim.Us, WCET: 55 * sim.Us},
+	}
+	p, err := PartitionFirstFit(tasks, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schedulable {
+		t.Fatalf("3x0.55 should not partition onto 2 cores: %+v", p)
+	}
+	if len(p.Unplaced) != 1 {
+		t.Fatalf("want exactly one unplaced task, got %v", p.Unplaced)
+	}
+	p, err = PartitionFirstFit(tasks, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Schedulable {
+		t.Fatalf("3x0.55 must partition onto 3 cores: %+v", p)
+	}
+	// A mixed set that packs onto 2 cores: 0.6 + 0.3 and 0.5 + 0.4.
+	tasks = []TaskSpec{
+		{Name: "a", Period: 100 * sim.Us, WCET: 60 * sim.Us},
+		{Name: "b", Period: 100 * sim.Us, WCET: 50 * sim.Us},
+		{Name: "c", Period: 100 * sim.Us, WCET: 40 * sim.Us},
+		{Name: "d", Period: 100 * sim.Us, WCET: 30 * sim.Us},
+	}
+	p, err = PartitionFirstFit(tasks, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Schedulable {
+		t.Fatalf("0.6/0.5/0.4/0.3 must pack onto 2 cores: %+v", p)
+	}
+}
+
+func TestGlobalEDFBound(t *testing.T) {
+	// U = 1.2, Umax = 0.4, m = 2: bound is 2 - 1*0.4 = 1.6 >= 1.2 -> ok.
+	light := []TaskSpec{
+		{Name: "a", Period: 100 * sim.Us, WCET: 40 * sim.Us},
+		{Name: "b", Period: 100 * sim.Us, WCET: 40 * sim.Us},
+		{Name: "c", Period: 100 * sim.Us, WCET: 40 * sim.Us},
+	}
+	ok, err := GlobalEDFSchedulable(light, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("U=1.2 Umax=0.4 on 2 cores is within the GFB bound")
+	}
+	// Dhall's effect: one heavy task pushes the bound down. U = 1.9,
+	// Umax = 0.95, m = 2: bound is 2 - 0.95 = 1.05 < 1.9 -> not guaranteed.
+	heavy := []TaskSpec{
+		{Name: "a", Period: 100 * sim.Us, WCET: 95 * sim.Us},
+		{Name: "b", Period: 100 * sim.Us, WCET: 95 * sim.Us},
+	}
+	ok, err = GlobalEDFSchedulable(heavy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("two 0.95 tasks on 2 cores exceed the GFB bound")
+	}
+}
+
+func TestCoreLoads(t *testing.T) {
+	var now sim.Time
+	rec := trace.NewRecorder(func() sim.Time { return now })
+	// Core 0 runs t0 over [0, 60us]; core 1 runs t1 over [0, 100us] (left
+	// open, closed by the window), with one migration onto core 1.
+	rec.TaskStateOn("t0", "cpu", 0, trace.StateRunning)
+	rec.TaskStateOn("t1", "cpu", 1, trace.StateRunning)
+	rec.Migrate("t1", "cpu", 0, 1)
+	now = 60 * sim.Us
+	rec.TaskStateOn("t0", "cpu", 0, trace.StateWaiting)
+	loads := CoreLoads(rec, 100*sim.Us)
+	if len(loads) != 2 {
+		t.Fatalf("want 2 core loads, got %+v", loads)
+	}
+	if loads[0].Busy != 60*sim.Us || loads[0].Dispatches != 1 {
+		t.Fatalf("core 0 must be busy 60us over one dispatch: %+v", loads[0])
+	}
+	if loads[1].Busy != 100*sim.Us || loads[1].Dispatches != 1 {
+		t.Fatalf("core 1's open interval must extend to the window end: %+v", loads[1])
+	}
+	if loads[1].MigrationsIn != 1 || loads[0].MigrationsIn != 0 {
+		t.Fatalf("migration must land on core 1: %+v", loads)
+	}
+}

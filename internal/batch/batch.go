@@ -42,6 +42,12 @@ type Spec struct {
 	Speeds []float64 `json:"speeds"`
 	// Overheads lists RTOS overhead sets (applied to every processor).
 	Overheads []scenario.OverheadSpec `json:"overheads"`
+	// Cores lists core-count overrides (applied to every processor). Tasks
+	// with a non-zero affinity must fit the smallest swept count.
+	Cores []int `json:"cores"`
+	// Domains lists scheduling-domain overrides: "partitioned" or "global"
+	// (applied to every processor).
+	Domains []string `json:"domains"`
 	// Seeds lists fault-seed overrides (applied to every fault definition).
 	Seeds []int64 `json:"seeds"`
 	// Workers bounds the worker pool (0: GOMAXPROCS).
@@ -70,6 +76,8 @@ type Variant struct {
 	Speed       float64
 	OverheadIdx int
 	Overheads   *scenario.OverheadSpec
+	Cores       int
+	Domain      string
 	Seed        *int64
 }
 
@@ -90,6 +98,12 @@ func (v Variant) Label() string {
 	if v.OverheadIdx >= 0 {
 		parts = append(parts, fmt.Sprintf("ov=%d", v.OverheadIdx))
 	}
+	if v.Cores != 0 {
+		parts = append(parts, fmt.Sprintf("cores=%d", v.Cores))
+	}
+	if v.Domain != "" {
+		parts = append(parts, "domain="+v.Domain)
+	}
 	if v.Seed != nil {
 		parts = append(parts, fmt.Sprintf("seed=%d", *v.Seed))
 	}
@@ -100,8 +114,8 @@ func (v Variant) Label() string {
 }
 
 // Expand builds the deterministic cross-product of the spec's axes, nesting
-// engines, then policies, speeds, overhead sets, and seeds. Variant indices
-// follow that order.
+// engines, then policies, speeds, overhead sets, core counts, domains, and
+// seeds. Variant indices follow that order.
 func (s *Spec) Expand() ([]Variant, error) {
 	for _, e := range s.Engines {
 		if e != "procedural" && e != "threaded" {
@@ -124,6 +138,16 @@ func (s *Spec) Expand() ([]Variant, error) {
 			return nil, fmt.Errorf("batch: speed factor %g must be positive", sp)
 		}
 	}
+	for _, c := range s.Cores {
+		if c < 1 {
+			return nil, fmt.Errorf("batch: core count %d must be at least 1", c)
+		}
+	}
+	for _, d := range s.Domains {
+		if d != "partitioned" && d != "global" {
+			return nil, fmt.Errorf("batch: unknown domain %q (want partitioned or global)", d)
+		}
+	}
 	engines := orKeep(s.Engines)
 	policies := orKeep(s.Policies)
 	speeds := s.Speeds
@@ -134,34 +158,45 @@ func (s *Spec) Expand() ([]Variant, error) {
 	if nOv == 0 {
 		nOv = 1
 	}
+	cores := s.Cores
+	if len(cores) == 0 {
+		cores = []int{0}
+	}
+	domains := orKeep(s.Domains)
 	var variants []Variant
 	for _, eng := range engines {
 		for _, pol := range policies {
 			for _, sp := range speeds {
 				for ov := 0; ov < nOv; ov++ {
-					v := Variant{
-						Engine:      eng,
-						Policy:      pol,
-						Quantum:     s.Quantum.Time(),
-						Speed:       sp,
-						OverheadIdx: -1,
-					}
-					if len(s.Overheads) > 0 {
-						spec := s.Overheads[ov]
-						v.OverheadIdx = ov
-						v.Overheads = &spec
-					}
-					if len(s.Seeds) == 0 {
-						v.Index = len(variants)
-						variants = append(variants, v)
-						continue
-					}
-					for _, seed := range s.Seeds {
-						seed := seed
-						sv := v
-						sv.Seed = &seed
-						sv.Index = len(variants)
-						variants = append(variants, sv)
+					for _, nc := range cores {
+						for _, dom := range domains {
+							v := Variant{
+								Engine:      eng,
+								Policy:      pol,
+								Quantum:     s.Quantum.Time(),
+								Speed:       sp,
+								OverheadIdx: -1,
+								Cores:       nc,
+								Domain:      dom,
+							}
+							if len(s.Overheads) > 0 {
+								spec := s.Overheads[ov]
+								v.OverheadIdx = ov
+								v.Overheads = &spec
+							}
+							if len(s.Seeds) == 0 {
+								v.Index = len(variants)
+								variants = append(variants, v)
+								continue
+							}
+							for _, seed := range s.Seeds {
+								seed := seed
+								sv := v
+								sv.Seed = &seed
+								sv.Index = len(variants)
+								variants = append(variants, sv)
+							}
+						}
 					}
 				}
 			}
@@ -200,6 +235,12 @@ func (s *Spec) apply(desc *scenario.System, v Variant) {
 		}
 		if v.Overheads != nil {
 			p.Overheads = *v.Overheads
+		}
+		if v.Cores != 0 {
+			p.Cores = v.Cores
+		}
+		if v.Domain != "" {
+			p.Domain = v.Domain
 		}
 	}
 	if v.Seed != nil {

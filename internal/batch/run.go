@@ -22,9 +22,11 @@ type Metrics struct {
 	// paper's efficiency metric for comparing the two RTOS implementations.
 	Activations uint64
 	DeltaCycles uint64
-	// Dispatches and Preemptions are summed over all processors.
+	// Dispatches, Preemptions and Migrations are summed over all processors
+	// (migrations stay zero on single-core and partitioned runs).
 	Dispatches  uint64
 	Preemptions uint64
+	Migrations  uint64
 	// ContextSwitches is summed over all processors (from the trace).
 	ContextSwitches int
 	// Violations counts timing-constraint violations; DeadlineMisses the
@@ -154,6 +156,7 @@ func computeMetrics(built *scenario.Built, rep sim.Report) Metrics {
 	for _, cpu := range sys.Processors() {
 		m.Dispatches += cpu.Dispatches()
 		m.Preemptions += cpu.Preemptions()
+		m.Migrations += cpu.Migrations()
 	}
 	for _, v := range sys.Constraints.Violations() {
 		m.Violations++
@@ -215,8 +218,8 @@ func Summarize(results []Result) Summary {
 // reports. The output is deterministic.
 func Table(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-40s %10s %8s %8s %8s %7s %6s %6s\n",
-		"#", "variant", "end", "activ", "disp", "preempt", "miss", "viol", "util")
+	fmt.Fprintf(&b, "%-4s %-40s %10s %8s %8s %8s %7s %7s %6s %6s\n",
+		"#", "variant", "end", "activ", "disp", "preempt", "migr", "miss", "viol", "util")
 	for _, r := range results {
 		if r.Err != "" {
 			line := r.Err
@@ -227,9 +230,9 @@ func Table(results []Result) string {
 			continue
 		}
 		m := r.Metrics
-		fmt.Fprintf(&b, "%-4d %-40s %10v %8d %8d %8d %7d %6d %5.1f%%\n",
+		fmt.Fprintf(&b, "%-4d %-40s %10v %8d %8d %8d %7d %7d %6d %5.1f%%\n",
 			r.Variant.Index, r.Variant.Label(), m.End, m.Activations,
-			m.Dispatches, m.Preemptions, m.DeadlineMisses, m.Violations,
+			m.Dispatches, m.Preemptions, m.Migrations, m.DeadlineMisses, m.Violations,
 			m.Utilization*100)
 	}
 	return b.String()

@@ -10,6 +10,8 @@
 // models a hardware interrupt.
 package comm
 
+import "repro/internal/fifo"
+
 // Actor is a behaviour that can block on and wake through communication
 // relations. rtos.TaskCtx and rtos.HWCtx implement it; blocking a software
 // task goes through its processor's RTOS model (context-switch overheads
@@ -40,37 +42,26 @@ type PriorityBooster interface {
 	UnboostPriority()
 }
 
-// waitQueue is a FIFO of blocked actors.
+// waitQueue is a FIFO of blocked actors, backed by the shared fifo.Queue
+// helper so every blocked-task queue in the model uses the same copy-down
+// buffer discipline.
 type waitQueue struct {
-	actors []Actor
+	q fifo.Queue[Actor]
 }
 
-func (q *waitQueue) push(a Actor) { q.actors = append(q.actors, a) }
-func (q *waitQueue) empty() bool  { return len(q.actors) == 0 }
-func (q *waitQueue) len() int     { return len(q.actors) }
-func (q *waitQueue) popFIFO() Actor {
-	a := q.actors[0]
-	// Copy-down pop: reslicing from the front would strand the buffer's
-	// capacity and force every later push to reallocate.
-	last := len(q.actors) - 1
-	copy(q.actors, q.actors[1:])
-	q.actors[last] = nil
-	q.actors = q.actors[:last]
-	return a
-}
+func (q *waitQueue) push(a Actor)   { q.q.Push(a) }
+func (q *waitQueue) empty() bool    { return q.q.Empty() }
+func (q *waitQueue) len() int       { return q.q.Len() }
+func (q *waitQueue) popFIFO() Actor { return q.q.Pop() }
 
 // popPriority removes the highest-priority actor, FIFO among equals.
 func (q *waitQueue) popPriority() Actor {
+	actors := q.q.Items()
 	best := 0
-	for i, a := range q.actors[1:] {
-		if a.Priority() > q.actors[best].Priority() {
+	for i, a := range actors[1:] {
+		if a.Priority() > actors[best].Priority() {
 			best = i + 1
 		}
 	}
-	a := q.actors[best]
-	last := len(q.actors) - 1
-	copy(q.actors[best:], q.actors[best+1:])
-	q.actors[last] = nil
-	q.actors = q.actors[:last]
-	return a
+	return q.q.RemoveAt(best)
 }

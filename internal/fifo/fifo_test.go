@@ -1,0 +1,76 @@
+package fifo
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatalf("zero value not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		q.Push(i)
+	}
+	if *q.Front() != 1 {
+		t.Fatalf("Front = %d, want 1", *q.Front())
+	}
+	for i := 1; i <= 5; i++ {
+		if v := q.Pop(); v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatalf("queue not empty after draining")
+	}
+}
+
+func TestFIFORemoveAtPreservesOrder(t *testing.T) {
+	var q Queue[string]
+	for _, s := range []string{"a", "b", "c", "d"} {
+		q.Push(s)
+	}
+	if v := q.RemoveAt(1); v != "b" {
+		t.Fatalf("RemoveAt(1) = %q, want b", v)
+	}
+	want := []string{"a", "c", "d"}
+	for i, s := range q.Items() {
+		if s != want[i] {
+			t.Fatalf("Items()[%d] = %q, want %q", i, s, want[i])
+		}
+	}
+}
+
+// TestFIFOCapacityStable is the capacity-stranding regression test: a queue
+// cycling through a steady state (push one, pop one) must reuse its buffer
+// instead of letting append reallocate forever.
+func TestFIFOCapacityStable(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 8; i++ {
+		q.Push(i)
+	}
+	c := cap(q.items)
+	for i := 0; i < 10000; i++ {
+		q.Pop()
+		q.Push(i)
+	}
+	if cap(q.items) != c {
+		t.Fatalf("steady-state pop/push grew capacity %d -> %d", c, cap(q.items))
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		q.Pop()
+		q.Push(1)
+	}); allocs > 0 {
+		t.Fatalf("steady-state pop/push allocates %.2f objects, want 0", allocs)
+	}
+}
+
+// TestFIFOPopReleasesReference checks the vacated slot is zeroed so popped
+// pointers are not pinned by the buffer.
+func TestFIFOPopReleasesReference(t *testing.T) {
+	var q Queue[*int]
+	v := new(int)
+	q.Push(v)
+	q.Pop()
+	if q.items[:cap(q.items)][0] != nil {
+		t.Fatalf("vacated slot still holds the popped pointer")
+	}
+}

@@ -7,12 +7,14 @@ import "repro/internal/trace"
 // without using a thread. Each task notifies the other ones by using methods
 // of the RTOS object."
 //
-// The three RTOS primitives — TaskIsReady, TaskIsBlocked, TaskIsPreempted —
-// are executed on the threads of the tasks themselves: the context-save and
-// scheduling durations on the thread of the task leaving the processor, the
-// context-load duration on the thread of the task that was elected (Figure
-// 5). The only kernel thread switches are those of the application tasks, so
-// the simulation runs with far fewer activations than the threaded engine.
+// The engine holds no scheduling logic of its own — election, dispatch,
+// preemption checking and overhead accounting live in the shared schedCore
+// (schedcore.go). What this engine decides is *whose thread* runs them: the
+// context-save and scheduling durations on the thread of the task leaving
+// the processor, the context-load duration on the thread of the task that
+// was elected (Figure 5). The only kernel thread switches are those of the
+// application tasks, so the simulation runs with far fewer activations than
+// the threaded engine.
 type proceduralEngine struct {
 	cpu *Processor
 }
@@ -20,28 +22,24 @@ type proceduralEngine struct {
 func (e *proceduralEngine) start() {}
 
 // taskIsReady is the paper's TaskIsReady primitive, executed on the caller's
-// thread. It never consumes the caller's simulated time: if the processor is
-// idle, the awakened task's own thread runs the scheduler (grantSchedLoad);
-// if the scheduling policy allows preemption, the ready task "sends the
-// TaskPreempt event to the running task".
+// thread. It never consumes the caller's simulated time: if an eligible core
+// is idle, the awakened task claims it and its own thread runs the scheduler
+// (grantSchedLoad); otherwise, if the scheduling policy allows preemption,
+// the ready task "sends the TaskPreempt event to the running task".
 func (e *proceduralEngine) taskIsReady(t *Task) {
 	cpu := e.cpu
 	if t.state == trace.StateReady || t.state == trace.StateRunning || t.state == trace.StateTerminated {
 		return
 	}
 	cpu.enqueueReady(t)
-	switch {
-	case cpu.switching:
-		// A dispatch is in progress; the pending election sees the queue.
-	case cpu.running == nil:
-		// Idle processor: wake the task; its own thread charges the
-		// scheduling and load durations and re-elects after the scheduling
-		// window (another task arriving meanwhile may win).
-		cpu.switching = true
-		t.grant(grantSchedLoad)
-	default:
-		cpu.checkPreemptRunning()
+	if c := cpu.claimIdleCore(t); c != nil {
+		// Idle core: wake the task; its own thread charges the scheduling
+		// and load durations and re-elects after the scheduling window
+		// (another task arriving meanwhile may win).
+		t.grant(grantSchedLoad, c.id)
+		return
 	}
+	cpu.checkPreemptArrival(t)
 }
 
 // taskIsBlocked is the paper's TaskIsBlocked primitive: "it is called by a
@@ -49,8 +47,8 @@ func (e *proceduralEngine) taskIsReady(t *Task) {
 // another task to run and notifies it with the TaskRun event." The switch
 // runs on the blocking task's own thread.
 func (e *proceduralEngine) taskIsBlocked(t *Task, s trace.TaskState) {
-	e.cpu.leaveRunning(t, s)
-	e.switchFrom(t)
+	c := e.cpu.leaveRunning(t, s)
+	e.cpu.switchOutOn(t.proc, c, t)
 }
 
 // taskYield implements preemption (the paper's TaskIsPreempted, called "by
@@ -58,33 +56,16 @@ func (e *proceduralEngine) taskIsBlocked(t *Task, s trace.TaskState) {
 // yields: the task returns to the ready queue, performs the outgoing half of
 // the context switch on its own thread, and parks until elected again.
 func (e *proceduralEngine) taskYield(t *Task) {
-	e.cpu.leaveRunning(t, trace.StateReady)
-	e.switchFrom(t)
+	c := e.cpu.leaveRunning(t, trace.StateReady)
+	e.cpu.switchOutOn(t.proc, c, t)
 	t.awaitDispatch()
 }
 
 func (e *proceduralEngine) taskFinished(t *Task) {
-	e.cpu.leaveRunning(t, trace.StateTerminated)
-	e.switchFrom(t)
+	c := e.cpu.leaveRunning(t, trace.StateTerminated)
+	e.cpu.switchOutOn(t.proc, c, t)
 }
 
 func (e *proceduralEngine) reevaluate() {
-	e.cpu.checkPreemptRunning()
-}
-
-// switchFrom performs the outgoing half of a context switch on t's thread:
-// charge the context-save duration, then, if any task is ready, charge the
-// scheduling duration and elect; the elected task self-charges its context
-// load. With nothing ready the processor goes idle.
-func (e *proceduralEngine) switchFrom(t *Task) {
-	cpu := e.cpu
-	cpu.charge(t.proc, trace.OverheadContextSave, t, cpu.overheadCtx(t))
-	t.proc.WaitDelta() // settle: same-instant arrivals join the ready queue
-	if len(cpu.ready) > 0 {
-		cpu.charge(t.proc, trace.OverheadScheduling, nil, cpu.overheadCtx(nil))
-		t.proc.WaitDelta() // settle before the election
-		cpu.elect().grant(grantLoad)
-		return
-	}
-	cpu.switching = false
+	e.cpu.reevaluateCores()
 }

@@ -1,6 +1,9 @@
 package rtos
 
 import (
+	"fmt"
+
+	"repro/internal/fifo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -13,52 +16,87 @@ import (
 // task in its ReadyTaskQueue must be activated and then notifies it by its
 // TaskRun event."
 //
-// It produces exactly the same simulated timing as the procedural engine but
-// needs two extra kernel thread switches per scheduling action (into and out
-// of the RTOS thread), which is why the paper discards it for efficiency.
+// Like the procedural engine it holds no scheduling logic — the shared
+// schedCore (schedcore.go) does all electing, dispatching and preemption
+// checking — only the invocation mechanism differs: one dedicated scheduler
+// thread per core performs the switch-out and dispatch halves. It produces
+// exactly the same simulated timing as the procedural engine but needs two
+// extra kernel thread switches per scheduling action (into and out of the
+// RTOS thread), which is why the paper discards it for efficiency.
 type threadedEngine struct {
 	cpu    *Processor
 	rtkRun *sim.Event
-	// outgoing holds tasks that left the Running state and whose context
-	// save + dispatch the RTOS thread must perform, in order.
-	outgoing []*Task
-	proc     *sim.Proc
+	// outgoing holds, per core, the tasks that left the Running state there
+	// and whose context save + dispatch that core's RTOS thread must
+	// perform, in order.
+	outgoing []fifo.Queue[*Task]
 }
 
 func newThreadedEngine(cpu *Processor) *threadedEngine {
-	return &threadedEngine{cpu: cpu, rtkRun: cpu.k.NewEvent(cpu.name + ".RTKRun")}
+	return &threadedEngine{
+		cpu:      cpu,
+		rtkRun:   cpu.k.NewEvent(cpu.name + ".RTKRun"),
+		outgoing: make([]fifo.Queue[*Task], len(cpu.cores)),
+	}
 }
 
 func (e *threadedEngine) start() {
-	e.proc = e.cpu.k.Spawn(e.cpu.name+".rtos", e.run)
-	// The scheduler thread idles on RTKRun forever by design; exclude it
-	// from the kernel's deadlock accounting.
-	e.proc.SetDaemon(true)
+	for i := range e.cpu.cores {
+		c := &e.cpu.cores[i]
+		name := e.cpu.name + ".rtos"
+		if c.id > 0 {
+			name = fmt.Sprintf("%s.rtos%d", e.cpu.name, c.id)
+		}
+		p := e.cpu.k.Spawn(name, func(p *sim.Proc) { e.run(p, c) })
+		// The scheduler threads idle on RTKRun forever by design; exclude
+		// them from the kernel's deadlock accounting.
+		p.SetDaemon(true)
+	}
 }
 
-// run is the RTOS scheduler thread. It loops forever: process pending
-// switch-out requests, dispatch onto an idle processor, request preemption
-// when the policy demands it, and otherwise sleep on RTKRun.
-func (e *threadedEngine) run(p *sim.Proc) {
+// run is one core's RTOS scheduler thread. It loops forever: process pending
+// switch-out requests, dispatch a claimed or idle core, request preemption
+// when the policy demands it, and otherwise sleep on RTKRun (shared by all
+// cores; spurious wakes fall through to the default case).
+func (e *threadedEngine) run(p *sim.Proc, c *core) {
 	cpu := e.cpu
+	out := &e.outgoing[c.id]
 	for {
 		switch {
-		case len(e.outgoing) > 0:
-			out := e.outgoing[0]
-			// Copy-down pop: reslicing from the front would strand the
-			// buffer's capacity and force append to reallocate forever.
-			n := copy(e.outgoing, e.outgoing[1:])
-			e.outgoing[n] = nil
-			e.outgoing = e.outgoing[:n]
-			cpu.charge(p, trace.OverheadContextSave, out, cpu.overheadCtx(out))
-			p.WaitDelta() // settle: same-instant arrivals join the ready queue
-			e.dispatch(p)
-		case cpu.running == nil && !cpu.switching && len(cpu.ready) > 0:
-			cpu.switching = true
+		case out.Len() > 0:
+			cpu.switchOutOn(p, c, out.Pop())
+		case c.claimant != nil:
+			// A ready task claimed this idle core (taskIsReady); run the
+			// election for it on the RTOS thread. The claim is held across the
+			// scheduling window — elections on other cores must keep skipping
+			// the claimant — and released only at this core's own election,
+			// with no settle in between (the procedural grantSchedLoad path
+			// follows the same protocol).
+			t := c.claimant
 			p.WaitDelta() // settle, mirroring the procedural idle wakeup
-			e.dispatch(p)
-		case cpu.running != nil && !cpu.switching:
-			cpu.checkPreemptRunning()
+			cpu.charge(p, trace.OverheadScheduling, nil, cpu.overheadCtxOn(c, nil))
+			p.WaitDelta()
+			cpu.clearClaim(t)
+			elected := cpu.electOn(c)
+			if elected == nil {
+				c.switching = false
+				continue
+			}
+			elected.grant(grantLoad, c.id)
+			if elected != t {
+				// The claimant lost the election to a later arrival and is
+				// back to plain queued; if another eligible core sits idle,
+				// claim it so the task is not stranded.
+				if cpu.claimIdleCore(t) != nil {
+					e.rtkRun.Notify()
+				}
+			}
+		case c.running == nil && !c.switching && cpu.hasUnclaimedReady(c):
+			c.switching = true
+			p.WaitDelta() // settle, mirroring the procedural idle wakeup
+			cpu.dispatchOn(p, c)
+		case c.running != nil && !c.switching:
+			cpu.checkPreemptOn(c)
 			p.WaitEvent(e.rtkRun)
 		default:
 			p.WaitEvent(e.rtkRun)
@@ -66,49 +104,37 @@ func (e *threadedEngine) run(p *sim.Proc) {
 	}
 }
 
-// dispatch charges the scheduling duration on the RTOS thread and elects;
-// the elected task self-charges its context load (identical timing to the
-// procedural engine). With nothing ready the processor goes idle.
-func (e *threadedEngine) dispatch(p *sim.Proc) {
-	cpu := e.cpu
-	if len(cpu.ready) == 0 {
-		cpu.switching = false
-		return
-	}
-	cpu.charge(p, trace.OverheadScheduling, nil, cpu.overheadCtx(nil))
-	p.WaitDelta() // settle before the election
-	cpu.elect().grant(grantLoad)
-}
-
-// taskIsReady enqueues the task and wakes the RTOS thread, which makes all
-// scheduling decisions.
+// taskIsReady enqueues the task, claims an idle core for it when one is
+// available, and wakes the RTOS threads, which make all scheduling
+// decisions.
 func (e *threadedEngine) taskIsReady(t *Task) {
 	if t.state == trace.StateReady || t.state == trace.StateRunning || t.state == trace.StateTerminated {
 		return
 	}
 	e.cpu.enqueueReady(t)
+	e.cpu.claimIdleCore(t)
 	e.rtkRun.Notify()
 }
 
-// taskIsBlocked hands the switch-out to the RTOS thread; the blocking task
-// then parks. All overhead is charged on the RTOS thread except the elected
-// task's context load.
+// taskIsBlocked hands the switch-out to the vacated core's RTOS thread; the
+// blocking task then parks. All overhead is charged on the RTOS thread
+// except the elected task's context load.
 func (e *threadedEngine) taskIsBlocked(t *Task, s trace.TaskState) {
-	e.cpu.leaveRunning(t, s)
-	e.outgoing = append(e.outgoing, t)
+	c := e.cpu.leaveRunning(t, s)
+	e.outgoing[c.id].Push(t)
 	e.rtkRun.Notify()
 }
 
 func (e *threadedEngine) taskYield(t *Task) {
-	e.cpu.leaveRunning(t, trace.StateReady)
-	e.outgoing = append(e.outgoing, t)
+	c := e.cpu.leaveRunning(t, trace.StateReady)
+	e.outgoing[c.id].Push(t)
 	e.rtkRun.Notify()
 	t.awaitDispatch()
 }
 
 func (e *threadedEngine) taskFinished(t *Task) {
-	e.cpu.leaveRunning(t, trace.StateTerminated)
-	e.outgoing = append(e.outgoing, t)
+	c := e.cpu.leaveRunning(t, trace.StateTerminated)
+	e.outgoing[c.id].Push(t)
 	e.rtkRun.Notify()
 }
 

@@ -170,11 +170,16 @@ func (ic *InterruptController) run(p *sim.Proc) {
 			irq.worstLatency = lat
 		}
 
-		// Pause the running task in place: it wakes from its Execute wait,
-		// sees the ISR active, and parks on doneEv without any RTOS call.
-		paused := cpu.running
-		if paused != nil {
-			paused.evPreempt.Notify()
+		// Pause the running tasks in place: each wakes from its Execute
+		// wait, sees the ISR active, and parks on doneEv without any RTOS
+		// call. An ISR borrows the whole processor — on a multi-core
+		// processor it stalls every core, modelling a controller that
+		// asserts a global interrupt line (per-core interrupt routing is
+		// out of scope for this model).
+		for i := range cpu.cores {
+			if paused := cpu.cores[i].running; paused != nil {
+				paused.evPreempt.Notify()
+			}
 		}
 		cpu.rec.TaskState(isrTaskName(cpu, irq), cpu.name, trace.StateRunning)
 		irq.isr(&ISRCtx{irq: irq})

@@ -9,6 +9,9 @@ import "repro/internal/sim"
 type OverheadCtx struct {
 	// CPU is the processor charging the overhead.
 	CPU *Processor
+	// Core is the core the overhead is charged for (0 on a single-core
+	// processor).
+	Core int
 	// Task is the task being saved or loaded; nil for a pure scheduling
 	// decision with no task attribution.
 	Task *Task

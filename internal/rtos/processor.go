@@ -77,6 +77,14 @@ type Config struct {
 	// processor change" axis of the paper's conclusion, complementing the
 	// context-switch durations.
 	Speed float64
+	// Cores is the number of symmetric cores the RTOS schedules; zero means
+	// one, which reproduces the paper's single-CPU model exactly.
+	Cores int
+	// Domain selects how a multi-core processor distributes its tasks:
+	// DomainPartitioned (the default; per-task core pinning via
+	// TaskConfig.Affinity) or DomainGlobal (one shared ready queue with task
+	// migration). Ignored with one core, where both domains coincide.
+	Domain SchedDomain
 }
 
 // Processor models a CPU running an RTOS that serializes a set of tasks.
@@ -92,35 +100,27 @@ type Processor struct {
 	engineKind EngineKind
 	eng        engine
 	speed      float64
+	domain     SchedDomain
 
-	tasks   []*Task
-	ready   []*Task
-	running *Task
+	tasks []*Task
+
+	// cores are the execution units (schedcore.go); the slice is sized at
+	// construction and never reallocated, so &cores[i] pointers are stable.
+	cores []core
+	// queues are the ready queues: one per core under DomainPartitioned, a
+	// single shared one under DomainGlobal.
+	queues []readyQueue
 
 	// ordered is the policy's incremental-order view, nil for custom policies
-	// without a built-in preference order. When set, (readyBest, readyBestIdx)
-	// cache the argmin of ready under the order while readyBestOK holds, so
-	// arrivals cost one comparison and elections skip the queue rescan.
-	ordered      orderedPolicy
-	readyBest    *Task
-	readyBestIdx int
-	readyBestOK  bool
-	// switching is true while a dispatch sequence is in progress (between a
-	// task leaving the processor or a ready task starting an idle-processor
-	// wakeup, and the elected task completing its context load). New ready
-	// tasks arriving during the window only join the queue; they take part
-	// in the election.
-	switching bool
+	// without a built-in preference order. When set, each queue caches its
+	// argmin under the order (see readyQueue).
+	ordered orderedPolicy
 
 	readySeqCtr uint64
 
-	quantum      sim.Time
-	quantumEvent *sim.Event
+	quantum sim.Time
 
 	irqCtrl *InterruptController
-
-	dispatches  uint64
-	preemptions uint64
 }
 
 // NewProcessor creates a processor on the system with the given RTOS
@@ -136,6 +136,7 @@ func (s *System) NewProcessor(name string, cfg Config) *Processor {
 		overheads:  cfg.Overheads,
 		engineKind: cfg.Engine,
 		speed:      cfg.Speed,
+		domain:     cfg.Domain,
 	}
 	if cpu.policy == nil {
 		cpu.policy = PriorityPreemptive{}
@@ -146,6 +147,25 @@ func (s *System) NewProcessor(name string, cfg Config) *Processor {
 	if cpu.speed < 0 {
 		panic("rtos: processor speed must be positive")
 	}
+	if cfg.Cores < 0 {
+		panic("rtos: processor core count must be positive")
+	}
+	if cpu.domain != DomainPartitioned && cpu.domain != DomainGlobal {
+		panic(fmt.Sprintf("rtos: unknown scheduling domain %d", cfg.Domain))
+	}
+	nCores := cfg.Cores
+	if nCores == 0 {
+		nCores = 1
+	}
+	cpu.cores = make([]core, nCores)
+	for i := range cpu.cores {
+		cpu.cores[i].id = i
+	}
+	nQueues := nCores
+	if cpu.domain == DomainGlobal {
+		nQueues = 1
+	}
+	cpu.queues = make([]readyQueue, nQueues)
 	cpu.ordered, _ = cpu.policy.(orderedPolicy)
 	if qp, ok := cpu.policy.(QuantumPolicy); ok {
 		cpu.quantum = qp.Quantum()
@@ -203,17 +223,68 @@ func (cpu *Processor) SetPreemptive(on bool) {
 // Tasks returns the processor's tasks in creation order.
 func (cpu *Processor) Tasks() []*Task { return cpu.tasks }
 
-// Running returns the currently running task, nil when idle or switching.
-func (cpu *Processor) Running() *Task { return cpu.running }
+// Running returns the task running on core 0 (the only core of a single-core
+// processor), nil when idle or switching. See RunningOn for other cores.
+func (cpu *Processor) Running() *Task { return cpu.cores[0].running }
 
-// ReadyCount returns the current number of ready tasks.
-func (cpu *Processor) ReadyCount() int { return len(cpu.ready) }
+// RunningOn returns the task running on the given core, nil when that core
+// is idle or switching.
+func (cpu *Processor) RunningOn(coreID int) *Task { return cpu.cores[coreID].running }
 
-// Dispatches returns the total number of task elections performed.
-func (cpu *Processor) Dispatches() uint64 { return cpu.dispatches }
+// Cores returns the processor's core count.
+func (cpu *Processor) Cores() int { return len(cpu.cores) }
 
-// Preemptions returns the total number of preemptions performed.
-func (cpu *Processor) Preemptions() uint64 { return cpu.preemptions }
+// Domain returns the processor's scheduling domain.
+func (cpu *Processor) Domain() SchedDomain { return cpu.domain }
+
+// ReadyCount returns the current number of ready tasks across all queues.
+func (cpu *Processor) ReadyCount() int {
+	n := 0
+	for i := range cpu.queues {
+		n += len(cpu.queues[i].tasks)
+	}
+	return n
+}
+
+// Dispatches returns the total number of task elections performed across all
+// cores.
+func (cpu *Processor) Dispatches() uint64 {
+	var n uint64
+	for i := range cpu.cores {
+		n += cpu.cores[i].dispatches
+	}
+	return n
+}
+
+// Preemptions returns the total number of preemptions performed across all
+// cores.
+func (cpu *Processor) Preemptions() uint64 {
+	var n uint64
+	for i := range cpu.cores {
+		n += cpu.cores[i].preemptions
+	}
+	return n
+}
+
+// Migrations returns how many dispatches moved a task to a different core
+// than its previous one (always zero under DomainPartitioned).
+func (cpu *Processor) Migrations() uint64 {
+	var n uint64
+	for i := range cpu.cores {
+		n += cpu.cores[i].migrations
+	}
+	return n
+}
+
+// CoreDispatches returns the number of task elections completed on one core.
+func (cpu *Processor) CoreDispatches(coreID int) uint64 { return cpu.cores[coreID].dispatches }
+
+// CorePreemptions returns the number of preemptions performed on one core.
+func (cpu *Processor) CorePreemptions(coreID int) uint64 { return cpu.cores[coreID].preemptions }
+
+// CoreMigrations returns the number of dispatches that migrated a task onto
+// this core from another one.
+func (cpu *Processor) CoreMigrations(coreID int) uint64 { return cpu.cores[coreID].migrations }
 
 // NewTask creates a task on the processor. The behaviour function runs once;
 // write a loop inside it (or use NewPeriodicTask) for cyclic tasks.
@@ -221,15 +292,25 @@ func (cpu *Processor) NewTask(name string, cfg TaskConfig, fn func(*TaskCtx)) *T
 	if fn == nil {
 		panic("rtos: NewTask with nil behaviour")
 	}
+	if cfg.Affinity < 0 || cfg.Affinity >= len(cpu.cores) {
+		panic(fmt.Sprintf("rtos: task %q affinity %d out of range for %d-core processor %q",
+			name, cfg.Affinity, len(cpu.cores), cpu.name))
+	}
+	if cfg.Affinity != 0 && cpu.domain == DomainGlobal {
+		panic(fmt.Sprintf("rtos: task %q sets a core affinity but processor %q schedules globally", name, cpu.name))
+	}
 	t := &Task{
-		name:     name,
-		cpu:      cpu,
-		cfg:      cfg,
-		fn:       fn,
-		basePrio: cfg.Priority,
-		deadline: sim.TimeMax,
-		period:   cfg.Period,
-		state:    trace.StateCreated,
+		name:      name,
+		cpu:       cpu,
+		cfg:       cfg,
+		fn:        fn,
+		basePrio:  cfg.Priority,
+		deadline:  sim.TimeMax,
+		period:    cfg.Period,
+		state:     trace.StateCreated,
+		affinity:  cfg.Affinity,
+		lastCore:  -1,
+		claimedBy: -1,
 	}
 	if cfg.Deadline > 0 {
 		// The configured relative deadline counts from the first release.
@@ -362,11 +443,6 @@ func releaseJitter(name string, cycle int, max sim.Time) sim.Time {
 	return sim.Time(h.Sum64() % uint64(max+1))
 }
 
-// overheadCtx snapshots the system state for an overhead formula.
-func (cpu *Processor) overheadCtx(t *Task) OverheadCtx {
-	return OverheadCtx{CPU: cpu, Task: t, ReadyCount: len(cpu.ready), Now: cpu.k.Now()}
-}
-
 // charge consumes one overhead duration on thread p and records it. The
 // duration formula is evaluated at the charge instant. Zero durations are
 // recorded as zero-length segments (they still count context switches in the
@@ -390,161 +466,4 @@ func (cpu *Processor) charge(p *sim.Proc, kind trace.OverheadKind, t *Task, octx
 		name = t.name
 	}
 	cpu.rec.Overhead(cpu.name, name, kind, start, cpu.k.Now())
-}
-
-// enqueueReady puts t in the ready queue and records the Ready state.
-func (cpu *Processor) enqueueReady(t *Task) {
-	cpu.readySeqCtr++
-	t.readySeq = cpu.readySeqCtr
-	cpu.ready = append(cpu.ready, t)
-	if cpu.ordered != nil {
-		if n := len(cpu.ready); n == 1 {
-			cpu.readyBest, cpu.readyBestIdx, cpu.readyBestOK = t, 0, true
-		} else if cpu.readyBestOK && cpu.ordered.prefer(t, cpu.readyBest) {
-			cpu.readyBest, cpu.readyBestIdx = t, n-1
-		}
-	}
-	t.setState(trace.StateReady)
-}
-
-// invalidateReadyBest drops the best-ready cache; called when an ordering
-// input of a task (priority, deadline) changes.
-func (cpu *Processor) invalidateReadyBest() {
-	cpu.readyBest, cpu.readyBestOK = nil, false
-}
-
-// readyBestTask returns the argmin of the non-empty ready queue under the
-// ordered policy's preference order, rescanning only when the cache was
-// invalidated.
-func (cpu *Processor) readyBestTask() *Task {
-	if !cpu.readyBestOK {
-		best, idx := cpu.ready[0], 0
-		for i, t := range cpu.ready[1:] {
-			if cpu.ordered.prefer(t, best) {
-				best, idx = t, i+1
-			}
-		}
-		cpu.readyBest, cpu.readyBestIdx, cpu.readyBestOK = best, idx, true
-	}
-	return cpu.readyBest
-}
-
-// elect runs the scheduling policy and removes the winner from the ready
-// queue. The ready queue must not be empty.
-func (cpu *Processor) elect() *Task {
-	if len(cpu.ready) == 0 {
-		panic("rtos: elect with empty ready queue")
-	}
-	if cpu.ordered != nil {
-		// The cached winner's position is stable (arrivals only append), so
-		// removal is a swap with the tail: ordered elections are independent
-		// of queue positions, only of the preference order.
-		e := cpu.readyBestTask()
-		last := len(cpu.ready) - 1
-		cpu.ready[cpu.readyBestIdx] = cpu.ready[last]
-		cpu.ready[last] = nil
-		cpu.ready = cpu.ready[:last]
-		cpu.invalidateReadyBest()
-		return e
-	}
-	e := cpu.policy.Select(cpu.ready)
-	if e == nil {
-		panic(fmt.Sprintf("rtos: policy %q selected no task from a non-empty ready queue", cpu.policy.Name()))
-	}
-	for i, r := range cpu.ready {
-		if r == e {
-			cpu.ready = append(cpu.ready[:i], cpu.ready[i+1:]...)
-			return e
-		}
-	}
-	panic(fmt.Sprintf("rtos: policy %q selected task %q which is not ready", cpu.policy.Name(), e.name))
-}
-
-// finishDispatch completes a dispatch on the elected task's own thread: the
-// task becomes the running task and the switch window closes. If a
-// preemption-worthy task arrived during the context load it is honoured at
-// the task's first preemption point.
-func (cpu *Processor) finishDispatch(t *Task) {
-	cpu.running = t
-	cpu.switching = false
-	t.setState(trace.StateRunning)
-	t.dispatches++
-	cpu.dispatches++
-	cpu.armQuantum()
-	cpu.checkPreemptRunning()
-}
-
-// leaveRunning takes t off the processor (it must be the running task),
-// transitioning it to state s, and opens the switch window.
-func (cpu *Processor) leaveRunning(t *Task, s trace.TaskState) {
-	if cpu.running != t {
-		panic(fmt.Sprintf("rtos: task %q leaving the processor is not the running task", t.name))
-	}
-	cpu.running = nil
-	cpu.switching = true
-	cpu.cancelQuantum()
-	t.preemptPending = false
-	if s == trace.StateReady {
-		cpu.enqueueReady(t)
-		t.preemptions++
-		cpu.preemptions++
-	} else {
-		t.setState(s)
-	}
-}
-
-// checkPreemptRunning requests preemption of the running task if the policy
-// prefers some ready task and the mode allows it.
-func (cpu *Processor) checkPreemptRunning() {
-	r := cpu.running
-	if r == nil || r.preemptPending || !r.preemptible() {
-		return
-	}
-	if cpu.ordered != nil {
-		// A preference order makes the cached best the decisive candidate: if
-		// it does not warrant preemption, no lesser ready task does.
-		if len(cpu.ready) > 0 && cpu.policy.ShouldPreempt(cpu.readyBestTask(), r) {
-			r.requestPreempt()
-		}
-		return
-	}
-	for _, n := range cpu.ready {
-		if cpu.policy.ShouldPreempt(n, r) {
-			r.requestPreempt()
-			return
-		}
-	}
-}
-
-// armQuantum starts the time-slice timer for the running task.
-func (cpu *Processor) armQuantum() {
-	if cpu.quantum <= 0 {
-		return
-	}
-	if cpu.quantumEvent == nil {
-		cpu.quantumEvent = cpu.k.NewEvent(cpu.name + ".quantum")
-		cpu.k.NewMethod(cpu.name+".quantumExpiry", cpu.quantumExpired, false, cpu.quantumEvent)
-	}
-	cpu.quantumEvent.NotifyIn(cpu.quantum)
-}
-
-// cancelQuantum stops the time-slice timer.
-func (cpu *Processor) cancelQuantum() {
-	if cpu.quantumEvent != nil {
-		cpu.quantumEvent.Cancel()
-	}
-}
-
-// quantumExpired handles the end of a time slice: the running task is
-// preempted if peers are waiting, otherwise its quantum restarts.
-func (cpu *Processor) quantumExpired() {
-	r := cpu.running
-	if r == nil || cpu.switching {
-		return
-	}
-	if len(cpu.ready) > 0 && r.preemptible() {
-		r.requestPreempt()
-		return
-	}
-	cpu.armQuantum()
 }

@@ -1,6 +1,7 @@
 package rtos
 
 import (
+	"repro/internal/fifo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -35,7 +36,7 @@ type Server struct {
 	period sim.Time
 	budget sim.Time
 
-	pending  []AperiodicJob
+	pending  fifo.Queue[AperiodicJob]
 	arrive   *sim.Event
 	queueCap int
 
@@ -73,11 +74,11 @@ func (s *Server) Submit(job AperiodicJob) bool {
 		panic("rtos: aperiodic job needs positive work")
 	}
 	job.submitted = s.task.cpu.k.Now()
-	if cap := s.queueCap; cap > 0 && len(s.pending) >= cap {
+	if cap := s.queueCap; cap > 0 && s.pending.Len() >= cap {
 		s.dropped++
 		return false
 	}
-	s.pending = append(s.pending, job)
+	s.pending.Push(job)
 	s.task.cpu.rec.Access("submitter", s.name+".queue", trace.AccessSend)
 	s.arrive.Notify()
 	return true
@@ -93,7 +94,7 @@ func (s *Server) Dropped() uint64 { return s.dropped }
 func (s *Server) Task() *Task { return s.task }
 
 // Pending returns the number of queued jobs.
-func (s *Server) Pending() int { return len(s.pending) }
+func (s *Server) Pending() int { return s.pending.Len() }
 
 // TotalWork returns the total processor time served to jobs.
 func (s *Server) TotalWork() sim.Time { return s.totalWork }
@@ -114,7 +115,7 @@ func (cpu *Processor) NewPollingServer(name string, cfg ServerConfig) *Server {
 		Deadline: cfg.Period,
 	}, func(c *TaskCtx, cycle int) {
 		budget := s.budget
-		for budget > 0 && len(s.pending) > 0 {
+		for budget > 0 && s.pending.Len() > 0 {
 			budget -= s.serveOne(c, budget)
 		}
 		// Budget unused or exhausted: the polling server idles until the
@@ -159,7 +160,7 @@ func (cpu *Processor) NewDeferrableServer(name string, cfg ServerConfig) *Server
 
 	s.task = cpu.NewTask(name, TaskConfig{Priority: cfg.Priority}, func(c *TaskCtx) {
 		for {
-			for len(s.pending) == 0 || available(c.Now()) <= 0 {
+			for s.pending.Empty() || available(c.Now()) <= 0 {
 				c.t.cpu.eng.taskIsBlocked(c.t, trace.StateWaiting)
 				c.t.awaitDispatch()
 			}
@@ -183,7 +184,7 @@ func (cpu *Processor) NewDeferrableServer(name string, cfg ServerConfig) *Server
 	})
 	// Wake the server task on arrivals/replenishments.
 	cpu.k.NewMethod(name+".wake", func() {
-		if len(s.pending) > 0 && available(cpu.k.Now()) > 0 {
+		if s.pending.Len() > 0 && available(cpu.k.Now()) > 0 {
 			cpu.eng.taskIsReady(s.task)
 		}
 	}, false, s.arrive)
@@ -211,26 +212,25 @@ func (cpu *Processor) NewSporadicServer(name string, cfg ServerConfig) *Server {
 		at     sim.Time
 		amount sim.Time
 	}
-	var pendingRefills []refill
+	var pendingRefills fifo.Queue[refill]
 	refillEv := cpu.k.NewEvent(name + ".refill")
 	cpu.k.NewMethod(name+".replenish", func() {
 		now := cpu.k.Now()
-		for len(pendingRefills) > 0 && pendingRefills[0].at <= now {
-			budget += pendingRefills[0].amount
-			pendingRefills = pendingRefills[1:]
+		for pendingRefills.Len() > 0 && pendingRefills.Front().at <= now {
+			budget += pendingRefills.Pop().amount
 		}
 		if budget > cfg.Budget {
 			budget = cfg.Budget
 		}
-		if len(pendingRefills) > 0 {
-			refillEv.NotifyAt(pendingRefills[0].at)
+		if pendingRefills.Len() > 0 {
+			refillEv.NotifyAt(pendingRefills.Front().at)
 		}
 		s.arrive.Notify()
 	}, false, refillEv)
 
 	s.task = cpu.NewTask(name, TaskConfig{Priority: cfg.Priority}, func(c *TaskCtx) {
 		for {
-			for len(s.pending) == 0 || budget <= 0 {
+			for s.pending.Empty() || budget <= 0 {
 				c.t.cpu.eng.taskIsBlocked(c.t, trace.StateWaiting)
 				c.t.awaitDispatch()
 			}
@@ -238,21 +238,21 @@ func (cpu *Processor) NewSporadicServer(name string, cfg ServerConfig) *Server {
 			// in this burst lands one period after the burst starts.
 			burstStart := c.Now()
 			var consumed sim.Time
-			for len(s.pending) > 0 && budget > 0 {
+			for s.pending.Len() > 0 && budget > 0 {
 				used := s.serveOne(c, budget)
 				budget -= used
 				consumed += used
 			}
 			if consumed > 0 {
-				pendingRefills = append(pendingRefills, refill{at: burstStart + cfg.Period, amount: consumed})
-				if len(pendingRefills) == 1 {
-					refillEv.NotifyAt(pendingRefills[0].at)
+				pendingRefills.Push(refill{at: burstStart + cfg.Period, amount: consumed})
+				if pendingRefills.Len() == 1 {
+					refillEv.NotifyAt(pendingRefills.Front().at)
 				}
 			}
 		}
 	})
 	cpu.k.NewMethod(name+".wake", func() {
-		if len(s.pending) > 0 && budget > 0 {
+		if s.pending.Len() > 0 && budget > 0 {
 			cpu.eng.taskIsReady(s.task)
 		}
 	}, false, s.arrive)
@@ -263,7 +263,7 @@ func (cpu *Processor) NewSporadicServer(name string, cfg ServerConfig) *Server {
 // time consumed. A job larger than the remaining budget stays at the head
 // with its work reduced.
 func (s *Server) serveOne(c *TaskCtx, budget sim.Time) sim.Time {
-	job := &s.pending[0]
+	job := s.pending.Front()
 	slice := job.Work
 	if slice > budget {
 		slice = budget
@@ -272,8 +272,7 @@ func (s *Server) serveOne(c *TaskCtx, budget sim.Time) sim.Time {
 	job.Work -= slice
 	s.totalWork += slice
 	if job.Work <= 0 {
-		done := job.Done
-		s.pending = s.pending[1:]
+		done := s.pending.Pop().Done
 		s.served++
 		if done != nil {
 			done()

@@ -49,19 +49,25 @@ func NewUntracedSystem() *System {
 // sim.SimError: what each processor was doing when the failure was detected.
 func (s *System) diagnostic() []string {
 	var out []string
-	for _, cpu := range s.cpus {
-		doing := "idle"
+	describe := func(c *core) string {
 		switch {
-		case cpu.running != nil:
-			doing = "running " + cpu.running.name
-		case cpu.switching:
-			doing = "context-switching"
+		case c.running != nil:
+			return "running " + c.running.name
+		case c.switching:
+			return "context-switching"
+		}
+		return "idle"
+	}
+	for _, cpu := range s.cpus {
+		doing := describe(&cpu.cores[0])
+		for i := 1; i < len(cpu.cores); i++ {
+			doing += fmt.Sprintf("; core%d %s", i, describe(&cpu.cores[i]))
 		}
 		if ic := cpu.irqCtrl; ic != nil && ic.active != nil {
 			doing += ", in ISR " + ic.active.name
 		}
 		out = append(out, fmt.Sprintf("cpu %s [%s/%s]: %s, %d ready",
-			cpu.name, cpu.engineKind, cpu.policy.Name(), doing, len(cpu.ready)))
+			cpu.name, cpu.engineKind, cpu.policy.Name(), doing, cpu.ReadyCount()))
 	}
 	return out
 }

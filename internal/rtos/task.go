@@ -80,6 +80,11 @@ type TaskConfig struct {
 	// returns the recovery action to take, overriding OnMiss. It runs in
 	// simulation context and must not block.
 	OnMissHook func(MissInfo) MissPolicy
+	// Affinity pins the task to one core of a multi-core processor under
+	// DomainPartitioned (the default 0 is core 0, so single-core task sets
+	// need no change). It must be a valid core index and must stay 0 under
+	// DomainGlobal, where the scheduler places tasks freely.
+	Affinity int
 }
 
 // Task is a software task scheduled by a Processor's RTOS model. Create
@@ -99,11 +104,21 @@ type Task struct {
 	state    trace.TaskState
 	readySeq uint64
 
+	// affinity is the task's pinned core under DomainPartitioned (always 0
+	// under DomainGlobal). lastCore is the core of the most recent dispatch
+	// (-1 before the first one); a dispatch onto a different core is a
+	// migration. claimedBy is the id of the idle core holding a claim on this
+	// ready task, -1 when unclaimed (see schedcore.go).
+	affinity  int
+	lastCore  int
+	claimedBy int
+
 	proc      *sim.Proc
 	evRun     *sim.Event // the paper's TaskRun event
 	evPreempt *sim.Event // the paper's TaskPreempt event
 
 	pendingGrant   grantKind
+	grantCore      int // core the pending grant dispatches onto
 	preemptPending bool
 	noPreemptDepth int
 
@@ -126,6 +141,7 @@ type Task struct {
 	// Aggregate counters, readable after the simulation.
 	dispatches      uint64
 	preemptions     uint64
+	migrations      uint64
 	cpuTime         sim.Time
 	completedCycles uint64
 	abortedCycles   uint64
@@ -177,6 +193,13 @@ func (t *Task) Dispatches() uint64 { return t.dispatches }
 // Preemptions returns how many times the task was preempted.
 func (t *Task) Preemptions() uint64 { return t.preemptions }
 
+// Migrations returns how many dispatches placed the task on a different core
+// than its previous one (always zero under DomainPartitioned).
+func (t *Task) Migrations() uint64 { return t.migrations }
+
+// Affinity returns the core the task is pinned to under DomainPartitioned.
+func (t *Task) Affinity() int { return t.affinity }
+
 // CPUTime returns the total simulated processor time the task consumed.
 func (t *Task) CPUTime() sim.Time { return t.cpuTime }
 
@@ -193,16 +216,22 @@ func (t *Task) preemptible() bool {
 	return t.cpu.preemptive && t.noPreemptDepth == 0
 }
 
-// setState records a state transition.
+// setState records a state transition, tagged with the core of the task's
+// most recent dispatch (0 before the first one).
 func (t *Task) setState(s trace.TaskState) {
 	t.state = s
-	t.cpu.rec.TaskState(t.name, t.cpu.name, s)
+	c := t.lastCore
+	if c < 0 {
+		c = 0
+	}
+	t.cpu.rec.TaskStateOn(t.name, t.cpu.name, c, s)
 }
 
-// grant elects the task: pendingGrant tells its thread what overhead to
-// charge; the TaskRun event wakes it if it is already parked.
-func (t *Task) grant(g grantKind) {
+// grant elects the task onto core coreID: pendingGrant tells its thread what
+// overhead to charge; the TaskRun event wakes it if it is already parked.
+func (t *Task) grant(g grantKind, coreID int) {
 	t.pendingGrant = g
+	t.grantCore = coreID
 	t.evRun.Notify()
 }
 
@@ -226,19 +255,31 @@ func (t *Task) awaitDispatch() {
 		}
 		g := t.pendingGrant
 		t.pendingGrant = grantNone
+		c := &cpu.cores[t.grantCore]
 		switch g {
 		case grantSchedLoad:
-			// Idle-processor wakeup (procedural engine): this thread runs
-			// the scheduler. Other tasks arriving during the scheduling
-			// window take part in the election; the settle deltas let
-			// same-instant arrivals join (and be seen by the overhead
-			// formula) even with zero overhead.
+			// Idle-core wakeup (procedural engine): this thread runs the
+			// scheduler for the core it claimed. Other tasks arriving during
+			// the scheduling window take part in the election; the settle
+			// deltas let same-instant arrivals join (and be seen by the
+			// overhead formula) even with zero overhead.
 			t.proc.WaitDelta()
-			cpu.charge(t.proc, trace.OverheadScheduling, nil, cpu.overheadCtx(nil))
+			cpu.charge(t.proc, trace.OverheadScheduling, nil, cpu.overheadCtxOn(c, nil))
 			t.proc.WaitDelta()
-			elected := cpu.elect()
+			cpu.clearClaim(t)
+			elected := cpu.electOn(c)
 			if elected != t {
-				elected.grant(grantLoad)
+				if elected != nil {
+					elected.grant(grantLoad, c.id)
+				} else {
+					c.switching = false
+				}
+				// Losing the election leaves this task unclaimed in the
+				// queue; if another eligible core sits idle (multi-core),
+				// claim it and re-run the scheduler there, otherwise wait.
+				if c2 := cpu.claimIdleCore(t); c2 != nil {
+					t.grant(grantSchedLoad, c2.id)
+				}
 				continue
 			}
 		case grantLoad:
@@ -247,8 +288,8 @@ func (t *Task) awaitDispatch() {
 		default:
 			continue // spurious wake
 		}
-		cpu.charge(t.proc, trace.OverheadContextLoad, t, cpu.overheadCtx(t))
-		cpu.finishDispatch(t)
+		cpu.charge(t.proc, trace.OverheadContextLoad, t, cpu.overheadCtxOn(c, t))
+		cpu.finishDispatch(t, c)
 		return
 	}
 }

@@ -52,9 +52,12 @@ func (s *System) Build() (*Built, error) {
 		traceCursors: map[string]int{},
 	}
 	for _, p := range s.Processors {
-		cfg := rtos.Config{NonPreemptive: p.NonPreemptive, Speed: p.Speed}
+		cfg := rtos.Config{NonPreemptive: p.NonPreemptive, Speed: p.Speed, Cores: p.Cores}
 		if p.Engine == "threaded" {
 			cfg.Engine = rtos.EngineThreaded
+		}
+		if p.Domain == "global" {
+			cfg.Domain = rtos.DomainGlobal
 		}
 		switch p.Policy {
 		case "", "priority":
@@ -146,6 +149,7 @@ func (s *System) Build() (*Built, error) {
 		cpu := b.Processors[t.Processor]
 		cfg := rtos.TaskConfig{
 			Priority: t.Priority,
+			Affinity: t.Affinity,
 			StartAt:  t.StartAt.Time(),
 			Period:   t.Period.Time(),
 			Deadline: t.Deadline.Time(),

@@ -211,6 +211,12 @@ type Processor struct {
 	// Speed is the execution-rate factor relative to the reference
 	// processor (0 means 1.0).
 	Speed float64 `json:"speed"`
+	// Cores is the number of symmetric cores (0 means 1, the paper's
+	// single-CPU model).
+	Cores int `json:"cores"`
+	// Domain: "partitioned" (default; tasks pinned per their affinity) or
+	// "global" (one shared ready queue, tasks migrate between cores).
+	Domain string `json:"domain"`
 	// Overheads are the three RTOS durations (fixed values).
 	Overheads OverheadSpec `json:"overheads"`
 }
@@ -256,6 +262,9 @@ type SWTask struct {
 	Name      string `json:"name"`
 	Processor string `json:"processor"`
 	Priority  int    `json:"priority"`
+	// Affinity pins the task to a core of a partitioned multi-core
+	// processor (default core 0). Must be 0 under the global domain.
+	Affinity int `json:"affinity"`
 	// StartAt delays the first release.
 	StartAt Duration `json:"startAt"`
 	// Period makes the task periodic (its body runs once per release).

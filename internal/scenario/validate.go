@@ -6,6 +6,7 @@ import "fmt"
 // description errors surface as errors, not mid-simulation panics.
 func (s *System) validate() error {
 	cpus := map[string]bool{}
+	cpuDefs := map[string]Processor{}
 	for _, p := range s.Processors {
 		if p.Name == "" {
 			return fmt.Errorf("scenario: processor with empty name")
@@ -14,6 +15,7 @@ func (s *System) validate() error {
 			return fmt.Errorf("scenario: duplicate processor %q", p.Name)
 		}
 		cpus[p.Name] = true
+		cpuDefs[p.Name] = p
 		switch p.Engine {
 		case "", "procedural", "threaded":
 		default:
@@ -21,6 +23,14 @@ func (s *System) validate() error {
 		}
 		if p.Speed < 0 {
 			return fmt.Errorf("scenario: processor %q: speed must be positive", p.Name)
+		}
+		if p.Cores < 0 {
+			return fmt.Errorf("scenario: processor %q: cores must be positive", p.Name)
+		}
+		switch p.Domain {
+		case "", "partitioned", "global":
+		default:
+			return fmt.Errorf("scenario: processor %q: domain must be \"partitioned\" or \"global\"", p.Name)
 		}
 		switch p.Policy {
 		case "", "priority", "fifo", "edf":
@@ -171,6 +181,17 @@ func (s *System) validate() error {
 			return fmt.Errorf("scenario: task %q: unknown processor %q", t.Name, t.Processor)
 		}
 		taskCPU[t.Name] = t.Processor
+		if t.Affinity != 0 {
+			cpu := cpuDefs[t.Processor]
+			if t.Affinity < 0 || t.Affinity >= max(1, cpu.Cores) {
+				return fmt.Errorf("scenario: task %q: affinity %d out of range for processor %q with %d core(s)",
+					t.Name, t.Affinity, t.Processor, max(1, cpu.Cores))
+			}
+			if cpu.Domain == "global" {
+				return fmt.Errorf("scenario: task %q: affinity requires the partitioned domain on processor %q",
+					t.Name, t.Processor)
+			}
+		}
 		if t.Loop && t.Period > 0 {
 			return fmt.Errorf("scenario: task %q: loop and period are mutually exclusive", t.Name)
 		}

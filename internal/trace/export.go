@@ -9,15 +9,26 @@ import (
 	"repro/internal/sim"
 )
 
-// jsonTrace is the schema of WriteJSON.
+// jsonTrace is the schema of WriteJSON. The multi-core fields (per-state
+// core, migrations) use omitempty so single-core traces stay byte-identical
+// to the pre-multi-core schema.
 type jsonTrace struct {
-	Tasks     []string          `json:"tasks"`
-	Objects   []string          `json:"objects"`
-	States    []jsonStateChange `json:"states"`
-	Overheads []jsonOverhead    `json:"overheads"`
-	Accesses  []jsonAccess      `json:"accesses"`
-	Depths    []jsonDepth       `json:"depths"`
-	Faults    []jsonFault       `json:"faults,omitempty"`
+	Tasks      []string          `json:"tasks"`
+	Objects    []string          `json:"objects"`
+	States     []jsonStateChange `json:"states"`
+	Overheads  []jsonOverhead    `json:"overheads"`
+	Accesses   []jsonAccess      `json:"accesses"`
+	Depths     []jsonDepth       `json:"depths"`
+	Faults     []jsonFault       `json:"faults,omitempty"`
+	Migrations []jsonMigration   `json:"migrations,omitempty"`
+}
+
+type jsonMigration struct {
+	AtPs sim.Time `json:"at_ps"`
+	Task string   `json:"task"`
+	CPU  string   `json:"cpu"`
+	From int      `json:"from"`
+	To   int      `json:"to"`
 }
 
 type jsonFault struct {
@@ -32,6 +43,7 @@ type jsonStateChange struct {
 	AtPs  sim.Time `json:"at_ps"`
 	Task  string   `json:"task"`
 	CPU   string   `json:"cpu,omitempty"`
+	Core  int      `json:"core,omitempty"`
 	State string   `json:"state"`
 }
 
@@ -67,7 +79,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	for i := range r.changes {
 		c := &r.changes[i]
 		out.States = append(out.States, jsonStateChange{
-			AtPs: c.At, Task: c.Task, CPU: c.CPU, State: c.State.String(),
+			AtPs: c.At, Task: c.Task, CPU: c.CPU, Core: c.Core, State: c.State.String(),
 		})
 	}
 	for i := range r.overheads {
@@ -94,6 +106,12 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 			AtPs: f.At, Kind: f.Kind.String(), Task: f.Task, Label: f.Label, Detail: f.Detail,
 		})
 	}
+	for i := range r.migrations {
+		m := &r.migrations[i]
+		out.Migrations = append(out.Migrations, jsonMigration{
+			AtPs: m.At, Task: m.Task, CPU: m.CPU, From: m.From, To: m.To,
+		})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
@@ -103,7 +121,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 //
 //	kind,at_ps,who,what,detail,start_ps,end_ps
 //
-// kinds: state, overhead, access, depth. The flat format is convenient for
+// kinds: state, overhead, access, depth, migrate. The flat format is convenient for
 // spreadsheet analysis and diffing traces between the two RTOS engines.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	if r == nil {
@@ -134,6 +152,13 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	for i := range r.depths {
 		d := &r.depths[i]
 		if _, err := fmt.Fprintf(w, "depth,%d,%s,%d,%d,,\n", d.At, d.Object, d.Depth, d.Capacity); err != nil {
+			return err
+		}
+	}
+	for i := range r.migrations {
+		m := &r.migrations[i]
+		if _, err := fmt.Fprintf(w, "migrate,%d,%s,core%d->core%d,%s,,\n",
+			m.At, m.Task, m.From, m.To, m.CPU); err != nil {
 			return err
 		}
 	}

@@ -11,7 +11,18 @@ type StateChange struct {
 	At    sim.Time
 	Task  string
 	CPU   string // empty for hardware tasks
+	Core  int    // core of the task's most recent dispatch; 0 on single-core CPUs
 	State TaskState
+}
+
+// Migration is one task dispatch onto a different core than the previous
+// one (multi-core global scheduling domain).
+type Migration struct {
+	At   sim.Time
+	Task string
+	CPU  string
+	From int
+	To   int
 }
 
 // OverheadSegment is one completed RTOS overhead interval on a processor.
@@ -70,11 +81,12 @@ type FaultRecord struct {
 type Recorder struct {
 	now func() sim.Time
 
-	changes   []StateChange
-	overheads []OverheadSegment
-	accesses  []Access
-	depths    []DepthSample
-	faults    []FaultRecord
+	changes    []StateChange
+	overheads  []OverheadSegment
+	accesses   []Access
+	depths     []DepthSample
+	faults     []FaultRecord
+	migrations []Migration
 
 	// limit caps each record category to the most recent limit entries
 	// (0: unbounded); dropped counts records discarded by the cap.
@@ -133,6 +145,7 @@ func (r *Recorder) SetLimit(n int) {
 	r.accesses = trimTail(r.accesses, n, &r.dropped)
 	r.depths = trimTail(r.depths, n, &r.dropped)
 	r.faults = trimTail(r.faults, n, &r.dropped)
+	r.migrations = trimTail(r.migrations, n, &r.dropped)
 }
 
 // Limit returns the per-category record cap (0: unbounded).
@@ -180,13 +193,38 @@ func (r *Recorder) Now() sim.Time {
 	return r.now()
 }
 
-// TaskState records that task (on cpu, empty for hardware) entered state.
+// TaskState records that task (on cpu, empty for hardware) entered state,
+// on core 0. Multi-core callers use TaskStateOn.
 func (r *Recorder) TaskState(task, cpu string, state TaskState) {
+	r.TaskStateOn(task, cpu, 0, state)
+}
+
+// TaskStateOn records that task entered state on the given core of cpu.
+func (r *Recorder) TaskStateOn(task, cpu string, core int, state TaskState) {
 	if r == nil {
 		return
 	}
 	r.noteTask(task)
-	r.changes = capped(append(r.changes, StateChange{At: r.now(), Task: task, CPU: cpu, State: state}), r.limit, &r.dropped)
+	r.changes = capped(append(r.changes, StateChange{At: r.now(), Task: task, CPU: cpu, Core: core, State: state}), r.limit, &r.dropped)
+}
+
+// Migrate records that task's dispatch moved it from one core of cpu to
+// another.
+func (r *Recorder) Migrate(task, cpu string, from, to int) {
+	if r == nil {
+		return
+	}
+	r.migrations = capped(append(r.migrations, Migration{
+		At: r.now(), Task: task, CPU: cpu, From: from, To: to,
+	}), r.limit, &r.dropped)
+}
+
+// Migrations returns all recorded core migrations in chronological order.
+func (r *Recorder) Migrations() []Migration {
+	if r == nil {
+		return nil
+	}
+	return r.migrations
 }
 
 // Overhead records a completed RTOS overhead interval.
@@ -301,9 +339,12 @@ func (r *Recorder) Depths() []DepthSample {
 }
 
 // Segment is a maximal interval during which a task stayed in one state.
+// Core identifies the core a Running segment executed on (0 on single-core
+// processors and for non-running states).
 type Segment struct {
 	Task  string
 	State TaskState
+	Core  int
 	Start sim.Time
 	End   sim.Time
 }
@@ -323,12 +364,12 @@ func (r *Recorder) Segments(task string, end sim.Time) []Segment {
 			continue
 		}
 		if cur != nil && c.At > cur.At {
-			segs = append(segs, Segment{Task: task, State: cur.State, Start: cur.At, End: c.At})
+			segs = append(segs, Segment{Task: task, State: cur.State, Core: cur.Core, Start: cur.At, End: c.At})
 		}
 		cur = c
 	}
 	if cur != nil && cur.At < end {
-		segs = append(segs, Segment{Task: task, State: cur.State, Start: cur.At, End: end})
+		segs = append(segs, Segment{Task: task, State: cur.State, Core: cur.Core, Start: cur.At, End: end})
 	}
 	return segs
 }
@@ -377,6 +418,9 @@ func (r *Recorder) End() sim.Time {
 	}
 	if n := len(r.faults); n > 0 && r.faults[n-1].At > end {
 		end = r.faults[n-1].At
+	}
+	if n := len(r.migrations); n > 0 && r.migrations[n-1].At > end {
+		end = r.migrations[n-1].At
 	}
 	return end
 }

@@ -83,19 +83,27 @@ func (s ObjectStats) UtilizationRatio() float64 { return ratio(s.Busy, s.Window)
 type ProcessorStats struct {
 	CPU    string
 	Window sim.Time
+	// Cores is the number of cores observed in the trace (1 on single-core
+	// processors); the ratios normalize by it so a fully loaded dual-core
+	// reads 100%, not 200%.
+	Cores int
 
-	Busy     sim.Time // some task running
+	Busy     sim.Time // some task running (summed over cores)
 	Overhead sim.Time // RTOS overhead (save + scheduling + load)
 	Idle     sim.Time
 
 	ContextSwitches int
 }
 
-// LoadRatio is the fraction of the window with application code running.
-func (s ProcessorStats) LoadRatio() float64 { return ratio(s.Busy, s.Window) }
+// capacity is the total processor time available over the window.
+func (s ProcessorStats) capacity() sim.Time { return s.Window * sim.Time(max(1, s.Cores)) }
 
-// OverheadRatio is the fraction of the window spent in the RTOS.
-func (s ProcessorStats) OverheadRatio() float64 { return ratio(s.Overhead, s.Window) }
+// LoadRatio is the fraction of the processor capacity running application
+// code.
+func (s ProcessorStats) LoadRatio() float64 { return ratio(s.Busy, s.capacity()) }
+
+// OverheadRatio is the fraction of the processor capacity spent in the RTOS.
+func (s ProcessorStats) OverheadRatio() float64 { return ratio(s.Overhead, s.capacity()) }
 
 // Stats is the full statistics report over an observation window.
 type Stats struct {
@@ -118,6 +126,13 @@ func (r *Recorder) ComputeStats(end sim.Time) Stats {
 
 	cpus := map[string]*ProcessorStats{}
 	cpuOf := map[string]string{}
+	coresOf := map[string]int{}
+	for i := range r.changes {
+		c := &r.changes[i]
+		if c.CPU != "" && c.Core+1 > coresOf[c.CPU] {
+			coresOf[c.CPU] = c.Core + 1
+		}
+	}
 
 	for _, task := range r.Tasks() {
 		ts := TaskStats{Task: task, Window: end}
@@ -200,7 +215,8 @@ func (r *Recorder) ComputeStats(end sim.Time) Stats {
 		}
 	}
 	for _, cs := range cpus {
-		cs.Idle = cs.Window - cs.Busy - cs.Overhead
+		cs.Cores = max(1, coresOf[cs.CPU])
+		cs.Idle = cs.capacity() - cs.Busy - cs.Overhead
 		st.Processors = append(st.Processors, *cs)
 	}
 	sort.Slice(st.Processors, func(i, j int) bool { return st.Processors[i].CPU < st.Processors[j].CPU })
@@ -299,7 +315,7 @@ func (s Stats) String() string {
 		for _, c := range s.Processors {
 			fmt.Fprintf(&b, "  %-16s %7.2f%% %7.2f%% %7.2f%%  %8d\n",
 				c.CPU, 100*c.LoadRatio(), 100*c.OverheadRatio(),
-				100*ratio(c.Idle, c.Window), c.ContextSwitches)
+				100*ratio(c.Idle, c.capacity()), c.ContextSwitches)
 		}
 	}
 	if len(s.Objects) > 0 {

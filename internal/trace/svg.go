@@ -55,6 +55,15 @@ func (r *Recorder) WriteSVG(w io.Writer, opts SVGOptions) error {
 		rowH = 26
 	}
 	tasks := r.Tasks()
+	// Core identity only clutters single-core charts; tag Running segments
+	// once any change was recorded off core 0.
+	multiCore := false
+	for i := range r.changes {
+		if r.changes[i].Core != 0 {
+			multiCore = true
+			break
+		}
+	}
 	const labelW = 150
 	const topH = 30
 	chartW := width - labelW
@@ -103,8 +112,12 @@ func (r *Recorder) WriteSVG(w io.Writer, opts SVGOptions) error {
 				h = rowH - 16
 				yy = y + 8
 			}
-			pf(`<rect x="%.1f" y="%d" width="%.2f" height="%d" fill="%s"><title>%s %s [%s..%s]</title></rect>`+"\n",
-				x0, yy, x1-x0, h, fill, xmlEscape(task), seg.State, seg.Start, seg.End)
+			where := ""
+			if multiCore && seg.State == StateRunning {
+				where = fmt.Sprintf(" on core %d", seg.Core)
+			}
+			pf(`<rect x="%.1f" y="%d" width="%.2f" height="%d" fill="%s"><title>%s %s%s [%s..%s]</title></rect>`+"\n",
+				x0, yy, x1-x0, h, fill, xmlEscape(task), seg.State, where, seg.Start, seg.End)
 		}
 		// Overhead overlays attributed to the task.
 		for j := range r.overheads {

@@ -52,11 +52,11 @@ func TestSegmentsReconstruction(t *testing.T) {
 
 	segs := r.Segments("t", 100*sim.Us)
 	want := []Segment{
-		{"t", StateReady, 0, 10 * sim.Us},
-		{"t", StateRunning, 10 * sim.Us, 30 * sim.Us},
-		{"t", StateWaiting, 30 * sim.Us, 50 * sim.Us},
-		{"t", StateRunning, 50 * sim.Us, 70 * sim.Us},
-		{"t", StateTerminated, 70 * sim.Us, 100 * sim.Us},
+		{"t", StateReady, 0, 0, 10 * sim.Us},
+		{"t", StateRunning, 0, 10 * sim.Us, 30 * sim.Us},
+		{"t", StateWaiting, 0, 30 * sim.Us, 50 * sim.Us},
+		{"t", StateRunning, 0, 50 * sim.Us, 70 * sim.Us},
+		{"t", StateTerminated, 0, 70 * sim.Us, 100 * sim.Us},
 	}
 	if len(segs) != len(want) {
 		t.Fatalf("segments = %+v", segs)

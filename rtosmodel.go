@@ -96,6 +96,11 @@ type (
 	Config = rtos.Config
 	// EngineKind selects the RTOS model implementation (paper section 4).
 	EngineKind = rtos.EngineKind
+	// SchedDomain selects how a multi-core processor distributes its tasks
+	// (Config.Domain): partitioned per-core queues or one global queue.
+	SchedDomain = rtos.SchedDomain
+	// Migration is one recorded task move between cores.
+	Migration = trace.Migration
 	// Task is a software task.
 	Task = rtos.Task
 	// TaskConfig carries a task's static parameters.
@@ -208,6 +213,18 @@ const (
 	EngineProcedural = rtos.EngineProcedural
 	// EngineThreaded uses a dedicated RTOS scheduler thread (section 4.1).
 	EngineThreaded = rtos.EngineThreaded
+)
+
+// Multi-core scheduling domains (Config.Domain, meaningful with Config.Cores
+// greater than one).
+const (
+	// DomainPartitioned pins each task to its TaskConfig.Affinity core with a
+	// private per-core ready queue; with one core it is exactly the paper's
+	// single-CPU model.
+	DomainPartitioned = rtos.DomainPartitioned
+	// DomainGlobal shares one ready queue across all cores; tasks migrate and
+	// each migration is counted and traced.
+	DomainGlobal = rtos.DomainGlobal
 )
 
 // NewSystem creates an empty system with tracing enabled.
@@ -365,4 +382,24 @@ func EDFSchedulable(tasks []AnalysisTask) (bool, error) { return analysis.EDFSch
 // SchedulabilityReport renders the analytical verdicts for a task set.
 func SchedulabilityReport(tasks []AnalysisTask, switchOverhead Time) string {
 	return analysis.Report(tasks, switchOverhead)
+}
+
+// CoreLoad is one core's load share extracted from a multi-core trace.
+type CoreLoad = analysis.CoreLoad
+
+// CoreLoads computes per-core utilization and migration counts from a
+// recorded trace (typically sys.Rec) over [0, end]; end zero uses the
+// trace's natural end.
+func CoreLoads(rec *Recorder, end Time) []CoreLoad { return analysis.CoreLoads(rec, end) }
+
+// PartitionFirstFit packs a task set onto m cores (first-fit decreasing)
+// under a per-core utilization bound; nil bound means 1.0 (per-core EDF).
+func PartitionFirstFit(tasks []AnalysisTask, m int, bound func(coreTasks int) float64) (analysis.Partition, error) {
+	return analysis.PartitionFirstFit(tasks, m, bound)
+}
+
+// GlobalEDFSchedulable applies the Goossens-Funk-Baruah sufficient
+// utilization bound for global EDF on m identical cores.
+func GlobalEDFSchedulable(tasks []AnalysisTask, m int) (bool, error) {
+	return analysis.GlobalEDFSchedulable(tasks, m)
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmark set and records ns/op, B/op, allocs/op (and
-# switches/run where reported) into BENCH_PR2.json, next to the committed
-# pre-optimization baseline from scripts/bench_baseline.json.
+# switches/run or migrations/run where reported) into BENCH_PR3.json, next to
+# the committed pre-optimization baseline from scripts/bench_baseline.json.
 #
 # The baseline was measured on the seed code; re-running this script only
 # refreshes the "optimized" side, so before/after stays comparable as long as
@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_PR2.json}"
+OUT="${OUT:-BENCH_PR3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -23,7 +23,7 @@ bench() { # bench <pattern> <package>
 }
 
 {
-	bench 'BenchmarkKernelProcessSwitch$|BenchmarkRTOSContextSwitch$|BenchmarkMPEG2SoC$|BenchmarkEngineProcedural$|BenchmarkEngineThreaded$' .
+	bench 'BenchmarkKernelProcessSwitch$|BenchmarkRTOSContextSwitch$|BenchmarkMPEG2SoC$|BenchmarkEngineProcedural$|BenchmarkEngineThreaded$|BenchmarkSMPGlobal' .
 	bench 'BenchmarkTimedWait$|BenchmarkEventNotify$|BenchmarkDeltaCycle$|BenchmarkWaitTimeoutNoFire$' ./internal/sim/
 	bench 'BenchmarkSweep$' ./internal/batch/
 } | tee "$RAW"
@@ -39,18 +39,20 @@ bench() { # bench <pattern> <package>
 			name = $1
 			sub(/-[0-9]+$/, "", name)
 			sub(/^Benchmark/, "Benchmark", name)
-			ns = bytes = allocs = sw = runs = ""
+			ns = bytes = allocs = sw = migr = runs = ""
 			for (i = 2; i <= NF; i++) {
 				if ($i == "ns/op") ns = $(i-1)
 				else if ($i == "B/op") bytes = $(i-1)
 				else if ($i == "allocs/op") allocs = $(i-1)
 				else if ($i == "switches/run") sw = $(i-1)
+				else if ($i == "migrations/run") migr = $(i-1)
 				else if ($i == "runs/op") runs = $(i-1)
 			}
 			line = "\"" name "\": {\"ns_op\": " ns
 			if (bytes != "") line = line ", \"bytes_op\": " bytes
 			if (allocs != "") line = line ", \"allocs_op\": " allocs
 			if (sw != "") line = line ", \"switches_run\": " sw
+			if (migr != "") line = line ", \"migrations_run\": " migr
 			if (runs != "") line = line ", \"runs_op\": " runs
 			line = line "}"
 			if (!(name in seen)) order[++n] = name
