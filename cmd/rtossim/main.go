@@ -45,6 +45,11 @@ func main() {
 		svgPath     = flag.String("svg", "", "write the TimeLine chart as SVG to this file")
 		analyze     = flag.Bool("analyze", false, "print schedulability analysis for periodic tasks before simulating")
 		faults      = flag.Bool("faults", true, "print the fault-tolerance report when faults were recorded")
+		metricsPath = flag.String("metrics", "", "write the metrics registry as JSON to this file")
+		promPath    = flag.String("prom", "", "write the metrics registry as Prometheus text to this file")
+		perfetto    = flag.String("perfetto", "", "write the trace as Perfetto/Chrome trace_event JSON to this file")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprofile  = flag.String("memprofile", "", "write a memory profile to this file after the simulation")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtossim [flags] scenario.json\n\n")
@@ -88,7 +93,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopCPUProfile := startCPUProfile(*cpuprofile)
 	_, runErr := built.RunChecked()
+	stopCPUProfile()
+	writeMemProfile(*memprofile)
 
 	sys := built.Sys
 	name := desc.Name
@@ -166,6 +174,15 @@ func main() {
 		writeFile(*svgPath, func(w io.Writer) error {
 			return sys.WriteSVG(w, trace.SVGOptions{ShowAccesses: *accesses})
 		})
+	}
+	if *metricsPath != "" {
+		writeFile(*metricsPath, sys.WriteMetricsJSON)
+	}
+	if *promPath != "" {
+		writeFile(*promPath, sys.WriteMetricsPrometheus)
+	}
+	if *perfetto != "" {
+		writeFile(*perfetto, sys.WritePerfetto)
 	}
 	if runErr != nil || !sys.Constraints.OK() {
 		os.Exit(1)

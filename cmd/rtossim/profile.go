@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile starts CPU profiling into path and returns the stop
+// function; path "" is a no-op. The stop function must run before the process
+// exits (including the os.Exit paths), so callers invoke it explicitly rather
+// than defer it past an Exit.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote CPU profile %s\n", path)
+	}
+}
+
+// writeMemProfile writes an allocation profile to path; "" is a no-op. A GC
+// runs first so the heap profile reflects live objects, matching the behavior
+// of `go test -memprofile`.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote memory profile %s\n", path)
+}

@@ -21,6 +21,8 @@ func sweepMain(args []string) {
 		table    = fs.Bool("table", true, "print the per-variant result table")
 		jsonPath = fs.String("json", "", "write the results as JSON to this file")
 		quiet    = fs.Bool("quiet", false, "suppress the progress line")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprof  = fs.String("memprofile", "", "write a memory profile to this file after the sweep")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rtossim sweep [flags] sweep.json\n\n")
@@ -76,7 +78,10 @@ func sweepMain(args []string) {
 			}
 		}
 	}
+	stopCPUProfile := startCPUProfile(*cpuprof)
 	results := spec.Run(base, variants, opts)
+	stopCPUProfile()
+	writeMemProfile(*memprof)
 
 	if *table {
 		fmt.Print(batch.Table(results))

@@ -29,6 +29,9 @@ type Metrics struct {
 	Migrations  uint64
 	// ContextSwitches is summed over all processors (from the trace).
 	ContextSwitches int
+	// OverheadPs is the RTOS overhead time (scheduling + context save/load)
+	// summed over all processors, in picoseconds, from the metrics registry.
+	OverheadPs sim.Time
 	// Violations counts timing-constraint violations; DeadlineMisses the
 	// subset from periodic-task deadline watchdogs.
 	Violations     int
@@ -157,6 +160,7 @@ func computeMetrics(built *scenario.Built, rep sim.Report) Metrics {
 		m.Dispatches += cpu.Dispatches()
 		m.Preemptions += cpu.Preemptions()
 		m.Migrations += cpu.Migrations()
+		m.OverheadPs += cpu.OverheadTime()
 	}
 	for _, v := range sys.Constraints.Violations() {
 		m.Violations++
@@ -218,8 +222,8 @@ func Summarize(results []Result) Summary {
 // reports. The output is deterministic.
 func Table(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-40s %10s %8s %8s %8s %7s %7s %6s %6s\n",
-		"#", "variant", "end", "activ", "disp", "preempt", "migr", "miss", "viol", "util")
+	fmt.Fprintf(&b, "%-4s %-40s %10s %8s %8s %8s %7s %7s %6s %6s %10s\n",
+		"#", "variant", "end", "activ", "disp", "preempt", "migr", "miss", "viol", "util", "overhead")
 	for _, r := range results {
 		if r.Err != "" {
 			line := r.Err
@@ -230,10 +234,10 @@ func Table(results []Result) string {
 			continue
 		}
 		m := r.Metrics
-		fmt.Fprintf(&b, "%-4d %-40s %10v %8d %8d %8d %7d %7d %6d %5.1f%%\n",
+		fmt.Fprintf(&b, "%-4d %-40s %10v %8d %8d %8d %7d %7d %6d %5.1f%% %10v\n",
 			r.Variant.Index, r.Variant.Label(), m.End, m.Activations,
 			m.Dispatches, m.Preemptions, m.Migrations, m.DeadlineMisses, m.Violations,
-			m.Utilization*100)
+			m.Utilization*100, m.OverheadPs)
 	}
 	return b.String()
 }

@@ -13,11 +13,16 @@ import (
 // ping-ponging through counter events, untraced (the recorder would
 // otherwise grow with the run). This covers the whole stack — comm event
 // wait queues, the engines' dispatch machinery, the processor's ready-queue
-// bookkeeping and the kernel underneath.
+// bookkeeping and the kernel underneath. Metrics collection is always on
+// (NewUntracedSystem still wires the registry), so this also pins the
+// metrics record path at zero allocations.
 func TestAllocsPerContextSwitch(t *testing.T) {
 	for _, eng := range []rtos.EngineKind{rtos.EngineProcedural, rtos.EngineThreaded} {
 		t.Run(eng.String(), func(t *testing.T) {
 			sys := rtos.NewUntracedSystem()
+			if sys.Metrics == nil || sys.Metrics.Len() == 0 {
+				t.Fatal("metrics registry not wired; the zero-alloc guarantee must hold with metrics ON")
+			}
 			cpu := sys.NewProcessor("cpu", rtos.Config{Engine: eng})
 			ping := comm.NewEvent(sys.Rec, "ping", comm.Counter)
 			pong := comm.NewEvent(sys.Rec, "pong", comm.Counter)
@@ -37,8 +42,12 @@ func TestAllocsPerContextSwitch(t *testing.T) {
 			})
 			sys.RunFor(200 * sim.Us) // steady state
 			defer sys.Shutdown()
+			before := cpu.Dispatches()
 			if avg := testing.AllocsPerRun(100, func() { sys.RunFor(2 * sim.Us) }); avg > 0 {
 				t.Errorf("%s engine allocates %.2f objects per switch round, want 0", eng, avg)
+			}
+			if cpu.Dispatches() == before {
+				t.Error("no dispatches during the measured window; the test pinned nothing")
 			}
 		})
 	}

@@ -176,6 +176,13 @@ func (cs *ConstraintSet) report(task string, deadline, detected sim.Time) {
 	})
 }
 
+// deadlineViolationTask reports whether a violation name marks a periodic
+// deadline miss (the "<task>.deadline" convention of report), returning the
+// task name.
+func deadlineViolationTask(name string) (string, bool) {
+	return strings.CutSuffix(name, ".deadline")
+}
+
 // Violations returns every recorded violation in detection order.
 func (cs *ConstraintSet) Violations() []Violation { return cs.violations }
 

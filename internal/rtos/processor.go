@@ -121,6 +121,10 @@ type Processor struct {
 	quantum sim.Time
 
 	irqCtrl *InterruptController
+
+	// met are the processor's observability instruments (metrics.go),
+	// registered at construction; nil-safe when the system has no registry.
+	met procMetrics
 }
 
 // NewProcessor creates a processor on the system with the given RTOS
@@ -173,6 +177,7 @@ func (s *System) NewProcessor(name string, cfg Config) *Processor {
 			panic("rtos: quantum policy with non-positive quantum")
 		}
 	}
+	cpu.registerMetrics(s.Metrics)
 	switch cfg.Engine {
 	case EngineProcedural:
 		cpu.eng = &proceduralEngine{cpu: cpu}
@@ -411,6 +416,7 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 				}
 			} else {
 				t.completedCycles++
+				t.observeResponse(c.Now() - release)
 			}
 			release += cfg.Period
 			if t.skipNext {
@@ -425,6 +431,7 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 			}
 		}
 	})
+	tsk.registerTaskMetrics(cpu.sys.Metrics)
 	return tsk
 }
 
@@ -465,5 +472,10 @@ func (cpu *Processor) charge(p *sim.Proc, kind trace.OverheadKind, t *Task, octx
 	if t != nil {
 		name = t.name
 	}
-	cpu.rec.Overhead(cpu.name, name, kind, start, cpu.k.Now())
+	end := cpu.k.Now()
+	cpu.met.overhead[kind].Add(uint64(end - start))
+	if kind == trace.OverheadContextLoad {
+		cpu.met.ctxSwitches.Inc()
+	}
+	cpu.rec.OverheadOn(cpu.name, name, octx.Core, kind, start, end)
 }

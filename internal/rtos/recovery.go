@@ -64,6 +64,8 @@ type MissInfo struct {
 // is dispatched past its deadline) after the constraint violation has been
 // reported.
 func (t *Task) deadlineMissed(cycle int, deadline sim.Time) {
+	t.cpu.met.misses.Inc()
+	t.metMisses.Inc()
 	policy := t.cfg.OnMiss
 	if t.cfg.OnMissHook != nil {
 		policy = t.cfg.OnMissHook(MissInfo{

@@ -101,6 +101,7 @@ func (cpu *Processor) enqueueReady(t *Task) {
 	t.readySeq = cpu.readySeqCtr
 	q := cpu.queueOf(t)
 	q.tasks = append(q.tasks, t)
+	cpu.met.readyDepth.Add(1)
 	if cpu.ordered != nil {
 		if n := len(q.tasks); n == 1 {
 			q.best, q.bestIdx, q.bestOK = t, 0, true
@@ -153,6 +154,15 @@ func (q *readyQueue) removeOrderedAt(i int) *Task {
 // eligible task exists; panics on an empty queue (engines check first, and
 // the check is part of the pinned dispatch protocol).
 func (cpu *Processor) electOn(c *core) *Task {
+	e := cpu.electOn0(c)
+	if e != nil {
+		cpu.met.elections.Inc()
+		cpu.met.readyDepth.Add(-1)
+	}
+	return e
+}
+
+func (cpu *Processor) electOn0(c *core) *Task {
 	q := cpu.queueFor(c.id)
 	if len(q.tasks) == 0 {
 		panic("rtos: elect with empty ready queue")
@@ -304,12 +314,14 @@ func (cpu *Processor) finishDispatch(t *Task, c *core) {
 	if t.lastCore >= 0 && t.lastCore != c.id {
 		t.migrations++
 		c.migrations++
+		cpu.met.migrations.Inc()
 		cpu.rec.Migrate(t.name, cpu.name, t.lastCore, c.id)
 	}
 	t.lastCore = c.id
 	t.setState(trace.StateRunning)
 	t.dispatches++
 	c.dispatches++
+	cpu.met.dispatches.Inc()
 	cpu.armQuantum(c)
 	cpu.checkPreemptOn(c)
 }
@@ -330,6 +342,7 @@ func (cpu *Processor) leaveRunning(t *Task, s trace.TaskState) *core {
 		cpu.enqueueReady(t)
 		t.preemptions++
 		c.preemptions++
+		cpu.met.preemptions.Inc()
 	} else {
 		t.setState(s)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -20,28 +21,38 @@ type System struct {
 	// paper's section 6 "automatic verification of timing constraints by
 	// simulation", implemented here).
 	Constraints *ConstraintSet
+	// Metrics is the always-on observability registry: kernel effort
+	// counters, scheduler election/dispatch/preemption/migration counts,
+	// overhead time by kind, ready-queue high-water, per-core busy time and
+	// per-task response/jitter histograms. Unlike the trace it is bounded —
+	// a fixed set of instruments regardless of run length — so it stays on
+	// even for untraced systems, and recording into it never allocates.
+	Metrics *metrics.Registry
 
 	cpus []*Processor
 	hws  []*HWTask
 }
 
-// NewSystem creates an empty system with tracing enabled.
+// NewSystem creates an empty system with tracing and metrics enabled.
 func NewSystem() *System {
 	k := sim.New()
-	s := &System{K: k, Rec: trace.NewRecorder(k.Now)}
+	s := &System{K: k, Rec: trace.NewRecorder(k.Now), Metrics: metrics.NewRegistry()}
 	s.Constraints = &ConstraintSet{sys: s}
 	k.SetDiagnostic(s.diagnostic)
+	k.SetMetrics(s.Metrics)
 	return s
 }
 
 // NewUntracedSystem creates a system with tracing disabled (Rec is nil,
 // which every trace call accepts as a no-op). Use it for long simulations
 // and benchmarks where the trace would grow without bound; Stats and the
-// renderers return empty results.
+// renderers return empty results. Metrics stay enabled: the registry is
+// bounded and allocation-free on the record path.
 func NewUntracedSystem() *System {
-	s := &System{K: sim.New()}
+	s := &System{K: sim.New(), Metrics: metrics.NewRegistry()}
 	s.Constraints = &ConstraintSet{sys: s}
 	s.K.SetDiagnostic(s.diagnostic)
+	s.K.SetMetrics(s.Metrics)
 	return s
 }
 
@@ -128,6 +139,31 @@ func (s *System) WriteJSON(w io.Writer) error { return s.Rec.WriteJSON(w) }
 // WriteSVG exports the TimeLine chart as an SVG image.
 func (s *System) WriteSVG(w io.Writer, opts trace.SVGOptions) error {
 	return s.Rec.WriteSVG(w, opts)
+}
+
+// MetricsSnapshot freezes the current state of the metrics registry. Safe to
+// take mid-run, between Run steps.
+func (s *System) MetricsSnapshot() metrics.Snapshot { return s.Metrics.Snapshot() }
+
+// WriteMetricsJSON exports the metrics registry as a JSON document.
+func (s *System) WriteMetricsJSON(w io.Writer) error { return s.Metrics.WriteJSON(w) }
+
+// WriteMetricsPrometheus exports the metrics registry in the Prometheus text
+// exposition format.
+func (s *System) WriteMetricsPrometheus(w io.Writer) error { return s.Metrics.WritePrometheus(w) }
+
+// WritePerfetto exports the trace in the Perfetto/Chrome trace_event JSON
+// format (one track per core, slices for task execution and RTOS overhead,
+// instant markers for faults, deadline misses and migrations), openable at
+// ui.perfetto.dev. Deadline misses come from the constraint monitor.
+func (s *System) WritePerfetto(w io.Writer) error {
+	var opts trace.PerfettoOptions
+	for _, v := range s.Constraints.Violations() {
+		if task, ok := deadlineViolationTask(v.Name); ok {
+			opts.Misses = append(opts.Misses, trace.MissMark{At: v.At, Task: task})
+		}
+	}
+	return s.Rec.WritePerfetto(w, opts)
 }
 
 // BlockedTasks returns the tasks still waiting (for a synchronization or a

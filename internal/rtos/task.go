@@ -20,6 +20,7 @@ package rtos
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -145,6 +146,15 @@ type Task struct {
 	cpuTime         sim.Time
 	completedCycles uint64
 	abortedCycles   uint64
+
+	// Per-task observability instruments (metrics.go); registered by the
+	// periodic-task helper, nil-safe otherwise. lastResp/hasResp feed the
+	// cycle-to-cycle jitter histogram.
+	metResp   *metrics.Histogram
+	metJitter *metrics.Histogram
+	metMisses *metrics.Counter
+	lastResp  sim.Time
+	hasResp   bool
 }
 
 // Name returns the task name.
@@ -399,6 +409,7 @@ func (c *TaskCtx) Execute(d sim.Time) {
 		elapsed := t.proc.Now() - start
 		remaining -= elapsed
 		t.cpuTime += elapsed
+		t.cpu.met.coreBusy[t.lastCore].Add(uint64(elapsed))
 		if timedOut {
 			break
 		}

@@ -1,14 +1,28 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
 
 // The kernel's steady-state hot paths are allocation-free: timed entries are
 // pooled, the run/method queues are rings, and the delta/update/waiter lists
 // are double-buffered. These tests pin that property so a regression shows
-// up as a test failure, not as a slow creep in benchmark numbers.
+// up as a test failure, not as a slow creep in benchmark numbers. Every test
+// runs with a metrics registry attached, so the kernel's observability
+// counters are pinned to the same zero-allocation budget.
+
+// newMeteredKernel builds a kernel with metrics collection enabled, the way
+// rtos.NewSystem wires it.
+func newMeteredKernel() *Kernel {
+	k := New()
+	k.SetMetrics(metrics.NewRegistry())
+	return k
+}
 
 func TestAllocsPerTimedWait(t *testing.T) {
-	k := New()
+	k := newMeteredKernel()
 	k.Spawn("t", func(p *Proc) {
 		for {
 			p.Wait(Us)
@@ -16,13 +30,17 @@ func TestAllocsPerTimedWait(t *testing.T) {
 	})
 	k.RunFor(100 * Us) // reach steady state (buffers at final size)
 	defer k.Shutdown()
+	before := k.Activations()
 	if avg := testing.AllocsPerRun(100, func() { k.RunFor(Us) }); avg > 0 {
 		t.Errorf("timed wait allocates %.2f objects per activation, want 0", avg)
+	}
+	if k.Activations() == before {
+		t.Error("no activations during the measured window; the test pinned nothing")
 	}
 }
 
 func TestAllocsPerEventNotify(t *testing.T) {
-	k := New()
+	k := newMeteredKernel()
 	e := k.NewEvent("e")
 	k.Spawn("waiter", func(p *Proc) {
 		for {
@@ -43,7 +61,7 @@ func TestAllocsPerEventNotify(t *testing.T) {
 }
 
 func TestAllocsPerDeltaCycle(t *testing.T) {
-	k := New()
+	k := newMeteredKernel()
 	e := k.NewEvent("e")
 	k.Spawn("pinger", func(p *Proc) {
 		for {
@@ -67,7 +85,7 @@ func TestAllocsPerDeltaCycle(t *testing.T) {
 func TestAllocsPerCancelledTimeout(t *testing.T) {
 	// WaitTimeout whose event always fires first: the timed entry is
 	// cancelled each round and must be recycled, not leaked into the heap.
-	k := New()
+	k := newMeteredKernel()
 	e := k.NewEvent("e")
 	k.Spawn("waiter", func(p *Proc) {
 		for {

@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/metrics"
+
 // deltaTimeout records a process to wake at the next delta cycle unless it
 // has already been woken (generation mismatch) in the meantime.
 type deltaTimeout struct {
@@ -65,6 +67,14 @@ type Kernel struct {
 
 	deltaCount  uint64
 	activations uint64
+
+	// Observability counters (metrics.go). All nil until SetMetrics wires a
+	// registry; the instruments are nil-safe so the hot paths record
+	// unconditionally without allocating.
+	mDeltaCycles *metrics.Counter
+	mActivations *metrics.Counter
+	mTimedPops   *metrics.Counter
+	mTimedSched  *metrics.Counter
 }
 
 // New creates an empty simulation kernel at time zero.
@@ -183,6 +193,7 @@ func (k *Kernel) run(limit Time) {
 		// Delta notification phase.
 		if len(k.deltaQueue) > 0 || len(k.deltaProcs) > 0 || len(k.deltaTimeouts) > 0 {
 			k.deltaCount++
+			k.mDeltaCycles.Inc()
 			dq, dp, dt := k.deltaQueue, k.deltaProcs, k.deltaTimeouts
 			k.deltaQueue = k.deltaQueueSpare[:0]
 			k.deltaProcs = k.deltaProcsSpare[:0]
@@ -235,6 +246,7 @@ func (k *Kernel) run(limit Time) {
 				break
 			}
 			k.timed.pop()
+			k.mTimedPops.Inc()
 			switch {
 			case h.event != nil:
 				ev := h.event
@@ -254,6 +266,7 @@ func (k *Kernel) run(limit Time) {
 func (k *Kernel) dispatch(p *Proc) {
 	k.current = p
 	k.activations++
+	k.mActivations.Inc()
 	p.state = ProcRunning
 	if !p.started {
 		p.start()
@@ -293,6 +306,7 @@ func (k *Kernel) makeRunnable(p *Proc) {
 // performs no allocations.
 func (k *Kernel) scheduleTimed(at Time, e *Event, p *Proc) *timedEntry {
 	k.seq++
+	k.mTimedSched.Inc()
 	entry := k.timed.alloc(at, k.seq, e, p)
 	k.timed.push(entry)
 	return entry

@@ -1,0 +1,29 @@
+package sim
+
+import "repro/internal/metrics"
+
+// SetMetrics wires the kernel's effort counters into a metrics registry:
+//
+//	sim_delta_cycles_total     delta cycles executed
+//	sim_activations_total      control transfers into simulation threads
+//	sim_timed_pops_total       timed-heap entries popped (events + timeouts)
+//	sim_timed_scheduled_total  timed-heap entries scheduled
+//
+// The counters are registered once and updated in place by the run loop; a
+// nil registry detaches them again. Call before or between runs — the hot
+// paths only ever touch pre-registered instruments, so metrics collection
+// adds no allocations.
+func (k *Kernel) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		k.mDeltaCycles, k.mActivations, k.mTimedPops, k.mTimedSched = nil, nil, nil, nil
+		return
+	}
+	k.mDeltaCycles = reg.Counter("sim_delta_cycles_total", "delta cycles executed by the kernel")
+	k.mActivations = reg.Counter("sim_activations_total", "control transfers from the kernel into simulation threads")
+	k.mTimedPops = reg.Counter("sim_timed_pops_total", "timed-heap entries popped (fired events and expired timeouts)")
+	k.mTimedSched = reg.Counter("sim_timed_scheduled_total", "timed-heap entries scheduled")
+	// Re-wiring mid-run keeps the registry consistent with the kernel's own
+	// lifetime counters.
+	k.mDeltaCycles.Add(k.deltaCount)
+	k.mActivations.Add(k.activations)
+}

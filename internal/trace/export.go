@@ -50,6 +50,7 @@ type jsonStateChange struct {
 type jsonOverhead struct {
 	CPU     string   `json:"cpu"`
 	Task    string   `json:"task,omitempty"`
+	Core    int      `json:"core,omitempty"`
 	Kind    string   `json:"kind"`
 	StartPs sim.Time `json:"start_ps"`
 	EndPs   sim.Time `json:"end_ps"`
@@ -85,7 +86,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	for i := range r.overheads {
 		o := &r.overheads[i]
 		out.Overheads = append(out.Overheads, jsonOverhead{
-			CPU: o.CPU, Task: o.Task, Kind: o.Kind.String(), StartPs: o.Start, EndPs: o.End,
+			CPU: o.CPU, Task: o.Task, Core: o.Core, Kind: o.Kind.String(), StartPs: o.Start, EndPs: o.End,
 		})
 	}
 	for i := range r.accesses {

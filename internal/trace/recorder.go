@@ -29,6 +29,7 @@ type Migration struct {
 type OverheadSegment struct {
 	CPU   string
 	Task  string // task saved/loaded; empty for a pure scheduling decision
+	Core  int    // core the overhead was charged on; 0 on single-core CPUs
 	Kind  OverheadKind
 	Start sim.Time
 	End   sim.Time
@@ -227,13 +228,19 @@ func (r *Recorder) Migrations() []Migration {
 	return r.migrations
 }
 
-// Overhead records a completed RTOS overhead interval.
+// Overhead records a completed RTOS overhead interval on core 0. Multi-core
+// callers use OverheadOn.
 func (r *Recorder) Overhead(cpu, task string, kind OverheadKind, start, end sim.Time) {
+	r.OverheadOn(cpu, task, 0, kind, start, end)
+}
+
+// OverheadOn records a completed RTOS overhead interval on the given core.
+func (r *Recorder) OverheadOn(cpu, task string, core int, kind OverheadKind, start, end sim.Time) {
 	if r == nil {
 		return
 	}
 	r.overheads = capped(append(r.overheads, OverheadSegment{
-		CPU: cpu, Task: task, Kind: kind, Start: start, End: end,
+		CPU: cpu, Task: task, Core: core, Kind: kind, Start: start, End: end,
 	}), r.limit, &r.dropped)
 }
 

@@ -47,6 +47,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bus"
 	"repro/internal/comm"
+	"repro/internal/metrics"
 	"repro/internal/rtos"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -205,6 +206,18 @@ const (
 func ComputeFaultMetrics(events []FaultRecord, horizon Time) FaultMetrics {
 	return analysis.ComputeFaultMetrics(events, horizon)
 }
+
+// Observability: the metrics registry every System carries (sys.Metrics) and
+// its frozen snapshot form. Export helpers live on System —
+// MetricsSnapshot, WriteMetricsJSON, WriteMetricsPrometheus and
+// WritePerfetto (Perfetto/Chrome trace_event JSON).
+type (
+	// MetricsRegistry holds the named counters, gauges and histograms a
+	// simulation records into (allocation-free on the hot paths).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a frozen, exportable copy of a registry's state.
+	MetricsSnapshot = metrics.Snapshot
+)
 
 // RTOS engine kinds.
 const (

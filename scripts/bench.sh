@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmark set and records ns/op, B/op, allocs/op (and
-# switches/run or migrations/run where reported) into BENCH_PR3.json, next to
+# switches/run or migrations/run where reported) into BENCH_PR4.json, next to
 # the committed pre-optimization baseline from scripts/bench_baseline.json.
 #
 # The baseline was measured on the seed code; re-running this script only
@@ -9,17 +9,29 @@
 #
 #   BENCHTIME=2s COUNT=3 scripts/bench.sh     # longer, repeated runs
 #   OUT=/tmp/bench.json scripts/bench.sh      # alternate output path
+#   CPUPROFILE=cpu.out scripts/bench.sh       # profile the benchmark runs
+#   MEMPROFILE=mem.out scripts/bench.sh       # allocation profile
+#
+# Profiles come from `go test -cpuprofile/-memprofile`; inspect them with
+# `go tool pprof <profile>`. With profiling on, each package's run overwrites
+# the profile file, so restrict the set (or use per-package names) when
+# profiling a specific benchmark.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR4.json}"
+CPUPROFILE="${CPUPROFILE:-}"
+MEMPROFILE="${MEMPROFILE:-}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 bench() { # bench <pattern> <package>
-	go test -run '^$' -bench "$1" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem "$2"
+	local extra=()
+	[ -n "$CPUPROFILE" ] && extra+=(-cpuprofile "$CPUPROFILE")
+	[ -n "$MEMPROFILE" ] && extra+=(-memprofile "$MEMPROFILE")
+	go test -run '^$' -bench "$1" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem "${extra[@]+"${extra[@]}"}" "$2"
 }
 
 {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# benchgate.sh <base.txt> <head.txt> — compares two `go test -bench` outputs
+# with benchstat and fails when the head shows a real regression:
+#
+#   * a statistically significant time (sec/op) increase above THRESHOLD_PCT
+#     percent (default 15), or
+#   * any statistically significant allocs/op increase — the hot paths are
+#     pinned at zero allocations and must stay there.
+#
+# Rows benchstat marks insignificant ("~") never fail the gate, so noisy CI
+# runners don't produce false alarms; use -count >= 6 on both sides so the
+# significance test has samples to work with.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+	echo "usage: benchgate.sh base.txt head.txt" >&2
+	exit 2
+fi
+THRESHOLD="${THRESHOLD_PCT:-15}"
+REPORT="$(mktemp)"
+trap 'rm -f "$REPORT"' EXIT
+
+benchstat "$1" "$2" | tee "$REPORT"
+
+awk -v thr="$THRESHOLD" '
+	# Unit headers precede each table; remember which metric the rows carry.
+	/sec\/op/    { unit = "sec" }
+	/B\/op/      { unit = "bytes" }
+	/allocs\/op/ { unit = "allocs" }
+	$1 == "geomean" { next }
+	{
+		delta = ""
+		for (i = 1; i <= NF; i++)
+			if ($i ~ /^[+-][0-9.]+%$/ || $i == "?") delta = $i
+		if (delta == "") next # header, insignificant (~), or non-data line
+		pct = delta
+		sub(/%$/, "", pct)
+		if (unit == "sec" && pct + 0 > thr) {
+			printf "REGRESSION (time): %s %s exceeds +%s%%\n", $1, delta, thr
+			bad = 1
+		}
+		# "?" means the base was zero and the head is not — the worst kind
+		# of allocs regression, since the path used to be allocation-free.
+		if (unit == "allocs" && (delta == "?" || pct + 0 > 0)) {
+			printf "REGRESSION (allocs): %s %s\n", $1, delta
+			bad = 1
+		}
+	}
+	END { exit bad }
+' "$REPORT"
+
+echo "benchgate: no significant regressions (time +${THRESHOLD}% gate, allocs zero-increase gate)"
