@@ -129,6 +129,17 @@ func runE3() {
 	}
 	fmt.Println("paper: \"fewer thread switches occur than in the previous solution\"; both engines must")
 	fmt.Println("       produce identical model behaviour (section 4.2 keeps \"the model's possibilities\").")
+	fmt.Println()
+	fmt.Println("same argument one level down: what servicing one interrupt costs the kernel")
+	fmt.Printf("%10s %12s %14s %12s %14s\n",
+		"isr", "interrupts", "activations", "acts/irq", "methods/irq")
+	for _, v := range []experiments.ISRVariant{experiments.ISRThreaded, experiments.ISRInline} {
+		r := experiments.RunISRActivations(v, 50*sim.Ms)
+		fmt.Printf("%10s %12d %14d %12.2f %14.2f\n",
+			v, r.Interrupts, r.Activations, r.ActivationsPerIRQ(), r.MethodRunsPerIRQ())
+	}
+	fmt.Println("the inline (method-ized) controller services interrupts with zero process")
+	fmt.Println("activations: the state machine runs as kernel method calls on the current stack.")
 }
 
 func runE4() {

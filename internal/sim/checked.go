@@ -74,9 +74,12 @@ type Report struct {
 	Reason FinishReason
 	// End is the simulated time the run finished at.
 	End Time
-	// DeltaCycles and Activations are the kernel counters at the end.
+	// DeltaCycles, Activations and MethodRuns are the kernel counters at the
+	// end; MethodRuns counts callbacks that ran inline without costing a
+	// thread switch (the denominator of the paper's §4 switch comparison).
 	DeltaCycles uint64
 	Activations uint64
+	MethodRuns  uint64
 	// Blocked lists the processes still waiting at the end (excluding
 	// daemons); non-empty with Reason FinishDeadlock, and informational for
 	// FinishLimit/FinishStopped.
@@ -158,6 +161,7 @@ func (k *Kernel) report() Report {
 		End:         k.now,
 		DeltaCycles: k.deltaCount,
 		Activations: k.activations,
+		MethodRuns:  k.methodRuns,
 		Blocked:     k.BlockedProcs(),
 	}
 }

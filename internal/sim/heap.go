@@ -11,6 +11,13 @@ type timedEntry struct {
 	event *Event
 	proc  *Proc
 	dead  bool
+
+	// Wheel location (wheel.go): the slot list links and where the entry
+	// lives (levelNone when not queued, levelHeap in the wheel's overflow
+	// heap). Unused by a standalone timedHeap backend.
+	next, prev *timedEntry
+	level      int8
+	slot       uint8
 }
 
 // timedHeap is a binary min-heap of timedEntry ordered by (at, seq). It is
@@ -49,6 +56,8 @@ func (h *timedHeap) alloc(at Time, seq uint64, e *Event, p *Proc) *timedEntry {
 func (h *timedHeap) release(e *timedEntry) {
 	e.event = nil
 	e.proc = nil
+	e.next, e.prev = nil, nil
+	e.level = levelNone
 	h.free = append(h.free, e)
 }
 

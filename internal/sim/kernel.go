@@ -9,17 +9,24 @@ type deltaTimeout struct {
 	gen uint64
 }
 
-// procExit is the message a terminating process goroutine hands back to the
-// kernel; panicVal carries a model panic to re-raise in the kernel goroutine.
-// Each Proc embeds one record so termination does not allocate.
-type procExit struct {
-	p        *Proc
-	panicVal any
-}
-
 // updater is implemented by primitive channels (signals) whose new value is
 // applied in the update phase, after the evaluate phase of a delta cycle.
 type updater interface{ update() }
+
+// timedQueue is the contract between the kernel and its timed-notification
+// backend. Two implementations exist: timedWheel (the default, a hierarchical
+// timing wheel with O(1) schedule/cancel) and timedHeap (a binary heap, the
+// fallback for far-future entries and available as an explicit backend).
+// Both pool entries through alloc/release and order pops by (at, seq).
+type timedQueue interface {
+	alloc(at Time, seq uint64, e *Event, p *Proc) *timedEntry
+	release(e *timedEntry)
+	push(e *timedEntry)
+	pop() *timedEntry
+	peek() *timedEntry
+	kill(e *timedEntry)
+	len() int
+}
 
 // Kernel is the discrete-event simulation scheduler. Create one with New,
 // spawn processes with Spawn, create events with NewEvent, then call Run
@@ -31,7 +38,8 @@ type updater interface{ update() }
 // so many simulations can run concurrently on separate goroutines (package
 // batch exploits this for parameter sweeps).
 type Kernel struct {
-	now Time
+	now   Time
+	limit Time // horizon of the run in progress
 
 	procs []*Proc
 
@@ -52,11 +60,24 @@ type Kernel struct {
 
 	updateQueue []updater
 
-	timed timedHeap
+	// timed is the active timed-queue backend; wheel is non-nil when it is
+	// the (default) timing wheel, letting hot paths call the concrete type
+	// directly so peek/push inline instead of going through the interface.
+	timed timedQueue
+	wheel *timedWheel
 	seq   uint64
 
 	current *Proc
-	yielded chan *procExit
+
+	// mainPk parks the Run caller while a process goroutine has control; the
+	// goroutine that finishes a scheduling pass (or panics, or unwinds at
+	// shutdown) signals it. panicVal carries a panic back to the Run caller
+	// for re-raising there: a model panic when panicProc is set (wrapped in
+	// *SimError), otherwise a panic from kernel-phase code (a method body,
+	// an update callback), re-raised as-is.
+	mainPk    *parker
+	panicProc *Proc
+	panicVal  any
 
 	running       bool
 	stopRequested bool
@@ -67,19 +88,87 @@ type Kernel struct {
 
 	deltaCount  uint64
 	activations uint64
+	methodRuns  uint64
 
 	// Observability counters (metrics.go). All nil until SetMetrics wires a
 	// registry; the instruments are nil-safe so the hot paths record
 	// unconditionally without allocating.
 	mDeltaCycles *metrics.Counter
 	mActivations *metrics.Counter
+	mMethodRuns  *metrics.Counter
 	mTimedPops   *metrics.Counter
 	mTimedSched  *metrics.Counter
 }
 
 // New creates an empty simulation kernel at time zero.
 func New() *Kernel {
-	return &Kernel{yielded: make(chan *procExit)}
+	w := newTimedWheel()
+	return &Kernel{timed: w, wheel: w, mainPk: newParker()}
+}
+
+// TimedQueueBackend selects the kernel's timed-notification data structure.
+type TimedQueueBackend uint8
+
+const (
+	// TimedQueueWheel is the default: a hierarchical timing wheel with O(1)
+	// schedule/cancel and O(1) pops on dense timer workloads, falling back
+	// to a heap for entries beyond its ~280 s span.
+	TimedQueueWheel TimedQueueBackend = iota
+	// TimedQueueHeap is the plain binary heap: O(log n) throughout,
+	// minimal constant footprint. Useful for tiny models and as the
+	// reference backend for differential testing.
+	TimedQueueHeap
+)
+
+// SetTimedQueue selects the timed-queue backend. It must be called before
+// any timer is scheduled (typically right after New); switching with timers
+// pending would strand them in the old structure.
+func (k *Kernel) SetTimedQueue(b TimedQueueBackend) {
+	if k.running || k.timed.len() != 0 || k.seq != 0 {
+		panic("sim: SetTimedQueue after timers were scheduled")
+	}
+	switch b {
+	case TimedQueueWheel:
+		k.wheel = newTimedWheel()
+		k.timed = k.wheel
+	case TimedQueueHeap:
+		k.timed = &timedHeap{}
+		k.wheel = nil
+	default:
+		panic("sim: unknown timed-queue backend")
+	}
+}
+
+// The timed* helpers route to the concrete wheel when it is active so the
+// per-iteration queue operations inline; the interface is only taken for the
+// explicitly selected heap backend.
+
+func (k *Kernel) timedPeek() *timedEntry {
+	if w := k.wheel; w != nil {
+		if w.min != nil {
+			return w.min
+		}
+		if w.count == 0 && len(w.overflow.entries) == 0 {
+			return nil
+		}
+		return w.peek()
+	}
+	return k.timed.peek()
+}
+
+func (k *Kernel) timedPop() *timedEntry {
+	if w := k.wheel; w != nil {
+		return w.pop()
+	}
+	return k.timed.pop()
+}
+
+func (k *Kernel) timedRelease(e *timedEntry) {
+	if w := k.wheel; w != nil {
+		w.release(e)
+		return
+	}
+	k.timed.release(e)
 }
 
 // Now returns the current simulated time.
@@ -93,6 +182,14 @@ func (k *Kernel) DeltaCount() uint64 { return k.deltaCount }
 // thread switches" metric used by the paper to compare the two RTOS model
 // implementations in section 4.
 func (k *Kernel) Activations() uint64 { return k.activations }
+
+// MethodRuns returns the number of method executions so far. A method run is
+// the zero-switch counterpart of an activation: work that would cost a full
+// process activation in a threaded formulation runs inline in the evaluate
+// loop instead. Comparing MethodRuns against Activations quantifies how much
+// infrastructure work the method-ized formulation keeps off the goroutine
+// handoff path.
+func (k *Kernel) MethodRuns() uint64 { return k.methodRuns }
 
 // Processes returns the processes spawned on this kernel, in spawn order.
 func (k *Kernel) Processes() []*Proc { return k.procs }
@@ -138,12 +235,19 @@ func (k *Kernel) Shutdown() {
 	k.shuttingDown = true
 	for _, p := range k.procs {
 		if p.started && p.state != ProcTerminated {
-			p.resume <- false
-			<-k.yielded
+			// Kill-signal the parked goroutine; its unwind handler signals
+			// mainPk back once it has terminated, serializing the teardown.
+			p.pk.signal(true)
+			k.mainPk.wait()
 		}
 	}
 }
 
+// run drives the simulation from the Run caller's goroutine. The actual
+// scheduling happens in schedule, which executes on whichever goroutine
+// currently has control: when schedule hands control to a process, the Run
+// caller parks here until some goroutine finishes a scheduling pass (hits
+// the limit, quiescence, a stop, or a panic) and signals it back awake.
 func (k *Kernel) run(limit Time) {
 	if k.running {
 		panic("sim: Run called reentrantly")
@@ -154,14 +258,53 @@ func (k *Kernel) run(limit Time) {
 	k.running = true
 	defer func() { k.running = false }()
 	k.stopRequested = false
+	k.limit = limit
 
+	if k.schedule() {
+		k.mainPk.wait()
+	}
+	if r := k.panicVal; r != nil {
+		p := k.panicProc
+		k.panicProc, k.panicVal = nil, nil
+		if p == nil {
+			panic(r) // kernel-phase panic, re-raised as-is
+		}
+		panic(&SimError{At: k.now, Proc: p.name, PanicValue: r})
+	}
+}
+
+// schedule advances the simulation through the evaluate/update/delta/timed
+// phases until it either transfers control to a process goroutine (returns
+// true; the caller must then park or unwind) or the run reaches a stopping
+// point (returns false with k.finish set; the caller hands control back to
+// the Run caller). It runs on the Run caller's goroutine initially and on
+// the goroutine of whichever process parks or terminates thereafter — that
+// direct handoff is what makes a scheduling action cost one goroutine
+// switch instead of a round trip through a kernel goroutine.
+//
+// A panic out of kernel-phase code (method bodies, update callbacks, event
+// deliveries) is captured into k.panicVal (with no panicProc) and reported
+// as "no dispatch" so the calling goroutine routes control back to the Run
+// caller, which re-raises it — the same observable behaviour as when these
+// phases ran on the Run caller's goroutine directly.
+func (k *Kernel) schedule() (dispatched bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.panicProc, k.panicVal = nil, r
+			k.finish = FinishPanic
+			dispatched = false
+		}
+	}()
 	for {
 		// Evaluate phase: run triggered methods and runnable processes until
 		// none are left. Methods are drained before each process dispatch so
 		// combinational reactions settle promptly; order is deterministic.
 		for !k.stopRequested {
 			if k.methodQueue.len() > 0 {
-				k.methodQueue.pop().run()
+				m := k.methodQueue.pop()
+				k.methodRuns++
+				k.mMethodRuns.Inc()
+				m.run()
 				continue
 			}
 			if k.runQueue.len() > 0 {
@@ -169,14 +312,24 @@ func (k *Kernel) run(limit Time) {
 				if p.state != ProcRunnable {
 					continue // terminated or rescheduled since queuing
 				}
-				k.dispatch(p)
-				continue
+				// Dispatch: transfer control to p. The caller returns (and
+				// parks or unwinds) right after; from that point p's
+				// goroutine is the only one running simulation code.
+				k.current = p
+				k.activations++
+				k.mActivations.Inc()
+				p.state = ProcRunning
+				if !p.started {
+					p.start()
+				}
+				p.pk.signal(false)
+				return true
 			}
 			break
 		}
 		if k.stopRequested {
 			k.finish = FinishStopped
-			return
+			return false
 		}
 
 		// Update phase: apply primitive-channel writes.
@@ -222,7 +375,7 @@ func (k *Kernel) run(limit Time) {
 		}
 
 		// Timed notification phase: advance to the earliest pending action.
-		head := k.timed.peek()
+		head := k.timedPeek()
 		if head == nil {
 			// Event starvation: nothing can ever happen again. Clean
 			// quiescence if no non-daemon process is left waiting, a
@@ -232,61 +385,34 @@ func (k *Kernel) run(limit Time) {
 			} else {
 				k.finish = FinishQuiescent
 			}
-			return
+			return false
 		}
-		if head.at > limit {
-			k.now = limit
+		if head.at > k.limit {
+			k.now = k.limit
 			k.finish = FinishLimit
-			return
+			return false
 		}
 		k.now = head.at
-		for {
-			h := k.timed.peek()
-			if h == nil || h.at != k.now {
-				break
-			}
-			k.timed.pop()
+		for h := head; ; {
+			k.timedPop()
 			k.mTimedPops.Inc()
 			switch {
 			case h.event != nil:
 				ev := h.event
 				ev.pendingTimed = nil
-				k.timed.release(h)
+				k.timedRelease(h)
 				ev.fire()
 			case h.proc != nil:
 				pr := h.proc
-				k.timed.release(h)
+				k.timedRelease(h)
 				pr.wakeFromTimeout()
+			}
+			if h = k.timedPeek(); h == nil || h.at != k.now {
+				break
 			}
 		}
 	}
 }
-
-// dispatch transfers control to process p until it parks or terminates.
-func (k *Kernel) dispatch(p *Proc) {
-	k.current = p
-	k.activations++
-	k.mActivations.Inc()
-	p.state = ProcRunning
-	if !p.started {
-		p.start()
-	}
-	p.resume <- true
-	exit := <-k.yielded
-	k.current = nil
-	if exit != nil && exit.panicVal != nil {
-		panic(&SimError{At: k.now, Proc: exit.p.name, PanicValue: exit.panicVal})
-	}
-}
-
-// noteExit is called from a terminating process goroutine. The exit record is
-// embedded in the Proc so even termination avoids the heap.
-func (p *Proc) noteExit(r any) {
-	p.exit = procExit{p: p, panicVal: r}
-	p.k.yielded <- &p.exit
-}
-
-func (k *Kernel) procExited(p *Proc, r any) { p.noteExit(r) }
 
 // makeRunnable queues p for the current evaluate phase.
 func (k *Kernel) makeRunnable(p *Proc) {
@@ -301,12 +427,17 @@ func (k *Kernel) makeRunnable(p *Proc) {
 	k.runQueue.push(p)
 }
 
-// scheduleTimed inserts a future action into the timed heap. The entry comes
-// from the heap's free list, so the steady-state schedule/fire/cancel cycle
+// scheduleTimed inserts a future action into the timed queue. The entry comes
+// from the queue's free list, so the steady-state schedule/fire/cancel cycle
 // performs no allocations.
 func (k *Kernel) scheduleTimed(at Time, e *Event, p *Proc) *timedEntry {
 	k.seq++
 	k.mTimedSched.Inc()
+	if w := k.wheel; w != nil {
+		entry := w.alloc(at, k.seq, e, p)
+		w.push(entry)
+		return entry
+	}
 	entry := k.timed.alloc(at, k.seq, e, p)
 	k.timed.push(entry)
 	return entry
@@ -314,7 +445,13 @@ func (k *Kernel) scheduleTimed(at Time, e *Event, p *Proc) *timedEntry {
 
 // cancelTimed cancels a scheduled entry (and forgets it for compaction
 // accounting). Callers must drop their pointer to it.
-func (k *Kernel) cancelTimed(entry *timedEntry) { k.timed.kill(entry) }
+func (k *Kernel) cancelTimed(entry *timedEntry) {
+	if w := k.wheel; w != nil {
+		w.kill(entry)
+		return
+	}
+	k.timed.kill(entry)
+}
 
 // requestUpdate queues an updater for the update phase of the current delta
 // cycle. Deduplication is the caller's responsibility.

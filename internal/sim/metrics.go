@@ -6,8 +6,9 @@ import "repro/internal/metrics"
 //
 //	sim_delta_cycles_total     delta cycles executed
 //	sim_activations_total      control transfers into simulation threads
-//	sim_timed_pops_total       timed-heap entries popped (events + timeouts)
-//	sim_timed_scheduled_total  timed-heap entries scheduled
+//	sim_method_runs_total      method executions (inline, no thread switch)
+//	sim_timed_pops_total       timed-queue entries popped (events + timeouts)
+//	sim_timed_scheduled_total  timed-queue entries scheduled
 //
 // The counters are registered once and updated in place by the run loop; a
 // nil registry detaches them again. Call before or between runs — the hot
@@ -15,15 +16,17 @@ import "repro/internal/metrics"
 // adds no allocations.
 func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 	if reg == nil {
-		k.mDeltaCycles, k.mActivations, k.mTimedPops, k.mTimedSched = nil, nil, nil, nil
+		k.mDeltaCycles, k.mActivations, k.mMethodRuns, k.mTimedPops, k.mTimedSched = nil, nil, nil, nil, nil
 		return
 	}
 	k.mDeltaCycles = reg.Counter("sim_delta_cycles_total", "delta cycles executed by the kernel")
 	k.mActivations = reg.Counter("sim_activations_total", "control transfers from the kernel into simulation threads")
-	k.mTimedPops = reg.Counter("sim_timed_pops_total", "timed-heap entries popped (fired events and expired timeouts)")
-	k.mTimedSched = reg.Counter("sim_timed_scheduled_total", "timed-heap entries scheduled")
+	k.mMethodRuns = reg.Counter("sim_method_runs_total", "method executions run inline in the evaluate phase")
+	k.mTimedPops = reg.Counter("sim_timed_pops_total", "timed-queue entries popped (fired events and expired timeouts)")
+	k.mTimedSched = reg.Counter("sim_timed_scheduled_total", "timed-queue entries scheduled")
 	// Re-wiring mid-run keeps the registry consistent with the kernel's own
 	// lifetime counters.
 	k.mDeltaCycles.Add(k.deltaCount)
 	k.mActivations.Add(k.activations)
+	k.mMethodRuns.Add(k.methodRuns)
 }

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parker is the goroutine handoff primitive behind the kernel's "only one
+// goroutine runs at a time" invariant. Each process goroutine (and the Run
+// caller) owns one parker; handing control over is a single signal/wait pair
+// instead of the two-channel ping-pong the kernel used before.
+//
+// The protocol is single-producer/single-consumer by construction: a parker
+// is signaled only to transfer control to its owner, and the owner cannot be
+// signaled again until it has run and parked again. That alternation lets
+// wait use a short runtime.Gosched spin — on the common path the peer that
+// signaled us is about to park itself, so the token arrives within a
+// scheduler yield or two and the channel round-trip is skipped entirely. The
+// buffered channel is the fallback for the uncommon case (peer preempted,
+// GOMAXPROCS > 1 contention) so a waiter never busy-loops unboundedly.
+//
+// States: pkIdle (no pending signal), pkSignaled (signal delivered before the
+// owner parked, or while it was spinning), pkParked (owner committed to the
+// channel path; the next signal must send a token). A token is sent if and
+// only if signal observes pkParked, and a parked owner consumes exactly one
+// token, so no stale token can survive a handoff and cause a spurious wakeup
+// (which would break the single-runner invariant).
+type parker struct {
+	state atomic.Int32
+	// kill is written by signal before the state swap and read by wait after
+	// it observes the signal; the atomic pair orders the accesses.
+	kill bool
+	ch   chan struct{}
+}
+
+const (
+	pkIdle int32 = iota
+	pkSignaled
+	pkParked
+)
+
+// parkSpins bounds the Gosched spin in wait before falling back to the
+// channel. With GOMAXPROCS=1 the first yield usually schedules the peer, so
+// a handful of iterations captures nearly all handoffs.
+const parkSpins = 12
+
+func newParker() *parker {
+	return &parker{ch: make(chan struct{}, 1)}
+}
+
+// signal transfers control to the parker's owner. kill=true tells the owner
+// to unwind (kernel shutdown) instead of resuming. The caller must not
+// signal again until the owner has run and parked again.
+func (pk *parker) signal(kill bool) {
+	pk.kill = kill
+	if pk.state.Swap(pkSignaled) == pkParked {
+		pk.ch <- struct{}{}
+	}
+}
+
+// wait parks the calling goroutine until signal, returning false when the
+// signal is a kill.
+func (pk *parker) wait() bool {
+	for i := 0; i < parkSpins; i++ {
+		// Plain load first: the owner is the only consumer, so observing
+		// pkSignaled cannot be raced by another waiter, and the load spares
+		// a locked compare-and-swap on the (common) not-yet-signaled probes.
+		if pk.state.Load() == pkSignaled {
+			pk.state.Store(pkIdle)
+			return !pk.kill
+		}
+		runtime.Gosched()
+	}
+	if pk.state.CompareAndSwap(pkIdle, pkParked) {
+		<-pk.ch
+	}
+	// Either we consumed the token for a signal that saw us parked, or the
+	// CAS failed because the signal landed first; both leave state pkSignaled
+	// or pkParked and the signal fully delivered.
+	pk.state.Store(pkIdle)
+	return !pk.kill
+}

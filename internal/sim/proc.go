@@ -51,12 +51,9 @@ type Proc struct {
 	id   int
 	fn   func(*Proc)
 
-	resume  chan bool // kernel -> proc; false means unwind (kill)
+	pk      *parker // handoff primitive; signaled to resume, kill to unwind
 	state   ProcState
 	started bool
-	// exit is the reusable termination record sent to the kernel's yielded
-	// channel, embedded so terminating does not allocate.
-	exit procExit
 	// daemon marks infrastructure processes (RTOS scheduler threads,
 	// interrupt controllers) that legitimately wait forever; they are
 	// excluded from deadlock accounting.
@@ -85,12 +82,12 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		panic("sim: Spawn with nil function")
 	}
 	p := &Proc{
-		k:      k,
-		name:   name,
-		id:     len(k.procs),
-		fn:     fn,
-		resume: make(chan bool),
-		state:  ProcNew,
+		k:     k,
+		name:  name,
+		id:    len(k.procs),
+		fn:    fn,
+		pk:    newParker(),
+		state: ProcNew,
 	}
 	k.procs = append(k.procs, p)
 	k.makeRunnable(p)
@@ -149,13 +146,31 @@ func (p *Proc) start() {
 			}
 			p.state = ProcTerminated
 			p.clearWaitState()
-			if p.doneEvent != nil && !p.k.shuttingDown {
+			k := p.k
+			if p.doneEvent != nil && !k.shuttingDown {
 				p.doneEvent.Notify()
 			}
-			// Hand control back to the kernel, propagating model panics.
-			p.k.procExited(p, r)
+			k.current = nil
+			switch {
+			case k.shuttingDown:
+				// Shutdown drives the unwind and discards panics from dying
+				// goroutines; hand control straight back to it.
+				k.mainPk.signal(false)
+			case r != nil:
+				// Model panic: carry it to the Run caller, which re-raises
+				// it as a *SimError.
+				k.panicProc, k.panicVal = p, r
+				k.mainPk.signal(false)
+			default:
+				// Normal termination: this dying goroutine runs the next
+				// scheduling pass itself and hands control directly to the
+				// next process (or back to the Run caller).
+				if !k.schedule() {
+					k.mainPk.signal(false)
+				}
+			}
 		}()
-		if !<-p.resume {
+		if !p.pk.wait() {
 			panic(killToken{})
 		}
 		p.fn(p)
@@ -164,12 +179,21 @@ func (p *Proc) start() {
 
 // park suspends the calling process until the kernel resumes it. It must only
 // be called from the process's own goroutine with wake conditions already
-// registered.
+// registered. The parking goroutine runs the next scheduling pass itself and
+// signals the next runner directly — one goroutine switch per scheduling
+// action, or zero when the pass re-dispatches this same process (the signal
+// is then already pending and wait returns on its first spin).
 func (p *Proc) park() {
 	p.waitGen++
 	p.state = ProcWaiting
-	p.k.yielded <- nil // nil = suspended, not terminated
-	if !<-p.resume {
+	k := p.k
+	k.current = nil
+	if !k.schedule() {
+		// The pass finished the run (limit, quiescence, stop, or a captured
+		// kernel-phase panic): wake the Run caller.
+		k.mainPk.signal(false)
+	}
+	if !p.pk.wait() {
 		panic(killToken{})
 	}
 	p.state = ProcRunning

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmark set and records ns/op, B/op, allocs/op (and
-# switches/run or migrations/run where reported) into BENCH_PR4.json, next to
+# switches/run or migrations/run where reported) into BENCH_PR5.json, next to
 # the committed pre-optimization baseline from scripts/bench_baseline.json.
 #
 # The baseline was measured on the seed code; re-running this script only
@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_PR4.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 CPUPROFILE="${CPUPROFILE:-}"
 MEMPROFILE="${MEMPROFILE:-}"
 RAW="$(mktemp)"
@@ -36,7 +36,9 @@ bench() { # bench <pattern> <package>
 
 {
 	bench 'BenchmarkKernelProcessSwitch$|BenchmarkRTOSContextSwitch$|BenchmarkMPEG2SoC$|BenchmarkEngineProcedural$|BenchmarkEngineThreaded$|BenchmarkSMPGlobal' .
+	bench 'BenchmarkManyTasks$|BenchmarkWaitAnyFanout$' .
 	bench 'BenchmarkTimedWait$|BenchmarkEventNotify$|BenchmarkDeltaCycle$|BenchmarkWaitTimeoutNoFire$' ./internal/sim/
+	bench 'BenchmarkTimedQueueOps$|BenchmarkTimedQueueCancel$' ./internal/sim/
 	bench 'BenchmarkSweep$' ./internal/batch/
 } | tee "$RAW"
 
@@ -45,6 +47,11 @@ bench() { # bench <pattern> <package>
 {
 	printf '{\n  "benchtime": "%s",\n  "count": %s,\n  "baseline": ' "$BENCHTIME" "$COUNT"
 	cat scripts/bench_baseline.json
+	# bench_pr4.json is the same-machine PR 4 snapshot (pre activation fast
+	# path / timing wheel), the "before" side for the PR 5 deltas; the seed
+	# baseline above stays as the overall anchor.
+	printf ',\n  "pr4": '
+	cat scripts/bench_pr4.json
 	printf ',\n  "optimized": '
 	awk '
 		/^Benchmark/ {
