@@ -6,11 +6,13 @@
 //
 //	rtossim [flags] scenario.json
 //	rtossim sweep [flags] sweep.json
+//	rtossim explore [flags] scenario.json
 //
 // Examples:
 //
 //	rtossim -timeline -stats examples/scenarios/figure6.json
 //	rtossim sweep -workers 8 examples/scenarios/sweep.json
+//	rtossim explore -runs 64 examples/scenarios/faults.json
 package main
 
 import (
@@ -28,6 +30,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		sweepMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		exploreMain(os.Args[2:])
 		return
 	}
 	var (

@@ -210,6 +210,37 @@ func TestFailedRunIsIsolated(t *testing.T) {
 	}
 }
 
+func TestForEach(t *testing.T) {
+	// Every index must be visited exactly once, for serial and parallel
+	// pools, for n below and above the worker count, and for the degenerate
+	// n <= 0 cases.
+	for _, workers := range []int{0, 1, 3, 16} {
+		for _, n := range []int{0, -1, 1, 3, 64} {
+			visits := make([]int32, 0)
+			if n > 0 {
+				visits = make([]int32, n)
+			}
+			var mu sync.Mutex
+			ForEach(n, workers, func(i int) {
+				mu.Lock()
+				visits[i]++
+				mu.Unlock()
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+	// A serial pool preserves index order.
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("serial ForEach out of order: %v", order)
+	}
+}
+
 func TestSummarizeAndTable(t *testing.T) {
 	spec := testSpec()
 	results, err := spec.Sweep([]byte(baseScenario), Options{Workers: 4})

@@ -62,44 +62,58 @@ type Options struct {
 	Progress func(done, total int)
 }
 
+// ForEach runs fn(i) for every index in [0, n) on a bounded worker pool and
+// blocks until all calls return. Workers <= 0 means GOMAXPROCS. It is the
+// worker-pool core of Run, exported so other frontier consumers (the
+// schedule explorer fans its enumeration waves through it) share one
+// execution discipline: each fn call owns its index's work exclusively, and
+// a Workers=1 pool is fully serial.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // Run simulates every variant of the sweep against the base scenario bytes
 // and returns the results ordered by variant index. Each run re-parses the
 // base bytes into a private scenario (deep copy) and owns a private kernel,
 // so runs share nothing; with Workers=1 the sweep is fully serial and yields
 // the same results as any parallel execution.
 func (s *Spec) Run(base []byte, variants []Variant, opts Options) []Result {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(variants) {
-		workers = len(variants)
-	}
 	results := make([]Result, len(variants))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	done := 0
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = s.runOne(base, variants[i])
-				if opts.Progress != nil {
-					progressMu.Lock()
-					done++
-					opts.Progress(done, len(variants))
-					progressMu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range variants {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	ForEach(len(variants), opts.Workers, func(i int) {
+		results[i] = s.runOne(base, variants[i])
+		if opts.Progress != nil {
+			progressMu.Lock()
+			done++
+			opts.Progress(done, len(variants))
+			progressMu.Unlock()
+		}
+	})
 	return results
 }
 

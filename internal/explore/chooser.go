@@ -1,0 +1,211 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// runStats are one run's choice-point statistics, saturating at MaxUint64.
+type runStats struct {
+	choicePoints uint64 // decision points with >= 2 alternatives
+	naiveAlts    uint64 // sum over batches of n! (unpruned orderings)
+	dporAlts     uint64 // sum over batches of prod(|group|!) after pruning
+	truncated    uint64 // alternatives cut by the maxBranch cap
+}
+
+func (s *runStats) add(o runStats) {
+	s.choicePoints = satAdd(s.choicePoints, o.choicePoints)
+	s.naiveAlts = satAdd(s.naiveAlts, o.naiveAlts)
+	s.dporAlts = satAdd(s.dporAlts, o.dporAlts)
+	s.truncated = satAdd(s.truncated, o.truncated)
+}
+
+// chooser resolves both choice points of one run: it is the kernel's
+// sim.TimedPermuter and the RTOS model's release-jitter hook. Decisions up
+// to len(prefix) replay the given trace (verifying each point's key);
+// decisions past it take the default, which reproduces the seed schedule.
+// Every decision is logged, so the full run is itself a replayable trace.
+type chooser struct {
+	fp        *footprints
+	steps     int
+	maxBranch uint64
+	bounds    map[string]sim.Time // explored per-task jitter bounds
+	injected  map[string]bool     // tasks whose bound the explorer added (nominal 0)
+
+	prefix []Decision
+
+	log   []Decision
+	nalts []uint32
+	err   error // first replay mismatch, nil when the prefix matched
+
+	stats runStats
+
+	scratch []sim.Time // Lehmer-unranking buffer
+}
+
+func newChooser(fp *footprints, steps, maxBranch int, bounds map[string]sim.Time,
+	injected map[string]bool, prefix []Decision) *chooser {
+	return &chooser{
+		fp:        fp,
+		steps:     steps,
+		maxBranch: uint64(maxBranch),
+		bounds:    bounds,
+		injected:  injected,
+		prefix:    prefix,
+	}
+}
+
+// take resolves one decision point with nAlt alternatives: the prefix's
+// value while replaying (verifying the point identity), the default past it.
+func (c *chooser) take(kind uint8, key uint32, nAlt uint64) uint64 {
+	pos := len(c.log)
+	var v uint64
+	if pos < len(c.prefix) {
+		d := c.prefix[pos]
+		if d.Kind != kind || d.Key != key || uint64(d.Value) >= nAlt {
+			if c.err == nil {
+				c.err = fmt.Errorf("explore: trace decision %d (kind %d, key %08x, value %d) does not match this run's choice point (kind %d, key %08x, %d alternatives)",
+					pos, d.Kind, d.Key, d.Value, kind, key, nAlt)
+			}
+		} else {
+			v = uint64(d.Value)
+		}
+	}
+	c.log = append(c.log, Decision{Kind: kind, Key: key, Value: uint32(v)})
+	na := nAlt
+	if na > math.MaxUint32 {
+		na = math.MaxUint32
+	}
+	c.nalts = append(c.nalts, uint32(na))
+	c.stats.choicePoints++
+	return v
+}
+
+// PermuteTimed implements sim.TimedPermuter: partition the batch into
+// conflict groups, enumerate only within-group orderings (one mixed-radix
+// decision over the group factorials), and apply the chosen per-group
+// permutations to the firing order.
+func (c *chooser) PermuteTimed(now sim.Time, actions []sim.TimedAction, order []int) {
+	gs := c.fp.groups(actions)
+	naive := satFact(uint64(len(actions)))
+	nAlt := uint64(1)
+	for _, g := range gs {
+		nAlt = satMul(nAlt, satFact(uint64(len(g))))
+	}
+	c.stats.naiveAlts = satAdd(c.stats.naiveAlts, naive)
+	c.stats.dporAlts = satAdd(c.stats.dporAlts, nAlt)
+	if nAlt > c.maxBranch {
+		c.stats.truncated = satAdd(c.stats.truncated, nAlt-c.maxBranch)
+		nAlt = c.maxBranch
+	}
+	if nAlt <= 1 {
+		return
+	}
+	v := c.take(KindTie, tieKey(now, len(actions), nAlt), nAlt)
+	for _, g := range gs {
+		if len(g) < 2 {
+			continue
+		}
+		f := satFact(uint64(len(g)))
+		c.applyPerm(order, g, v%f)
+		v /= f
+	}
+}
+
+// applyPerm permutes the order entries at positions g by the rank-th
+// permutation of len(g) elements (Lehmer-code unranking; rank 0 is the
+// identity, preserving seq order).
+func (c *chooser) applyPerm(order []int, g []int, rank uint64) {
+	vals := c.scratch[:0]
+	for _, p := range g {
+		vals = append(vals, sim.Time(order[p]))
+	}
+	c.scratch = vals
+	for j, p := range g {
+		f := satFact(uint64(len(g) - 1 - j))
+		idx := int(rank / f)
+		rank %= f
+		order[p] = int(vals[idx])
+		vals = append(vals[:idx], vals[idx+1:]...)
+	}
+}
+
+// jitterFor is the rtos release-jitter hook: tasks with an explored bound
+// choose among [nominal, quantized candidates]; everything else keeps the
+// deterministic default.
+func (c *chooser) jitterFor(task string, cycle int, max sim.Time) sim.Time {
+	if bound, ok := c.bounds[task]; !ok || bound != max {
+		return rtos.DefaultReleaseJitter(task, cycle, max)
+	}
+	cands := c.jitterCandidates(task, cycle, max)
+	if len(cands) <= 1 {
+		return cands[0]
+	}
+	nAlt := uint64(len(cands))
+	v := c.take(KindJitter, jitterKey(task, cycle, nAlt), nAlt)
+	return cands[v]
+}
+
+// jitterCandidates builds one release's candidate set: the nominal value
+// first (decision 0 reproduces the seed run), then steps quantized values
+// spread over [0, max], deduplicated in order.
+func (c *chooser) jitterCandidates(task string, cycle int, max sim.Time) []sim.Time {
+	var nominal sim.Time
+	if !c.injected[task] {
+		nominal = rtos.DefaultReleaseJitter(task, cycle, max)
+	}
+	cands := []sim.Time{nominal}
+	steps := c.steps
+	if steps < 2 {
+		steps = 2
+	}
+	for i := 0; i < steps; i++ {
+		v := sim.Time(uint64(max) * uint64(i) / uint64(steps-1))
+		dup := false
+		for _, x := range cands {
+			if x == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cands = append(cands, v)
+		}
+	}
+	return cands
+}
+
+// Saturating arithmetic: decision-space sizes are combinatorial and only
+// reported, so capping at MaxUint64 beats overflow wraparound.
+
+func satAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64
+	}
+	return a * b
+}
+
+// satFact returns n!, saturating (21! overflows uint64).
+func satFact(n uint64) uint64 {
+	if n > 20 {
+		return math.MaxUint64
+	}
+	f := uint64(1)
+	for i := uint64(2); i <= n; i++ {
+		f *= i
+	}
+	return f
+}

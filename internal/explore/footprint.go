@@ -1,0 +1,189 @@
+package explore
+
+import (
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Static commutativity analysis (the DPOR-style pruning rule). Two
+// same-instant timed actions commute when the model elements they can touch
+// are disjoint: a task's delay wakeup on cpu A cannot affect a hardware
+// task's timer on an unrelated channel, so only one of their two orders is
+// explored. The footprint of an action is derived from the scenario
+// description — the owner's processor plus every comm object, bus, irq,
+// watchdog and server its body references — which over-approximates the
+// dynamic footprint, keeping the pruning sound: actions are only declared
+// commuting when no interleaving of them can diverge.
+
+// footprints maps scenario-level owners (tasks, hardware tasks, processors,
+// irqs, servers, watchdogs, comm objects) to their resource sets.
+type footprints struct {
+	owners map[string][]string
+}
+
+// newFootprints derives the owner resource sets from a scenario description.
+func newFootprints(desc *scenario.System) *footprints {
+	f := &footprints{owners: map[string][]string{}}
+	chanBus := map[string]string{}
+	for _, c := range desc.Channels {
+		chanBus[c.Name] = c.Bus
+	}
+	irqCPU := map[string]string{}
+	for _, q := range desc.IRQs {
+		irqCPU[q.Name] = q.Processor
+	}
+	wdCPU := map[string]string{}
+	for _, w := range desc.Watchdogs {
+		wdCPU[w.Name] = w.Processor
+	}
+	srvCPU := map[string]string{}
+	for _, s := range desc.Servers {
+		srvCPU[s.Name] = s.Processor
+	}
+	refs := func(body []scenario.Op) []string {
+		var out []string
+		var walk func(ops []scenario.Op)
+		walk = func(ops []scenario.Op) {
+			for _, op := range ops {
+				switch op.Op {
+				case "wait", "signal":
+					out = append(out, "obj:"+op.Event)
+				case "put", "get", "tryput":
+					out = append(out, "obj:"+op.Queue)
+				case "lock", "unlock", "read", "write":
+					out = append(out, "obj:"+op.Shared)
+				case "send", "recv":
+					out = append(out, "obj:"+op.Channel, "bus:"+chanBus[op.Channel])
+				case "raise":
+					out = append(out, "irq:"+op.IRQ, "cpu:"+irqCPU[op.IRQ])
+				case "kick":
+					out = append(out, "wd:"+op.Watchdog, "cpu:"+wdCPU[op.Watchdog])
+				case "submit":
+					out = append(out, "cpu:"+srvCPU[op.Server])
+				case "repeat":
+					walk(op.Body)
+				}
+			}
+		}
+		walk(body)
+		return out
+	}
+	for _, p := range desc.Processors {
+		f.owners[p.Name] = []string{"cpu:" + p.Name}
+	}
+	for _, t := range desc.Tasks {
+		f.owners[t.Name] = append([]string{"cpu:" + t.Processor}, refs(t.Body)...)
+	}
+	for _, h := range desc.Hardware {
+		f.owners[h.Name] = append([]string{"hw:" + h.Name}, refs(h.Body)...)
+	}
+	for _, q := range desc.IRQs {
+		f.owners[q.Name] = append([]string{"irq:" + q.Name, "cpu:" + q.Processor}, refs(q.Body)...)
+	}
+	for _, w := range desc.Watchdogs {
+		f.owners[w.Name] = []string{"wd:" + w.Name, "cpu:" + w.Processor}
+	}
+	for _, s := range desc.Servers {
+		f.owners[s.Name] = []string{"cpu:" + s.Processor}
+	}
+	for _, b := range desc.Buses {
+		f.owners[b.Name] = []string{"bus:" + b.Name}
+	}
+	for _, e := range desc.Events {
+		f.owners[e.Name] = []string{"obj:" + e.Name}
+	}
+	for _, q := range desc.Queues {
+		f.owners[q.Name] = []string{"obj:" + q.Name}
+	}
+	for _, c := range desc.Channels {
+		f.owners[c.Name] = []string{"obj:" + c.Name, "bus:" + c.Bus}
+	}
+	for _, v := range desc.Shared {
+		f.owners[v.Name] = []string{"obj:" + v.Name}
+	}
+	return f
+}
+
+// resources resolves a timed action to its owner's resource set, or nil for
+// an unknown owner (which then conflicts with everything — sound, never
+// unsound). Timed-action names are artifact names built from an owner plus
+// dotted suffixes (task.delay, task.deadlineWatch, cpu.core1.quantum, the
+// threaded engine's cpu.rtos thread), so resolution strips dotted suffixes
+// until an owner matches.
+func (f *footprints) resources(a sim.TimedAction) []string {
+	name := a.Name
+	for {
+		if r, ok := f.owners[name]; ok {
+			return r
+		}
+		i := strings.LastIndexByte(name, '.')
+		if i < 0 {
+			return nil
+		}
+		name = name[:i]
+	}
+}
+
+// groups partitions a same-instant batch into conflict groups: actions in
+// different groups touch disjoint resources and therefore commute, so only
+// within-group orderings are enumerated. Groups are returned ordered by
+// their first action index, members in index order — the canonical layout
+// the mixed-radix decision encoding relies on.
+func (f *footprints) groups(actions []sim.TimedAction) [][]int {
+	n := len(actions)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	firstUse := map[string]int{}
+	unknown := -1
+	for i, a := range actions {
+		rs := f.resources(a)
+		if rs == nil {
+			// Unresolvable owner: conflicts with everything.
+			if unknown >= 0 {
+				union(i, unknown)
+			}
+			unknown = i
+			continue
+		}
+		for _, r := range rs {
+			if j, ok := firstUse[r]; ok {
+				union(i, j)
+			} else {
+				firstUse[r] = i
+			}
+		}
+	}
+	if unknown >= 0 {
+		for i := 0; i < n; i++ {
+			union(i, unknown)
+		}
+	}
+
+	order := map[int]int{} // root -> group index
+	var gs [][]int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		gi, ok := order[r]
+		if !ok {
+			gi = len(gs)
+			order[r] = gi
+			gs = append(gs, nil)
+		}
+		gs[gi] = append(gs[gi], i)
+	}
+	return gs
+}

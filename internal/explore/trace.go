@@ -1,0 +1,164 @@
+// Package explore enumerates the schedule space of a scenario: it injects
+// controlled nondeterminism at the kernel's two legal choice points — the
+// same-instant tie-break order (sim.TimedPermuter) and periodic release
+// jitter (rtos.System.SetReleaseJitterHook) — records every decision as a
+// compact choice trace, searches the interleaving set breadth-first with
+// partial-order pruning, checks per-run invariants, and on a violation
+// minimizes and replays the trace that reproduces it.
+package explore
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Decision kinds.
+const (
+	// KindTie is a same-instant tie-break choice: which ordering of one
+	// timed batch's conflict groups fired.
+	KindTie = uint8(1)
+	// KindJitter is a release-jitter choice: which candidate jitter value a
+	// periodic release took.
+	KindJitter = uint8(2)
+)
+
+// Decision is one resolved choice point. Key identifies the point by
+// content (instant, batch width and alternative count for ties; task, cycle
+// and alternative count for jitter), never by position-dependent state, so a
+// replay detects a trace that no longer matches the run. Value is the
+// alternative taken; 0 is always the default (seed) behaviour.
+type Decision struct {
+	Kind  uint8
+	Key   uint32
+	Value uint32
+}
+
+// Trace is a replayable choice trace: the decision sequence of one run, in
+// encounter order. Decisions past the end of a trace take the default.
+type Trace struct {
+	Decisions []Decision
+}
+
+// tracePrefix distinguishes (and versions) the textual trace encoding.
+const tracePrefix = "xt1:"
+
+// Encode renders the trace as a printable token: "xt1:" + URL-safe base64 of
+// (uvarint count, per-decision kind/key/value uvarints, CRC-32 of the
+// preceding payload). The checksum makes truncation and corruption decoding
+// errors rather than silent misreplays.
+func (t Trace) Encode() string {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(t.Decisions)))
+	for _, d := range t.Decisions {
+		buf = append(buf, d.Kind)
+		buf = binary.AppendUvarint(buf, uint64(d.Key))
+		buf = binary.AppendUvarint(buf, uint64(d.Value))
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, crc[:]...)
+	return tracePrefix + base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// Decode parses an encoded choice trace, rejecting anything malformed:
+// wrong prefix, bad base64, checksum mismatch, unknown decision kind,
+// out-of-range varints or trailing bytes.
+func Decode(s string) (Trace, error) {
+	if !strings.HasPrefix(s, tracePrefix) {
+		return Trace{}, fmt.Errorf("explore: choice trace must start with %q", tracePrefix)
+	}
+	// Strict decoding also rejects non-zero padding bits in the final
+	// character, keeping the encoding canonical (one trace, one string).
+	buf, err := base64.RawURLEncoding.Strict().DecodeString(s[len(tracePrefix):])
+	if err != nil {
+		return Trace{}, fmt.Errorf("explore: malformed choice trace: %v", err)
+	}
+	if len(buf) < 4 {
+		return Trace{}, fmt.Errorf("explore: truncated choice trace")
+	}
+	payload, crc := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Trace{}, fmt.Errorf("explore: choice trace checksum mismatch")
+	}
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return Trace{}, fmt.Errorf("explore: malformed decision count")
+	}
+	if n > uint64(len(payload)) {
+		// Each decision takes at least 3 bytes; this cheap bound rejects
+		// absurd counts before allocating.
+		return Trace{}, fmt.Errorf("explore: decision count %d exceeds payload", n)
+	}
+	payload = payload[used:]
+	t := Trace{Decisions: make([]Decision, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		if len(payload) == 0 {
+			return Trace{}, fmt.Errorf("explore: truncated decision %d", i)
+		}
+		kind := payload[0]
+		if kind != KindTie && kind != KindJitter {
+			return Trace{}, fmt.Errorf("explore: decision %d has unknown kind %d", i, kind)
+		}
+		payload = payload[1:]
+		key, used := binary.Uvarint(payload)
+		if used <= 0 || key > 0xffffffff {
+			return Trace{}, fmt.Errorf("explore: malformed key of decision %d", i)
+		}
+		payload = payload[used:]
+		val, used := binary.Uvarint(payload)
+		if used <= 0 || val > 0xffffffff {
+			return Trace{}, fmt.Errorf("explore: malformed value of decision %d", i)
+		}
+		payload = payload[used:]
+		t.Decisions = append(t.Decisions, Decision{Kind: kind, Key: uint32(key), Value: uint32(val)})
+	}
+	if len(payload) != 0 {
+		return Trace{}, fmt.Errorf("explore: %d trailing bytes after %d decisions", len(payload), n)
+	}
+	return t, nil
+}
+
+// trimmed returns the trace without trailing default decisions: a replay
+// fills defaults past the end, so two traces differing only in trailing
+// zeros are the same schedule.
+func (t Trace) trimmed() Trace {
+	d := t.Decisions
+	for len(d) > 0 && d[len(d)-1].Value == 0 {
+		d = d[:len(d)-1]
+	}
+	return Trace{Decisions: d}
+}
+
+// tieKey identifies a same-instant tie-break point: the batch instant, its
+// width and its pruned alternative count. Deliberately name-free, so the
+// same model-level schedule produces the same key sequence on both engines.
+func tieKey(now sim.Time, n int, nAlt uint64) uint32 {
+	h := fnv.New32a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(now))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(n))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], nAlt)
+	h.Write(b[:])
+	return h.Sum32()
+}
+
+// jitterKey identifies a release-jitter point by task, cycle and candidate
+// count.
+func jitterKey(task string, cycle int, nAlt uint64) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(task))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(cycle))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], nAlt)
+	h.Write(b[:])
+	return h.Sum32()
+}

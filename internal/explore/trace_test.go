@@ -1,0 +1,106 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTraces() []Trace {
+	return []Trace{
+		{},
+		{Decisions: []Decision{{Kind: KindTie, Key: 0xdeadbeef, Value: 3}}},
+		{Decisions: []Decision{
+			{Kind: KindTie, Key: 1, Value: 0},
+			{Kind: KindJitter, Key: 0xffffffff, Value: 0xffffffff},
+			{Kind: KindTie, Key: 42, Value: 7},
+		}},
+	}
+}
+
+// TestTraceRoundTrip pins Encode/Decode as exact inverses.
+func TestTraceRoundTrip(t *testing.T) {
+	for _, tr := range sampleTraces() {
+		enc := tr.Encode()
+		if !strings.HasPrefix(enc, tracePrefix) {
+			t.Fatalf("encoded trace %q lacks prefix", enc)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if got.Encode() != enc {
+			t.Fatalf("round trip changed the trace: %q -> %q", enc, got.Encode())
+		}
+	}
+}
+
+// TestTraceDecodeRejectsCorruption checks that truncation and tampering are
+// decoding errors, never silent misreplays.
+func TestTraceDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleTraces()[2].Encode()
+	// Every proper prefix must fail (truncation).
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("truncated trace %q decoded", enc[:i])
+		}
+	}
+	// Flipping any payload character must fail (checksum).
+	for i := len(tracePrefix); i < len(enc); i++ {
+		c := byte('A')
+		if enc[i] == 'A' {
+			c = 'B'
+		}
+		tampered := enc[:i] + string(c) + enc[i+1:]
+		if _, err := Decode(tampered); err == nil {
+			t.Fatalf("tampered trace %q decoded", tampered)
+		}
+	}
+	for _, bad := range []string{"", "xt1:", "xt2:AAAA", "xt1:!!!!", "not a trace"} {
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("malformed trace %q decoded", bad)
+		}
+	}
+}
+
+// TestTraceTrimmed pins that trailing default decisions are dropped and
+// non-trailing ones kept.
+func TestTraceTrimmed(t *testing.T) {
+	tr := Trace{Decisions: []Decision{
+		{Kind: KindTie, Key: 1, Value: 0},
+		{Kind: KindJitter, Key: 2, Value: 5},
+		{Kind: KindTie, Key: 3, Value: 0},
+		{Kind: KindTie, Key: 4, Value: 0},
+	}}
+	got := tr.trimmed()
+	if len(got.Decisions) != 2 || got.Decisions[1].Value != 5 {
+		t.Fatalf("trimmed = %+v", got.Decisions)
+	}
+	if n := len(Trace{}.trimmed().Decisions); n != 0 {
+		t.Fatalf("empty trace trimmed to %d decisions", n)
+	}
+}
+
+// FuzzDecode checks the decoder never panics on arbitrary input and that
+// everything it accepts re-encodes canonically and round-trips.
+func FuzzDecode(f *testing.F) {
+	for _, tr := range sampleTraces() {
+		f.Add(tr.Encode())
+	}
+	f.Add("xt1:")
+	f.Add("xt1:AAAAAAAA")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Decode(s)
+		if err != nil {
+			return
+		}
+		enc := tr.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded trace %q does not decode: %v", enc, err)
+		}
+		if back.Encode() != enc {
+			t.Fatalf("re-encode not canonical: %q -> %q", enc, back.Encode())
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package rtos_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// inversionScenario builds the classic three-task priority-inversion setup:
+// lo takes the resource first, hi blocks on it, and mid preempts lo for a
+// long stretch. It returns hi's longest inversion interval.
+func inversionScenario(t *testing.T, inherit bool) sim.Time {
+	t.Helper()
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{Overheads: rtos.UniformOverheads(sim.Us)})
+	var shared *comm.Shared[int]
+	if inherit {
+		shared = comm.NewInheritShared(sys.Rec, "s", 0)
+	} else {
+		shared = comm.NewShared(sys.Rec, "s", 0)
+	}
+	cpu.NewTask("lo", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+		shared.Lock(c)
+		c.Execute(300 * sim.Us)
+		shared.Unlock(c)
+	})
+	cpu.NewTask("mid", rtos.TaskConfig{Priority: 5, StartAt: 100 * sim.Us}, func(c *rtos.TaskCtx) {
+		c.Execute(400 * sim.Us)
+	})
+	hi := cpu.NewTask("hi", rtos.TaskConfig{Priority: 10, StartAt: 50 * sim.Us}, func(c *rtos.TaskCtx) {
+		shared.Lock(c)
+		c.Execute(10 * sim.Us)
+		shared.Unlock(c)
+	})
+	sys.EnableInversionTracking()
+	if _, err := sys.RunChecked(2 * sim.Ms); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	sys.Shutdown()
+	if hi.TotalInversion() < hi.MaxInversion() {
+		t.Fatalf("total inversion %v < max %v", hi.TotalInversion(), hi.MaxInversion())
+	}
+	return hi.MaxInversion()
+}
+
+// TestInversionTrackingMeasuresBlockedHighPrio checks the tracker end to
+// end: without priority inheritance the high-priority task endures one long
+// inversion spanning mid's entire execution — the interval must be measured
+// as one piece (context-switch windows must not fragment it) — and
+// inheritance shortens it to the critical section.
+func TestInversionTrackingMeasuresBlockedHighPrio(t *testing.T) {
+	plain := inversionScenario(t, false)
+	// hi blocks at ~50us and gets the resource only after mid (400us) and
+	// lo's remaining critical section complete: ~700us of inversion.
+	if plain < 600*sim.Us {
+		t.Errorf("non-inherit max inversion = %v, want >= 600us (fragmented interval?)", plain)
+	}
+	boosted := inversionScenario(t, true)
+	if boosted > plain/2 {
+		t.Errorf("inherit max inversion = %v, want < %v (inheritance did not bound it)", boosted, plain/2)
+	}
+}
+
+// TestInversionTrackingOffByDefault pins that the tracker is opt-in: the
+// same scenario without EnableInversionTracking reports zero.
+func TestInversionTrackingOffByDefault(t *testing.T) {
+	sys := rtos.NewSystem()
+	cpu := sys.NewProcessor("cpu", rtos.Config{})
+	shared := comm.NewShared(sys.Rec, "s", 0)
+	cpu.NewTask("lo", rtos.TaskConfig{Priority: 1}, func(c *rtos.TaskCtx) {
+		shared.Lock(c)
+		c.Execute(300 * sim.Us)
+		shared.Unlock(c)
+	})
+	hi := cpu.NewTask("hi", rtos.TaskConfig{Priority: 10, StartAt: 50 * sim.Us}, func(c *rtos.TaskCtx) {
+		shared.Lock(c)
+		c.Execute(10 * sim.Us)
+		shared.Unlock(c)
+	})
+	sys.Run()
+	if hi.MaxInversion() != 0 || hi.TotalInversion() != 0 {
+		t.Fatalf("inversion tracked without opt-in: max %v total %v",
+			hi.MaxInversion(), hi.TotalInversion())
+	}
+}
+
+// TestReleaseJitterHook checks the hook end to end: it decides each
+// release's jitter (observable in the task's start instants) and an
+// out-of-bounds return is a model panic, not a silent clamp.
+func TestReleaseJitterHook(t *testing.T) {
+	build := func(hook func(task string, cycle int, max sim.Time) sim.Time) (*rtos.System, *[]sim.Time) {
+		sys := rtos.NewSystem()
+		cpu := sys.NewProcessor("cpu", rtos.Config{})
+		starts := &[]sim.Time{}
+		cpu.NewPeriodicTask("p", rtos.TaskConfig{
+			Priority: 1, Period: 100 * sim.Us, Jitter: 20 * sim.Us,
+		}, func(c *rtos.TaskCtx, cycle int) {
+			*starts = append(*starts, c.Now())
+			c.Execute(10 * sim.Us)
+		})
+		sys.SetReleaseJitterHook(hook)
+		return sys, starts
+	}
+
+	sys, starts := build(func(task string, cycle int, max sim.Time) sim.Time {
+		if cycle == 0 {
+			return max
+		}
+		return 0
+	})
+	if _, err := sys.RunChecked(250 * sim.Us); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	sys.Shutdown()
+	want := []sim.Time{20 * sim.Us, 100 * sim.Us, 200 * sim.Us}
+	if len(*starts) != len(want) {
+		t.Fatalf("starts = %v, want %v", *starts, want)
+	}
+	for i, s := range *starts {
+		if s != want[i] {
+			t.Fatalf("starts = %v, want %v", *starts, want)
+		}
+	}
+
+	sys, _ = build(func(task string, cycle int, max sim.Time) sim.Time {
+		return max + sim.Us
+	})
+	if _, err := sys.RunChecked(250 * sim.Us); err == nil {
+		t.Fatal("out-of-bounds jitter hook result did not fail the run")
+	}
+	sys.Shutdown()
+}

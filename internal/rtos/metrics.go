@@ -31,6 +31,10 @@ type procMetrics struct {
 	// trace.OverheadKind (context-save, scheduling, context-load).
 	overhead [3]*metrics.Counter
 
+	// inversion accumulates priority-inversion time in ps across the
+	// processor's tasks; only advanced with inversion tracking enabled.
+	inversion *metrics.Counter
+
 	// readyDepth tracks the number of ready tasks across all queues; its
 	// high-water mark is the worst ready-queue backlog of the run.
 	readyDepth *metrics.Gauge
@@ -61,6 +65,8 @@ func (cpu *Processor) registerMetrics(reg *metrics.Registry) {
 		cpu.met.overhead[kind] = reg.Counter("rtos_overhead_time_ps_total",
 			"RTOS overhead time charged, by kind", lcpu, metrics.L("kind", kind.String()))
 	}
+	cpu.met.inversion = reg.Counter("rtos_inversion_time_ps_total",
+		"priority-inversion time accumulated across tasks (needs inversion tracking)", lcpu)
 	cpu.met.readyDepth = reg.Gauge("rtos_ready_depth",
 		"tasks in the ready queue(s); high-water is the worst backlog", lcpu)
 	cpu.met.coreBusy = make([]*metrics.Counter, len(cpu.cores))

@@ -122,6 +122,9 @@ type Processor struct {
 
 	irqCtrl *InterruptController
 
+	// invTrack enables priority-inversion accounting (inversion.go).
+	invTrack bool
+
 	// met are the processor's observability instruments (metrics.go),
 	// registered at construction; nil-safe when the system has no registry.
 	met procMetrics
@@ -399,7 +402,7 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 				dlEvent.Cancel()
 				dlEvent.NotifyAt(deadline)
 			}
-			if j := releaseJitter(name, cycle, cfg.Jitter); j > 0 {
+			if j := cpu.sys.releaseJitterFor(name, cycle, cfg.Jitter); j > 0 {
 				// Jittered activation; the deadline stays nominal.
 				c.DelayUntil(release + j)
 			}
@@ -433,6 +436,14 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 	})
 	tsk.registerTaskMetrics(cpu.sys.Metrics)
 	return tsk
+}
+
+// DefaultReleaseJitter returns the jitter value a periodic task uses when no
+// release-jitter hook is installed (see System.SetReleaseJitterHook). It is
+// exported so a schedule explorer can compute the nominal choice at each
+// release before perturbing around it.
+func DefaultReleaseJitter(name string, cycle int, max sim.Time) sim.Time {
+	return releaseJitter(name, cycle, max)
 }
 
 // releaseJitter returns a deterministic pseudo-random jitter in [0, max]

@@ -110,6 +110,9 @@ func (cpu *Processor) enqueueReady(t *Task) {
 		}
 	}
 	t.setState(trace.StateReady)
+	if cpu.invTrack {
+		cpu.inversionSample(t, cpu.k.Now())
+	}
 }
 
 // invalidateReadyBest drops the best-ready caches; called when an ordering
@@ -117,6 +120,11 @@ func (cpu *Processor) enqueueReady(t *Task) {
 func (cpu *Processor) invalidateReadyBest() {
 	for i := range cpu.queues {
 		cpu.queues[i].best, cpu.queues[i].bestOK = nil, false
+	}
+	if cpu.invTrack {
+		// An ordering input changed (priority, deadline, inheritance boost):
+		// what counts as inverted may have flipped for any task.
+		cpu.inversionResample()
 	}
 }
 
@@ -158,6 +166,11 @@ func (cpu *Processor) electOn(c *core) *Task {
 	if e != nil {
 		cpu.met.elections.Inc()
 		cpu.met.readyDepth.Add(-1)
+		if cpu.invTrack && e.invOpen {
+			// Election definitionally ends the winner's inversion: the core
+			// it was waiting for is now dispatching it.
+			cpu.closeInversion(e, cpu.k.Now())
+		}
 	}
 	return e
 }
@@ -323,6 +336,9 @@ func (cpu *Processor) finishDispatch(t *Task, c *core) {
 	c.dispatches++
 	cpu.met.dispatches.Inc()
 	cpu.armQuantum(c)
+	if cpu.invTrack {
+		cpu.inversionResample()
+	}
 	cpu.checkPreemptOn(c)
 }
 
@@ -345,6 +361,9 @@ func (cpu *Processor) leaveRunning(t *Task, s trace.TaskState) *core {
 		cpu.met.preemptions.Inc()
 	} else {
 		t.setState(s)
+	}
+	if cpu.invTrack {
+		cpu.inversionResample()
 	}
 	return c
 }

@@ -31,6 +31,10 @@ type System struct {
 
 	cpus []*Processor
 	hws  []*HWTask
+
+	// jitterHook, when set, decides every periodic release's jitter instead
+	// of the deterministic default (see SetReleaseJitterHook).
+	jitterHook func(task string, cycle int, max sim.Time) sim.Time
 }
 
 // NewSystem creates an empty system with tracing and metrics enabled.
@@ -164,6 +168,32 @@ func (s *System) WritePerfetto(w io.Writer) error {
 		}
 	}
 	return s.Rec.WritePerfetto(w, opts)
+}
+
+// SetReleaseJitterHook installs (or, with nil, removes) the function that
+// decides each periodic release's jitter. The hook is consulted for every
+// release of a task with a non-zero jitter bound and must return a value in
+// [0, max]; with none installed the deterministic DefaultReleaseJitter
+// applies. This is the RTOS model's second schedule-exploration choice point
+// (the first is the kernel's same-instant tie-break, sim.TimedPermuter).
+func (s *System) SetReleaseJitterHook(fn func(task string, cycle int, max sim.Time) sim.Time) {
+	s.jitterHook = fn
+}
+
+// releaseJitterFor resolves one release's jitter: the hook's choice when one
+// is installed, the deterministic default otherwise.
+func (s *System) releaseJitterFor(task string, cycle int, max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	if s.jitterHook == nil {
+		return releaseJitter(task, cycle, max)
+	}
+	j := s.jitterHook(task, cycle, max)
+	if j < 0 || j > max {
+		panic(fmt.Sprintf("rtos: release jitter hook returned %v for task %q, outside [0, %v]", j, task, max))
+	}
+	return j
 }
 
 // BlockedTasks returns the tasks still waiting (for a synchronization or a

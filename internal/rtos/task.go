@@ -147,6 +147,13 @@ type Task struct {
 	completedCycles uint64
 	abortedCycles   uint64
 
+	// Priority-inversion accounting (inversion.go); only maintained when the
+	// processor has tracking enabled.
+	invOpen  bool
+	invSince sim.Time
+	invMax   sim.Time
+	invTotal sim.Time
+
 	// Per-task observability instruments (metrics.go); registered by the
 	// periodic-task helper, nil-safe otherwise. lastResp/hasResp feed the
 	// cycle-to-cycle jitter histogram.

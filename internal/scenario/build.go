@@ -51,6 +51,11 @@ func (s *System) Build() (*Built, error) {
 		Watchdogs:    map[string]*rtos.Watchdog{},
 		traceCursors: map[string]int{},
 	}
+	// The timed-queue backend must be selected before elaboration: fault
+	// injection and server replenishment schedule timers during Build.
+	if s.TimedQueue == "heap" {
+		b.Sys.K.SetTimedQueue(sim.TimedQueueHeap)
+	}
 	for _, p := range s.Processors {
 		cfg := rtos.Config{NonPreemptive: p.NonPreemptive, Speed: p.Speed, Cores: p.Cores}
 		if p.Engine == "threaded" {

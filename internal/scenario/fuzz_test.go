@@ -39,6 +39,18 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}],"faults":[{"kind":"wcet_overrun","task":"t","factor":0.5}]}`)
 	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","onMiss":"restart","body":[{"op":"execute","for":"1us"}]}]}`)
 	f.Add(`{"processors":[{"name":"a"},{"name":"b"}],"watchdogs":[{"name":"w","processor":"a","timeout":"1us","task":"t"}],"tasks":[{"name":"t","processor":"b","body":[{"op":"execute","for":"1us"}]}]}`)
+	// Explore-block seeds: a valid block, plus descriptions the validator
+	// must reject (negative bounds, unknown task, jitter not below the
+	// period, unknown expectedMiss task, jitter on a non-periodic task).
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"execute","for":"10us"}]}],"explore":{"maxRuns":16,"maxDepth":8,"jitterSteps":3,"maxBranch":6,"jitter":{"t":"40us"},"expectedMiss":["t"],"maxInversion":"500us","checkEngines":true}}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"execute","for":"10us"}]}],"explore":{"maxRuns":-1}}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"execute","for":"10us"}]}],"explore":{"jitter":{"ghost":"10us"}}}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"execute","for":"10us"}]}],"explore":{"jitter":{"t":"100us"}}}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","period":"100us","body":[{"op":"execute","for":"10us"}]}],"explore":{"expectedMiss":["ghost"]}}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}],"explore":{"jitter":{"t":"1us"}}}`)
+	// Timed-queue backend selection: valid override plus a rejected value.
+	f.Add(`{"timedQueue":"heap","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
+	f.Add(`{"timedQueue":"btree","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse([]byte(src))
 		if err != nil {

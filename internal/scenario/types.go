@@ -84,6 +84,11 @@ type System struct {
 	Name string `json:"name"`
 	// Horizon bounds the simulation; zero runs to event starvation.
 	Horizon Duration `json:"horizon"`
+	// TimedQueue selects the kernel's timed-queue backend: "wheel" (the
+	// default) or "heap". The backends are behaviorally equivalent; the knob
+	// exists for differential testing and for tiny models where the heap's
+	// footprint wins.
+	TimedQueue string `json:"timedQueue,omitempty"`
 
 	Processors  []Processor  `json:"processors"`
 	Events      []Event      `json:"events"`
@@ -102,6 +107,46 @@ type System struct {
 	Hardware  []HWTask              `json:"hardware"`
 	Faults    []FaultDef            `json:"faults"`
 	Watchdogs []WatchdogDef         `json:"watchdogs"`
+
+	// Explore parameterizes schedule-space exploration (rtossim explore,
+	// package explore); plain simulation runs ignore it.
+	Explore *ExploreSpec `json:"explore,omitempty"`
+}
+
+// ExploreSpec bounds and parameterizes schedule-space exploration: which
+// release-jitter perturbations to enumerate, how far to search, and which
+// outcomes count as expected rather than as invariant violations.
+type ExploreSpec struct {
+	// MaxRuns bounds the number of enumerated interleavings (default 256).
+	MaxRuns int `json:"maxRuns"`
+	// MaxDepth bounds how many choice points of a run may be branched on
+	// (default 32). Deeper choice points always take their default.
+	MaxDepth int `json:"maxDepth"`
+	// JitterSteps is the number of quantized candidate values enumerated per
+	// jittered release, spread evenly over [0, bound] (default 3: 0, bound/2,
+	// bound). The task's nominal jitter value is always a candidate too.
+	JitterSteps int `json:"jitterSteps"`
+	// MaxBranch caps the alternatives enumerated at one choice point; larger
+	// decision spaces are truncated and the truncation is reported (default
+	// 24, i.e. full coverage of same-instant batches up to 4 conflicting
+	// entries).
+	MaxBranch int `json:"maxBranch"`
+	// Jitter declares (or overrides) the per-task release-jitter bounds the
+	// explorer perturbs within. Tasks must be periodic and the bound smaller
+	// than the period. A task listed here with no jitter in its own
+	// definition gets nominal jitter zero, so the default decision
+	// reproduces the unjittered seed run.
+	Jitter map[string]Duration `json:"jitter"`
+	// ExpectedMiss lists tasks whose deadline misses are expected and not
+	// violations. Misses of the unperturbed baseline run are always
+	// expected: the explorer flags only interleavings that create new ones.
+	ExpectedMiss []string `json:"expectedMiss"`
+	// MaxInversion bounds the longest tolerated priority-inversion interval
+	// of any task; zero disables the check.
+	MaxInversion Duration `json:"maxInversion"`
+	// CheckEngines re-runs every explored interleaving on the other RTOS
+	// engine and requires identical trace signatures.
+	CheckEngines bool `json:"checkEngines"`
 }
 
 // FaultDef describes one injected fault. The fields used depend on Kind:

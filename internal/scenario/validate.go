@@ -5,6 +5,11 @@ import "fmt"
 // validate checks cross-references and enum values before elaboration so
 // description errors surface as errors, not mid-simulation panics.
 func (s *System) validate() error {
+	switch s.TimedQueue {
+	case "", "wheel", "heap":
+	default:
+		return fmt.Errorf("scenario: timedQueue must be \"wheel\" or \"heap\", not %q", s.TimedQueue)
+	}
 	cpus := map[string]bool{}
 	cpuDefs := map[string]Processor{}
 	for _, p := range s.Processors {
@@ -250,6 +255,46 @@ func (s *System) validate() error {
 	}
 	if err := s.validateFaults(taskCPU, irqs); err != nil {
 		return err
+	}
+	if err := s.validateExplore(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateExplore checks the schedule-exploration block: bounds must be
+// non-negative and the perturbed tasks must be periodic with jitter room.
+func (s *System) validateExplore() error {
+	e := s.Explore
+	if e == nil {
+		return nil
+	}
+	if e.MaxRuns < 0 || e.MaxDepth < 0 || e.JitterSteps < 0 || e.MaxBranch < 0 {
+		return fmt.Errorf("scenario: explore: bounds must be non-negative")
+	}
+	if e.MaxInversion < 0 {
+		return fmt.Errorf("scenario: explore: negative maxInversion")
+	}
+	taskDef := map[string]SWTask{}
+	for _, t := range s.Tasks {
+		taskDef[t.Name] = t
+	}
+	for name, bound := range e.Jitter {
+		t, ok := taskDef[name]
+		if !ok {
+			return fmt.Errorf("scenario: explore: jitter for unknown task %q", name)
+		}
+		if bound <= 0 {
+			return fmt.Errorf("scenario: explore: task %q: jitter bound must be positive", name)
+		}
+		if t.Period == 0 || bound >= t.Period {
+			return fmt.Errorf("scenario: explore: task %q: jitter bound requires a period larger than the bound", name)
+		}
+	}
+	for _, name := range e.ExpectedMiss {
+		if _, ok := taskDef[name]; !ok {
+			return fmt.Errorf("scenario: explore: expectedMiss names unknown task %q", name)
+		}
 	}
 	return nil
 }

@@ -67,6 +67,13 @@ func (h *timedHeap) kill(e *timedEntry) {
 	if e.dead {
 		return
 	}
+	if e.level == levelBatch {
+		// Drained into the kernel's same-instant firing batch (permute.go):
+		// not in the heap, so only the dead mark matters and the lazy-dead
+		// counter must not move.
+		e.dead = true
+		return
+	}
 	e.dead = true
 	h.dead++
 	if h.dead > len(h.entries)/2 && len(h.entries) >= compactMinSize {

@@ -67,6 +67,15 @@ type Kernel struct {
 	wheel *timedWheel
 	seq   uint64
 
+	// permuter, when set, re-orders same-instant timed batches (permute.go).
+	// The perm* slices are its reusable scratch buffers, so the drained-batch
+	// path stays allocation-free in steady state.
+	permuter    TimedPermuter
+	permBatch   []*timedEntry
+	permActions []TimedAction
+	permOrder   []int
+	permSeen    []bool
+
 	current *Proc
 
 	// mainPk parks the Run caller while a process goroutine has control; the
@@ -393,6 +402,10 @@ func (k *Kernel) schedule() (dispatched bool) {
 			return false
 		}
 		k.now = head.at
+		if k.permuter != nil {
+			k.fireTimedBatch()
+			continue
+		}
 		for h := head; ; {
 			k.timedPop()
 			k.mTimedPops.Inc()

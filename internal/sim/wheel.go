@@ -50,6 +50,12 @@ const (
 
 	levelNone = int8(-1)          // not queued (free, popped, or killed)
 	levelHeap = int8(wheelLevels) // parked in the overflow heap
+
+	// levelBatch marks an entry drained into the kernel's same-instant
+	// firing batch (permute.go). The entry is out of both backends but still
+	// referenced by the batch, so kill must only dead-mark it — the batch
+	// loop skips and recycles dead entries itself.
+	levelBatch = int8(-2)
 )
 
 // wheelSlot is one doubly-linked FIFO of entries (via timedEntry.next/prev).
@@ -279,6 +285,8 @@ func (w *timedWheel) kill(e *timedEntry) {
 	switch e.level {
 	case levelNone:
 		return
+	case levelBatch:
+		e.dead = true
 	case levelHeap:
 		if w.min == e {
 			w.min = nil

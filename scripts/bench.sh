@@ -40,6 +40,7 @@ bench() { # bench <pattern> <package>
 	bench 'BenchmarkTimedWait$|BenchmarkEventNotify$|BenchmarkDeltaCycle$|BenchmarkWaitTimeoutNoFire$' ./internal/sim/
 	bench 'BenchmarkTimedQueueOps$|BenchmarkTimedQueueCancel$' ./internal/sim/
 	bench 'BenchmarkSweep$' ./internal/batch/
+	bench 'BenchmarkExplore$|BenchmarkTraceCodec$' ./internal/explore/
 } | tee "$RAW"
 
 # Fold the benchmark lines into a JSON object: with COUNT > 1 the last
