@@ -357,6 +357,46 @@ func BenchmarkManyTasks(b *testing.B) {
 	}
 }
 
+// BenchmarkManyTaskBodies compares the two task body forms on a dense
+// periodic population at the RTOS level: goroutine bodies pay one kernel
+// process activation (a parker round-trip) per job, continuation bodies are
+// resumed inline by kernel methods with no process at all. Same workload,
+// same schedule — only the per-activation handoff differs, so continuation
+// mode must win on ns/op.
+func BenchmarkManyTaskBodies(b *testing.B) {
+	const tasks = 1024
+	build := func(form string) *rtos.System {
+		sys := rtos.NewUntracedSystem()
+		cpu := sys.NewProcessor("cpu", rtosmodel.Config{})
+		for i := 0; i < tasks; i++ {
+			period := sim.Time(1_000_000+13_000*(i%401)) * sim.Ns // 1ms..~6.2ms
+			cfg := rtosmodel.TaskConfig{Priority: 1 + i%7, Period: period}
+			name := "t" + strconv.Itoa(i)
+			if form == "continuation" {
+				cpu.NewPeriodicContTask(name, cfg, rtos.BuildProgram().Compute(200*sim.Ns).Build())
+			} else {
+				cpu.NewPeriodicTask(name, cfg, func(c *rtosmodel.TaskCtx, cycle int) {
+					c.Execute(200 * sim.Ns)
+				})
+			}
+		}
+		return sys
+	}
+	for _, form := range []string{"goroutine", "continuation"} {
+		b.Run("engine="+form, func(b *testing.B) {
+			b.ReportAllocs()
+			sys := build(form)
+			sys.RunFor(10 * sim.Ms) // reach steady state
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.RunFor(10 * sim.Us)
+			}
+			b.StopTimer()
+			sys.Shutdown()
+		})
+	}
+}
+
 // BenchmarkWaitAnyFanout measures a wide sensitivity list: one process
 // blocked on 256 events while a notifier fires them round-robin. The cost
 // under test is waiter-list subscribe/unsubscribe across the fanout on every
@@ -387,6 +427,33 @@ func BenchmarkWaitAnyFanout(b *testing.B) {
 	}
 	b.StopTimer()
 	k.Shutdown()
+}
+
+// BenchmarkContinuationSwitch is the continuation twin of
+// BenchmarkRTOSContextSwitch: the same two-task event ping-pong with the
+// bodies expressed as yield-op programs resumed inline by the kernel. The
+// delta against the goroutine bench is the parker round-trip the
+// continuation engine removes; it must land well below that 437 ns floor.
+func BenchmarkContinuationSwitch(b *testing.B) {
+	for _, eng := range []rtosmodel.EngineKind{rtosmodel.EngineProcedural, rtosmodel.EngineThreaded} {
+		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			sys := rtos.NewUntracedSystem()
+			cpu := sys.NewProcessor("cpu", rtosmodel.Config{Engine: eng})
+			ping := rtosmodel.NewEvent(sys.Rec, "ping", rtosmodel.Counter)
+			pong := rtosmodel.NewEvent(sys.Rec, "pong", rtosmodel.Counter)
+			cpu.NewContTask("a", rtosmodel.TaskConfig{Priority: 2}, rtos.BuildProgram().
+				Loop(-1).Compute(sim.Us).Signal(ping).WaitOn(pong).End().Build())
+			cpu.NewContTask("b", rtosmodel.TaskConfig{Priority: 1}, rtos.BuildProgram().
+				Loop(-1).WaitOn(ping).Compute(sim.Us).Signal(pong).End().Build())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.RunFor(2 * sim.Us)
+			}
+			b.StopTimer()
+			sys.Shutdown()
+		})
+	}
 }
 
 // BenchmarkRTOSContextSwitch measures one full RTOS-level context switch

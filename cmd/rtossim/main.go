@@ -39,6 +39,7 @@ func main() {
 	var (
 		until       = flag.String("until", "", "override the scenario horizon (e.g. 2ms)")
 		engine      = flag.String("engine", "", "override every processor's engine: procedural or threaded")
+		taskEngine  = flag.String("taskengine", "", "override every software task's body form: goroutine or continuation")
 		timeline    = flag.Bool("timeline", false, "print the ASCII TimeLine chart")
 		width       = flag.Int("width", 100, "timeline width in columns")
 		accesses    = flag.Bool("accesses", false, "show communication accesses on the timeline")
@@ -90,6 +91,19 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown engine %q (want procedural or threaded)", *engine))
+	}
+	switch *taskEngine {
+	case "":
+	case "goroutine", "continuation":
+		for i := range desc.Tasks {
+			desc.Tasks[i].Engine = *taskEngine
+		}
+		// Re-validate: some bodies (bus send/recv) have no continuation form.
+		if err := desc.Validate(); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown task engine %q (want goroutine or continuation)", *taskEngine))
 	}
 	if *analyze {
 		fmt.Print(desc.AnalysisReport())

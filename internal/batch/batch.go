@@ -31,6 +31,11 @@ type Spec struct {
 	Horizon scenario.Duration `json:"horizon"`
 	// Engines lists RTOS engine overrides: "procedural" or "threaded".
 	Engines []string `json:"engines"`
+	// TaskEngines lists task body-form overrides: "goroutine" or
+	// "continuation" (applied to every software task). Bodies using bus
+	// send/recv have no continuation form; such a variant fails validation
+	// and reports the error as its result.
+	TaskEngines []string `json:"taskEngines"`
 	// Policies lists scheduling-policy overrides: "priority", "fifo", "rr"
 	// or "edf".
 	Policies []string `json:"policies"`
@@ -71,6 +76,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 type Variant struct {
 	Index       int
 	Engine      string
+	TaskEngine  string
 	Policy      string
 	Quantum     sim.Time
 	Speed       float64
@@ -88,6 +94,9 @@ func (v Variant) Label() string {
 	var parts []string
 	if v.Engine != "" {
 		parts = append(parts, "engine="+v.Engine)
+	}
+	if v.TaskEngine != "" {
+		parts = append(parts, "taskengine="+v.TaskEngine)
 	}
 	if v.Policy != "" {
 		parts = append(parts, "policy="+v.Policy)
@@ -114,12 +123,17 @@ func (v Variant) Label() string {
 }
 
 // Expand builds the deterministic cross-product of the spec's axes, nesting
-// engines, then policies, speeds, overhead sets, core counts, domains, and
-// seeds. Variant indices follow that order.
+// engines, then task engines, then policies, speeds, overhead sets, core
+// counts, domains, and seeds. Variant indices follow that order.
 func (s *Spec) Expand() ([]Variant, error) {
 	for _, e := range s.Engines {
 		if e != "procedural" && e != "threaded" {
 			return nil, fmt.Errorf("batch: unknown engine %q (want procedural or threaded)", e)
+		}
+	}
+	for _, e := range s.TaskEngines {
+		if e != "goroutine" && e != "continuation" {
+			return nil, fmt.Errorf("batch: unknown task engine %q (want goroutine or continuation)", e)
 		}
 	}
 	for _, p := range s.Policies {
@@ -149,6 +163,7 @@ func (s *Spec) Expand() ([]Variant, error) {
 		}
 	}
 	engines := orKeep(s.Engines)
+	taskEngines := orKeep(s.TaskEngines)
 	policies := orKeep(s.Policies)
 	speeds := s.Speeds
 	if len(speeds) == 0 {
@@ -165,36 +180,39 @@ func (s *Spec) Expand() ([]Variant, error) {
 	domains := orKeep(s.Domains)
 	var variants []Variant
 	for _, eng := range engines {
-		for _, pol := range policies {
-			for _, sp := range speeds {
-				for ov := 0; ov < nOv; ov++ {
-					for _, nc := range cores {
-						for _, dom := range domains {
-							v := Variant{
-								Engine:      eng,
-								Policy:      pol,
-								Quantum:     s.Quantum.Time(),
-								Speed:       sp,
-								OverheadIdx: -1,
-								Cores:       nc,
-								Domain:      dom,
-							}
-							if len(s.Overheads) > 0 {
-								spec := s.Overheads[ov]
-								v.OverheadIdx = ov
-								v.Overheads = &spec
-							}
-							if len(s.Seeds) == 0 {
-								v.Index = len(variants)
-								variants = append(variants, v)
-								continue
-							}
-							for _, seed := range s.Seeds {
-								seed := seed
-								sv := v
-								sv.Seed = &seed
-								sv.Index = len(variants)
-								variants = append(variants, sv)
+		for _, teng := range taskEngines {
+			for _, pol := range policies {
+				for _, sp := range speeds {
+					for ov := 0; ov < nOv; ov++ {
+						for _, nc := range cores {
+							for _, dom := range domains {
+								v := Variant{
+									Engine:      eng,
+									TaskEngine:  teng,
+									Policy:      pol,
+									Quantum:     s.Quantum.Time(),
+									Speed:       sp,
+									OverheadIdx: -1,
+									Cores:       nc,
+									Domain:      dom,
+								}
+								if len(s.Overheads) > 0 {
+									spec := s.Overheads[ov]
+									v.OverheadIdx = ov
+									v.Overheads = &spec
+								}
+								if len(s.Seeds) == 0 {
+									v.Index = len(variants)
+									variants = append(variants, v)
+									continue
+								}
+								for _, seed := range s.Seeds {
+									seed := seed
+									sv := v
+									sv.Seed = &seed
+									sv.Index = len(variants)
+									variants = append(variants, sv)
+								}
 							}
 						}
 					}
@@ -241,6 +259,11 @@ func (s *Spec) apply(desc *scenario.System, v Variant) {
 		}
 		if v.Domain != "" {
 			p.Domain = v.Domain
+		}
+	}
+	if v.TaskEngine != "" {
+		for i := range desc.Tasks {
+			desc.Tasks[i].Engine = v.TaskEngine
 		}
 	}
 	if v.Seed != nil {

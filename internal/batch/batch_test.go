@@ -2,6 +2,7 @@ package batch
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -93,6 +94,9 @@ func TestExpandValidation(t *testing.T) {
 	if _, err := (&Spec{Speeds: []float64{-1}}).Expand(); err == nil {
 		t.Fatal("negative speed accepted")
 	}
+	if _, err := (&Spec{TaskEngines: []string{"fiber"}}).Expand(); err == nil {
+		t.Fatal("unknown task engine accepted")
+	}
 }
 
 func TestParseSpecRejectsUnknownFields(t *testing.T) {
@@ -153,6 +157,71 @@ func TestEngineAxisPreservesTimingChangesEffort(t *testing.T) {
 	if thr.Activations <= proc.Activations {
 		t.Fatalf("threaded engine should cost more activations: %d <= %d",
 			thr.Activations, proc.Activations)
+	}
+}
+
+// TestTaskEngineAxis sweeps the task body form against the goroutine
+// baseline: both forms must agree on every simulated outcome, with the
+// continuation form strictly cheaper in kernel activations.
+func TestTaskEngineAxis(t *testing.T) {
+	spec := &Spec{
+		TaskEngines: []string{"goroutine", "continuation"},
+		Seeds:       []int64{1, 2},
+	}
+	results, err := spec.Sweep([]byte(baseScenario), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expanded %d variants, want 4", len(results))
+	}
+	if got := results[2].Variant.Label(); got != "taskengine=continuation seed=1" {
+		t.Fatalf("variant 2 label = %q", got)
+	}
+	for i := 0; i < 2; i++ {
+		gr, cr := results[i], results[i+2]
+		if gr.Err != "" || cr.Err != "" {
+			t.Fatalf("sweep failed: %q / %q", gr.Err, cr.Err)
+		}
+		g, c := gr.Metrics, cr.Metrics
+		if g.End != c.End || g.Dispatches != c.Dispatches ||
+			g.Preemptions != c.Preemptions || g.DeadlineMisses != c.DeadlineMisses ||
+			g.Jobs != c.Jobs || g.ContextSwitches != c.ContextSwitches ||
+			g.OverheadPs != c.OverheadPs || g.Utilization != c.Utilization {
+			t.Fatalf("seed %d: body forms disagree on simulated outcome:\n  goroutine    %+v\n  continuation %+v",
+				*gr.Variant.Seed, g, c)
+		}
+		if c.Activations >= g.Activations {
+			t.Fatalf("seed %d: continuation bodies should cost fewer kernel activations: %d >= %d",
+				*cr.Variant.Seed, c.Activations, g.Activations)
+		}
+	}
+}
+
+// TestTaskEngineAxisRevalidates checks that an override which invalidates the
+// base scenario (bus ops have no continuation form) surfaces as a per-variant
+// validation error, not a panic.
+func TestTaskEngineAxisRevalidates(t *testing.T) {
+	const busScenario = `{
+		"horizon": "1ms",
+		"processors": [{"name": "cpu0"}],
+		"buses": [{"name": "b"}],
+		"channels": [{"name": "ch", "bus": "b", "capacity": 1}],
+		"tasks": [
+			{"name": "tx", "processor": "cpu0", "priority": 2,
+			 "body": [{"op": "send", "channel": "ch", "value": 1}]},
+			{"name": "rx", "processor": "cpu0", "priority": 1,
+			 "body": [{"op": "recv", "channel": "ch"}]}
+		]
+	}`
+	spec := &Spec{TaskEngines: []string{"continuation"}}
+	results, err := spec.Sweep([]byte(busScenario), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == "" ||
+		!strings.Contains(results[0].Err, "bus channel ops need a goroutine body") {
+		t.Fatalf("expected a validation failure, got %+v", results)
 	}
 }
 

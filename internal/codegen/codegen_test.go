@@ -73,6 +73,9 @@ func TestGenerateCStructure(t *testing.T) {
 	for _, want := range []string{
 		`#include "FreeRTOS.h"`,
 		"#define SIMULATED_WORK_US",
+		// Calibrated busy-loop placeholder, not a (void) no-op.
+		"#define SIMULATED_WORK_ITERS_PER_US 100UL",
+		"while (simwork_ > 0UL) { simwork_--; }",
 		// Relations.
 		"static SemaphoreHandle_t ev_Clk;",
 		"static SemaphoreHandle_t ev_go_;", // sanitized identifier
@@ -118,6 +121,9 @@ func TestGenerateCStructure(t *testing.T) {
 		if !strings.Contains(code, want) {
 			t.Errorf("generated code missing %q", want)
 		}
+	}
+	if strings.Contains(code, "(void)(us)") {
+		t.Error("SIMULATED_WORK_US still discards the modeled time")
 	}
 }
 

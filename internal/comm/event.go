@@ -114,15 +114,35 @@ func (e *Event) signalFrom(source string) {
 // Wait blocks actor a until the event occurs. If an occurrence is memorized
 // it is consumed immediately and the actor does not block.
 func (e *Event) Wait(a Actor) {
-	e.rec.Access(a.Name(), e.name, trace.AccessWait)
+	if e.WaitAttempt(a) {
+		return
+	}
+	a.Suspend(false, e.name)
+	e.WaitWake(a)
+}
+
+// WaitAttempt is the non-suspending half of Wait, for callers that cannot
+// park a goroutine (the continuation engine). It records the wait, consumes a
+// memorized occurrence if one is available (returning true), or records the
+// block and enqueues a as a waiter (returning false). A false return means a
+// is now queued: a later Signal grants the occurrence by resuming a directly,
+// after which the caller completes the wait with WaitWake.
+func (e *Event) WaitAttempt(a Actor) bool {
+	name := a.Name()
+	e.rec.Access(name, e.name, trace.AccessWait)
 	if e.count > 0 {
 		e.count--
 		e.recordDepth()
-		return
+		return true
 	}
-	e.rec.Access(a.Name(), e.name, trace.AccessBlocked)
+	e.rec.Access(name, e.name, trace.AccessBlocked)
 	e.waiters.push(a)
-	a.Suspend(false, e.name)
+	return false
+}
+
+// WaitWake records the wakeup that completes a blocked Wait. Call it once
+// after a false WaitAttempt, when the actor has been resumed and runs again.
+func (e *Event) WaitWake(a Actor) {
 	e.rec.Access(a.Name(), e.name, trace.AccessWakeup)
 }
 

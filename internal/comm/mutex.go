@@ -72,12 +72,25 @@ func (m *Mutex) Waiters() int { return m.waiters.len() }
 
 // Lock acquires the lock for actor a, blocking while another actor owns it.
 func (m *Mutex) Lock(a Actor) {
+	for !m.LockAttempt(a) {
+		a.Suspend(true, m.name)
+	}
+}
+
+// LockAttempt is the non-suspending half of Lock, for callers that cannot
+// park a goroutine (the continuation engine). It either acquires the lock
+// (true) or records the block, applies priority inheritance and enqueues a
+// as a waiter (false). After a false return the actor is resumed when the
+// lock is released and must re-attempt — another waiter may win the race,
+// exactly as Lock's retry loop allows.
+func (m *Mutex) LockAttempt(a Actor) bool {
 	if m.owner == a {
 		m.recursion++
-		return
+		return true
 	}
-	for m.owner != nil {
-		m.rec.Access(a.Name(), m.name, trace.AccessBlocked)
+	name := a.Name()
+	if m.owner != nil {
+		m.rec.Access(name, m.name, trace.AccessBlocked)
 		if m.inherit {
 			if b, ok := m.owner.(PriorityBooster); ok && a.Priority() > m.owner.Priority() {
 				b.BoostPriority(a.Priority())
@@ -85,7 +98,7 @@ func (m *Mutex) Lock(a Actor) {
 			}
 		}
 		m.waiters.push(a)
-		a.Suspend(true, m.name)
+		return false
 	}
 	m.owner = a
 	m.recursion = 1
@@ -95,8 +108,9 @@ func (m *Mutex) Lock(a Actor) {
 			m.boosts++
 		}
 	}
-	m.rec.Access(a.Name(), m.name, trace.AccessLock)
+	m.rec.Access(name, m.name, trace.AccessLock)
 	m.recordDepth()
+	return true
 }
 
 // TryLock acquires the lock without blocking; it reports success.

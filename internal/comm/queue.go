@@ -51,18 +51,32 @@ func (q *Queue[T]) Receives() uint64 { return q.receives }
 
 // Put enqueues v on behalf of actor a, blocking while the queue is full.
 func (q *Queue[T]) Put(a Actor, v T) {
-	for len(q.buf) >= q.capacity {
-		q.rec.Access(a.Name(), q.name, trace.AccessBlocked)
-		q.producers.push(a)
+	for !q.PutAttempt(a, v) {
 		a.Suspend(false, q.name)
+	}
+}
+
+// PutAttempt is the non-suspending half of Put, for callers that cannot park
+// a goroutine (the continuation engine). With room it completes the send and
+// returns true; with the queue full it records the block, enqueues a as a
+// producer and returns false. After a false return the actor is resumed when
+// room may be available and must re-attempt — a wake is a hint, not a grant,
+// exactly as Put's retry loop treats it.
+func (q *Queue[T]) PutAttempt(a Actor, v T) bool {
+	name := a.Name()
+	if len(q.buf) >= q.capacity {
+		q.rec.Access(name, q.name, trace.AccessBlocked)
+		q.producers.push(a)
+		return false
 	}
 	q.buf = append(q.buf, v)
 	q.sends++
-	q.rec.Access(a.Name(), q.name, trace.AccessSend)
+	q.rec.Access(name, q.name, trace.AccessSend)
 	q.recordDepth()
 	if !q.consumers.empty() {
 		q.consumers.popFIFO().Resume()
 	}
+	return true
 }
 
 // TryPut enqueues v without blocking; it reports whether there was room.
@@ -77,20 +91,33 @@ func (q *Queue[T]) TryPut(a Actor, v T) bool {
 // Get dequeues the oldest message on behalf of actor a, blocking while the
 // queue is empty.
 func (q *Queue[T]) Get(a Actor) T {
-	for len(q.buf) == 0 {
-		q.rec.Access(a.Name(), q.name, trace.AccessBlocked)
-		q.consumers.push(a)
+	for {
+		if v, ok := q.GetAttempt(a); ok {
+			return v
+		}
 		a.Suspend(false, q.name)
 	}
-	v := q.buf[0]
+}
+
+// GetAttempt is the non-suspending half of Get (see PutAttempt): it either
+// completes the receive (ok true) or records the block and enqueues a as a
+// consumer (ok false, re-attempt after being resumed).
+func (q *Queue[T]) GetAttempt(a Actor) (v T, ok bool) {
+	name := a.Name()
+	if len(q.buf) == 0 {
+		q.rec.Access(name, q.name, trace.AccessBlocked)
+		q.consumers.push(a)
+		return v, false
+	}
+	v = q.buf[0]
 	q.buf = q.buf[1:]
 	q.receives++
-	q.rec.Access(a.Name(), q.name, trace.AccessReceive)
+	q.rec.Access(name, q.name, trace.AccessReceive)
 	q.recordDepth()
 	if !q.producers.empty() {
 		q.producers.popFIFO().Resume()
 	}
-	return v
+	return v, true
 }
 
 // TryGet dequeues without blocking; ok reports whether a message was there.

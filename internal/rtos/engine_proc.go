@@ -66,6 +66,11 @@ func (e *proceduralEngine) taskFinished(t *Task) {
 	e.cpu.switchOutOn(t.proc, c, t)
 }
 
+// switchOutCont declines: the procedural engine runs the outgoing half on
+// the leaving task's own execution context, which for a continuation task
+// means its driver replays switchOutOn as a strand microprogram.
+func (e *proceduralEngine) switchOutCont(c *core, t *Task) bool { return false }
+
 func (e *proceduralEngine) reevaluate() {
 	e.cpu.reevaluateCores()
 }

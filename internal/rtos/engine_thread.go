@@ -138,6 +138,16 @@ func (e *threadedEngine) taskFinished(t *Task) {
 	e.rtkRun.Notify()
 }
 
+// switchOutCont accepts: the vacated core's RTOS thread performs the save
+// and dispatch halves for continuation tasks exactly as it does for
+// goroutine tasks, so continuation drivers under this engine only ever see
+// grantLoad.
+func (e *threadedEngine) switchOutCont(c *core, t *Task) bool {
+	e.outgoing[c.id].Push(t)
+	e.rtkRun.Notify()
+	return true
+}
+
 func (e *threadedEngine) reevaluate() {
 	e.rtkRun.Notify()
 }

@@ -1,0 +1,170 @@
+package rtos
+
+import (
+	"repro/internal/sim"
+)
+
+// This file lowers ordinary goroutine-style task functions into continuation
+// Programs by recording: the function runs once against a TaskCtx in
+// recording mode, where the blocking primitives (Execute, Delay, Yield) and
+// the recordable modifiers (SetPriority, SetDeadline, preemption toggles)
+// append ops instead of simulating, and everything else — reading the clock,
+// branching on task state, touching a comm relation — aborts the recording.
+//
+// Lowering is legal exactly when the body is a straight line over the
+// recordable API: the op sequence cannot depend on anything only known at
+// simulation time. The abort-on-observation rule enforces this soundly: a
+// body that cannot observe the simulation cannot branch on it, so the
+// recorded sequence is the sequence every job would execute. Bodies that
+// fail to lower simply keep running on the goroutine engine (or are written
+// as explicit Programs / Continuations).
+
+// lowerOpCap bounds a recording, so a body looping forever around recordable
+// calls aborts instead of recording without bound.
+const lowerOpCap = 4096
+
+// lowerAbort is panicked by TaskCtx methods that cannot be recorded; the
+// recording entry points recover it and report "not lowerable".
+type lowerAbort struct{}
+
+// recKind discriminates recorded ops.
+type recKind uint8
+
+const (
+	recCompute recKind = iota
+	recSleep
+	recYield
+	recNoPreemptOn
+	recNoPreemptOff
+	recSetPrio
+	recSetDeadlineAt
+	recSetDeadlineIn
+)
+
+// recOp is one recorded call. It is a comparable value (no pointers), so two
+// recordings can be compared for equality (LowerPeriodicBody).
+type recOp struct {
+	kind recKind
+	d    sim.Time
+	p    int
+}
+
+// lowerRec accumulates a recording; a non-nil TaskCtx.lower routes the
+// recordable API here.
+type lowerRec struct {
+	ops []recOp
+}
+
+func (r *lowerRec) add(op recOp) {
+	if len(r.ops) >= lowerOpCap {
+		panic(lowerAbort{})
+	}
+	r.ops = append(r.ops, op)
+}
+
+// record runs fn against a recording TaskCtx and reports whether it is
+// lowerable.
+func record(fn func(*TaskCtx)) (ops []recOp, ok bool) {
+	rec := &lowerRec{}
+	c := &TaskCtx{lower: rec}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(lowerAbort); !isAbort {
+				panic(r)
+			}
+			ops, ok = nil, false
+		}
+	}()
+	fn(c)
+	return rec.ops, true
+}
+
+// compileRec translates a recording into a Program.
+func compileRec(ops []recOp) *Program {
+	b := BuildProgram()
+	for _, op := range ops {
+		switch op.kind {
+		case recCompute:
+			b.Compute(op.d)
+		case recSleep:
+			b.WaitFor(op.d)
+		case recYield:
+			b.Yield()
+		case recNoPreemptOn:
+			b.Do(func(c *TaskCtx) { c.DisablePreemption() })
+		case recNoPreemptOff:
+			b.Do(func(c *TaskCtx) { c.EnablePreemption() })
+		case recSetPrio:
+			p := op.p
+			b.Do(func(c *TaskCtx) { c.SetPriority(p) })
+		case recSetDeadlineAt:
+			at := op.d
+			b.Do(func(c *TaskCtx) { c.SetDeadline(at) })
+		case recSetDeadlineIn:
+			d := op.d
+			b.Do(func(c *TaskCtx) { c.SetDeadlineIn(d) })
+		}
+	}
+	return b.Build()
+}
+
+// LowerBody lowers a one-shot task function into a Program. It reports false
+// when the body is not lowerable (it observed the simulation, used a comm
+// relation, or exceeded the recording bound); such bodies must keep using
+// the goroutine engine.
+func LowerBody(fn func(*TaskCtx)) (*Program, bool) {
+	if fn == nil {
+		return nil, false
+	}
+	ops, ok := record(fn)
+	if !ok {
+		return nil, false
+	}
+	return compileRec(ops), true
+}
+
+// LowerPeriodicBody lowers a periodic cycle body into a Program. The body is
+// recorded for two different cycle indices; lowering succeeds only when both
+// recordings agree, so a body that branches on its cycle argument is
+// rejected (its ops differ between cycles and no single Program reproduces
+// it).
+func LowerPeriodicBody(body func(*TaskCtx, int)) (*Program, bool) {
+	if body == nil {
+		return nil, false
+	}
+	ops0, ok := record(func(c *TaskCtx) { body(c, 0) })
+	if !ok {
+		return nil, false
+	}
+	ops1, ok := record(func(c *TaskCtx) { body(c, 1) })
+	if !ok || len(ops0) != len(ops1) {
+		return nil, false
+	}
+	for i := range ops0 {
+		if ops0[i] != ops1[i] {
+			return nil, false
+		}
+	}
+	return compileRec(ops0), true
+}
+
+// NewLoweredTask lowers fn and creates a continuation task running it. It
+// panics when fn is not lowerable: use LowerBody to probe first, or
+// NewContTask with an explicit Program.
+func (cpu *Processor) NewLoweredTask(name string, cfg TaskConfig, fn func(*TaskCtx)) *Task {
+	prog, ok := LowerBody(fn)
+	if !ok {
+		panic("rtos: task body is not lowerable to a continuation (it observes the simulation or uses a comm relation); keep it on the goroutine engine or write a Program")
+	}
+	return cpu.NewContTask(name, cfg, prog)
+}
+
+// NewLoweredPeriodicTask lowers body and creates a periodic continuation
+// task running it each cycle. It panics when body is not lowerable.
+func (cpu *Processor) NewLoweredPeriodicTask(name string, cfg TaskConfig, body func(c *TaskCtx, cycle int)) *Task {
+	prog, ok := LowerPeriodicBody(body)
+	if !ok {
+		panic("rtos: periodic body is not lowerable to a continuation (it observes the simulation, uses a comm relation, or varies by cycle); keep it on the goroutine engine or write a Program")
+	}
+	return cpu.NewPeriodicContTask(name, cfg, prog)
+}

@@ -35,6 +35,10 @@ type procMetrics struct {
 	// processor's tasks; only advanced with inversion tracking enabled.
 	inversion *metrics.Counter
 
+	// contResumes counts continuation-driver strand resumes (engine_cont.go):
+	// the continuation engine's analogue of thread activations.
+	contResumes *metrics.Counter
+
 	// readyDepth tracks the number of ready tasks across all queues; its
 	// high-water mark is the worst ready-queue backlog of the run.
 	readyDepth *metrics.Gauge
@@ -67,6 +71,8 @@ func (cpu *Processor) registerMetrics(reg *metrics.Registry) {
 	}
 	cpu.met.inversion = reg.Counter("rtos_inversion_time_ps_total",
 		"priority-inversion time accumulated across tasks (needs inversion tracking)", lcpu)
+	cpu.met.contResumes = reg.Counter("rtos_continuation_resumes_total",
+		"continuation task driver resumes run inline in the kernel", lcpu)
 	cpu.met.readyDepth = reg.Gauge("rtos_ready_depth",
 		"tasks in the ready queue(s); high-water is the worst backlog", lcpu)
 	cpu.met.coreBusy = make([]*metrics.Counter, len(cpu.cores))

@@ -54,6 +54,12 @@ type engine interface {
 	// reevaluate re-examines the scheduling decision after a priority,
 	// deadline or preemption-mode change.
 	reevaluate()
+	// switchOutCont hands the outgoing half of a continuation task's context
+	// switch to the engine. It returns true when the engine performs it on a
+	// thread of its own (the threaded engine's per-core RTOS thread); false
+	// means the caller's driver must replay it as a strand microprogram (the
+	// procedural engine, which would have run it on the task's own thread).
+	switchOutCont(c *core, t *Task) bool
 	// start performs engine elaboration (spawning the RTOS thread).
 	start()
 }
@@ -356,34 +362,8 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 	if relDeadline == 0 {
 		relDeadline = cfg.Period
 	}
-	completed := -1
-	armed := -1
-	grace := false
-	var armedDeadline sim.Time
-	var tsk *Task // assigned below; the watch method only runs during simulation
-	dlEvent := cpu.k.NewEvent(name + ".deadlineWatch")
-	cpu.k.NewMethod(name+".deadlineCheck", func() {
-		if completed >= armed {
-			grace = false
-			return
-		}
-		// Completing exactly at the deadline instant is a meet: give the
-		// task's same-instant completion one delta cycle to land before
-		// declaring the miss.
-		if !grace {
-			grace = true
-			dlEvent.NotifyDelta()
-			return
-		}
-		grace = false
-		cpu.sys.Constraints.report(name, armedDeadline, cpu.k.Now())
-		tsk.deadlineMissed(armed, armedDeadline)
-	}, false, dlEvent)
-	// Arm the first cycle at elaboration: a task so starved that it never
-	// even dispatches must still have its deadline miss detected.
-	armed, armedDeadline = 0, cfg.StartAt+relDeadline
-	dlEvent.NotifyAt(armedDeadline)
-	tsk = cpu.NewTask(name, cfg, func(c *TaskCtx) {
+	w := newDeadlineWatch(cpu, name, cfg.StartAt+relDeadline)
+	tsk := cpu.NewTask(name, cfg, func(c *TaskCtx) {
 		t := c.Task()
 		// The release schedule anchors at the configured first release, not
 		// at the first dispatch: a task dispatched late (higher-priority
@@ -392,22 +372,13 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 		for cycle := 0; ; cycle++ {
 			deadline := release + relDeadline
 			c.SetDeadline(deadline)
-			armed, armedDeadline = cycle, deadline
-			if deadline < c.Now() {
-				// Dispatched after the deadline already passed: immediate
-				// miss, no point arming the watchdog.
-				cpu.sys.Constraints.report(name, deadline, c.Now())
-				t.deadlineMissed(cycle, deadline)
-			} else {
-				dlEvent.Cancel()
-				dlEvent.NotifyAt(deadline)
-			}
+			w.armCycle(cycle, deadline, c.Now())
 			if j := cpu.sys.releaseJitterFor(name, cycle, cfg.Jitter); j > 0 {
 				// Jittered activation; the deadline stays nominal.
 				c.DelayUntil(release + j)
 			}
 			aborted := t.runCycle(c, cycle, body)
-			completed = cycle
+			w.completed = cycle
 			if aborted {
 				t.abortedCycles++
 				if t.restartPending {
@@ -434,8 +405,71 @@ func (cpu *Processor) NewPeriodicTask(name string, cfg TaskConfig, body func(c *
 			}
 		}
 	})
+	w.tsk = tsk
 	tsk.registerTaskMetrics(cpu.sys.Metrics)
 	return tsk
+}
+
+// deadlineWatch is a periodic task's deadline watchdog: a kernel method
+// armed at each cycle's absolute deadline instant — not at completion — so a
+// miss is reported even for a cycle that never completes (a starved task).
+// Shared between the goroutine periodic wrapper (NewPeriodicTask) and the
+// continuation driver's periodic machinery (engine_cont.go).
+type deadlineWatch struct {
+	cpu  *Processor
+	name string
+	tsk  *Task // assigned after task creation; the method only runs during simulation
+
+	dlEvent       *sim.Event
+	completed     int
+	armed         int
+	grace         bool
+	armedDeadline sim.Time
+}
+
+// newDeadlineWatch creates the watch and arms the first cycle at
+// elaboration: a task so starved that it never even dispatches must still
+// have its deadline miss detected.
+func newDeadlineWatch(cpu *Processor, name string, firstDeadline sim.Time) *deadlineWatch {
+	w := &deadlineWatch{cpu: cpu, name: name, completed: -1, armed: -1}
+	w.dlEvent = cpu.k.NewEvent(name + ".deadlineWatch")
+	cpu.k.NewMethod(name+".deadlineCheck", w.check, false, w.dlEvent)
+	w.armed, w.armedDeadline = 0, firstDeadline
+	w.dlEvent.NotifyAt(firstDeadline)
+	return w
+}
+
+func (w *deadlineWatch) check() {
+	if w.completed >= w.armed {
+		w.grace = false
+		return
+	}
+	// Completing exactly at the deadline instant is a meet: give the
+	// task's same-instant completion one delta cycle to land before
+	// declaring the miss.
+	if !w.grace {
+		w.grace = true
+		w.dlEvent.NotifyDelta()
+		return
+	}
+	w.grace = false
+	w.cpu.sys.Constraints.report(w.name, w.armedDeadline, w.cpu.k.Now())
+	w.tsk.deadlineMissed(w.armed, w.armedDeadline)
+}
+
+// armCycle re-arms the watch for one cycle (or reports the miss immediately
+// when the task was dispatched past its deadline already).
+func (w *deadlineWatch) armCycle(cycle int, deadline, now sim.Time) {
+	w.armed, w.armedDeadline = cycle, deadline
+	if deadline < now {
+		// Dispatched after the deadline already passed: immediate miss, no
+		// point arming the watchdog.
+		w.cpu.sys.Constraints.report(w.name, deadline, now)
+		w.tsk.deadlineMissed(cycle, deadline)
+	} else {
+		w.dlEvent.Cancel()
+		w.dlEvent.NotifyAt(deadline)
+	}
 }
 
 // DefaultReleaseJitter returns the jitter value a periodic task uses when no
@@ -461,32 +495,45 @@ func releaseJitter(name string, cycle int, max sim.Time) sim.Time {
 	return sim.Time(h.Sum64() % uint64(max+1))
 }
 
+// overheadDur evaluates one overhead duration formula against the snapshot
+// octx. Split from charge so the continuation engine can evaluate at the
+// charge instant, park for the duration on its strand timer, and record on
+// wake — the exact sequence charge performs inline on a thread.
+func (cpu *Processor) overheadDur(kind trace.OverheadKind, octx OverheadCtx) sim.Time {
+	switch kind {
+	case trace.OverheadScheduling:
+		return cpu.overheads.scheduling(octx)
+	case trace.OverheadContextSave:
+		return cpu.overheads.save(octx)
+	case trace.OverheadContextLoad:
+		return cpu.overheads.load(octx)
+	}
+	return 0
+}
+
+// recordCharge books one completed overhead charge into the metrics and the
+// trace: the tail half of charge, shared with the continuation engine.
+func (cpu *Processor) recordCharge(kind trace.OverheadKind, t *Task, coreID int, start, end sim.Time) {
+	name := ""
+	if t != nil {
+		name = t.name
+	}
+	cpu.met.overhead[kind].Add(uint64(end - start))
+	if kind == trace.OverheadContextLoad {
+		cpu.met.ctxSwitches.Inc()
+	}
+	cpu.rec.OverheadOn(cpu.name, name, coreID, kind, start, end)
+}
+
 // charge consumes one overhead duration on thread p and records it. The
 // duration formula is evaluated at the charge instant. Zero durations are
 // recorded as zero-length segments (they still count context switches in the
 // statistics) without consuming a delta cycle.
 func (cpu *Processor) charge(p *sim.Proc, kind trace.OverheadKind, t *Task, octx OverheadCtx) {
-	var d sim.Time
-	switch kind {
-	case trace.OverheadScheduling:
-		d = cpu.overheads.scheduling(octx)
-	case trace.OverheadContextSave:
-		d = cpu.overheads.save(octx)
-	case trace.OverheadContextLoad:
-		d = cpu.overheads.load(octx)
-	}
+	d := cpu.overheadDur(kind, octx)
 	start := cpu.k.Now()
 	if d > 0 {
 		p.Wait(d)
 	}
-	name := ""
-	if t != nil {
-		name = t.name
-	}
-	end := cpu.k.Now()
-	cpu.met.overhead[kind].Add(uint64(end - start))
-	if kind == trace.OverheadContextLoad {
-		cpu.met.ctxSwitches.Inc()
-	}
-	cpu.rec.OverheadOn(cpu.name, name, octx.Core, kind, start, end)
+	cpu.recordCharge(kind, t, octx.Core, start, cpu.k.Now())
 }

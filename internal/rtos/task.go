@@ -114,7 +114,11 @@ type Task struct {
 	lastCore  int
 	claimedBy int
 
+	// proc is the task's simulation thread under the goroutine engines; nil
+	// for a continuation task, whose driver (cont) runs on a sim.Strand
+	// instead (engine_cont.go).
 	proc      *sim.Proc
+	cont      *contDriver
 	evRun     *sim.Event // the paper's TaskRun event
 	evPreempt *sim.Event // the paper's TaskPreempt event
 
@@ -216,6 +220,10 @@ func (t *Task) Migrations() uint64 { return t.migrations }
 
 // Affinity returns the core the task is pinned to under DomainPartitioned.
 func (t *Task) Affinity() int { return t.affinity }
+
+// IsContinuation reports whether the task runs on the continuation engine (a
+// driver strand) instead of a goroutine of its own.
+func (t *Task) IsContinuation() bool { return t.cont != nil }
 
 // CPUTime returns the total simulated processor time the task consumed.
 func (t *Task) CPUTime() sim.Time { return t.cpuTime }
@@ -353,25 +361,69 @@ func (t *Task) runBehaviour() {
 // the communication relations of package comm.
 type TaskCtx struct {
 	t *Task
+	// lower, when non-nil, puts the context in recording mode (lower.go):
+	// the recordable primitives append ops instead of simulating, and any
+	// call that observes the simulation aborts the recording. Only the
+	// throwaway contexts of LowerBody set it.
+	lower *lowerRec
+}
+
+// requireThread guards the blocking primitives against continuation tasks,
+// which have no goroutine to park: their bodies express the same operations
+// as yield ops (yield.go).
+func (c *TaskCtx) requireThread(call string) {
+	if c.t.proc == nil {
+		panic(fmt.Sprintf("rtos: %s called by continuation task %q; continuation bodies must use yield ops", call, c.t.name))
+	}
 }
 
 // Task returns the underlying task.
-func (c *TaskCtx) Task() *Task { return c.t }
+func (c *TaskCtx) Task() *Task {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	return c.t
+}
 
 // Name returns the task name (also the comm.Actor name).
-func (c *TaskCtx) Name() string { return c.t.name }
+func (c *TaskCtx) Name() string {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	return c.t.name
+}
 
 // Priority returns the task's effective priority (comm.Actor contract).
-func (c *TaskCtx) Priority() int { return c.t.EffectivePriority() }
+func (c *TaskCtx) Priority() int {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	return c.t.EffectivePriority()
+}
 
 // Now returns the current simulated time.
-func (c *TaskCtx) Now() sim.Time { return c.t.proc.Now() }
+func (c *TaskCtx) Now() sim.Time {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	return c.t.cpu.k.Now()
+}
 
 // Kernel returns the simulation kernel.
-func (c *TaskCtx) Kernel() *sim.Kernel { return c.t.proc.Kernel() }
+func (c *TaskCtx) Kernel() *sim.Kernel {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	return c.t.cpu.k
+}
 
 // Recorder returns the trace recorder (comm.Actor contract).
-func (c *TaskCtx) Recorder() *trace.Recorder { return c.t.cpu.rec }
+func (c *TaskCtx) Recorder() *trace.Recorder {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	return c.t.cpu.rec
+}
 
 // Execute consumes d of processor time. This is the paper's time-annotated
 // processing: the task occupies the processor for a total of d, but may be
@@ -380,6 +432,11 @@ func (c *TaskCtx) Recorder() *trace.Recorder { return c.t.cpu.rec }
 // section 4.2), so the model's preemption accuracy does not depend on any
 // clock resolution.
 func (c *TaskCtx) Execute(d sim.Time) {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recCompute, d: d})
+		return
+	}
+	c.requireThread("Execute")
 	if d < 0 {
 		panic("rtos: Execute with negative duration")
 	}
@@ -429,6 +486,11 @@ func (c *TaskCtx) Execute(d sim.Time) {
 // Delay suspends the task for duration d (Waiting state): the task does not
 // use the processor and becomes ready again when the delay expires.
 func (c *TaskCtx) Delay(d sim.Time) {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recSleep, d: d})
+		return
+	}
+	c.requireThread("Delay")
 	if d < 0 {
 		panic("rtos: Delay with negative duration")
 	}
@@ -449,8 +511,8 @@ func (c *TaskCtx) Delay(d sim.Time) {
 // also reused by an injected finite hang.
 func (t *Task) armDelayWake() {
 	if t.delayEvent == nil {
-		t.delayEvent = t.proc.Kernel().NewEvent(t.name + ".delay")
-		t.proc.Kernel().NewMethod(t.name+".delayWake", func() {
+		t.delayEvent = t.cpu.k.NewEvent(t.name + ".delay")
+		t.cpu.k.NewMethod(t.name+".delayWake", func() {
 			t.cpu.eng.taskIsReady(t)
 		}, false, t.delayEvent)
 	}
@@ -472,32 +534,63 @@ func (c *TaskCtx) DelayUntil(at sim.Time) {
 // Yield voluntarily releases the processor: the task returns to the ready
 // queue and the scheduler elects the next task (possibly this one again).
 func (c *TaskCtx) Yield() {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recYield})
+		return
+	}
+	c.requireThread("Yield")
 	c.t.cpu.eng.taskYield(c.t)
 }
 
 // SetPriority changes the task's base priority at run time.
-func (c *TaskCtx) SetPriority(p int) { c.t.SetBasePriority(p) }
+func (c *TaskCtx) SetPriority(p int) {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recSetPrio, p: p})
+		return
+	}
+	c.t.SetBasePriority(p)
+}
 
 // SetDeadline sets the task's absolute deadline (for the EDF policy).
 func (c *TaskCtx) SetDeadline(at sim.Time) {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recSetDeadlineAt, d: at})
+		return
+	}
 	c.t.deadline = at
 	c.t.cpu.invalidateReadyBest()
 	c.t.cpu.eng.reevaluate()
 }
 
 // SetDeadlineIn sets the task's deadline relative to the current time.
-func (c *TaskCtx) SetDeadlineIn(d sim.Time) { c.SetDeadline(c.Now() + d) }
+func (c *TaskCtx) SetDeadlineIn(d sim.Time) {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recSetDeadlineIn, d: d})
+		return
+	}
+	c.SetDeadline(c.Now() + d)
+}
 
 // DisablePreemption enters a critical region during which the task cannot
 // be preempted (paper section 3.1: "the preemptive/non-preemptive mode can
 // be changed during the simulation. This enables to model critical regions
 // during which task preemption is not allowed"). Calls nest.
-func (c *TaskCtx) DisablePreemption() { c.t.noPreemptDepth++ }
+func (c *TaskCtx) DisablePreemption() {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recNoPreemptOn})
+		return
+	}
+	c.t.noPreemptDepth++
+}
 
 // EnablePreemption leaves a critical region opened by DisablePreemption.
 // If a preemption request arrived meanwhile it takes effect at the task's
 // next preemption point.
 func (c *TaskCtx) EnablePreemption() {
+	if c.lower != nil {
+		c.lower.add(recOp{kind: recNoPreemptOff})
+		return
+	}
 	t := c.t
 	if t.noPreemptDepth == 0 {
 		panic("rtos: EnablePreemption without matching DisablePreemption")
@@ -513,6 +606,10 @@ func (c *TaskCtx) EnablePreemption() {
 // plain Waiting state. The call returns when some actor calls Resume and the
 // scheduler elects the task again.
 func (c *TaskCtx) Suspend(resource bool, object string) {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
+	c.requireThread("Suspend")
 	s := trace.StateWaiting
 	if resource {
 		s = trace.StateWaitingResource
@@ -525,12 +622,18 @@ func (c *TaskCtx) Suspend(resource bool, object string) {
 // safe to call from any simulation context (another task, a hardware
 // process, a sim.Method) and never consumes the caller's simulated time.
 func (c *TaskCtx) Resume() {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
 	c.t.cpu.eng.taskIsReady(c.t)
 }
 
 // BoostPriority raises the task's effective priority to at least p
 // (priority-inheritance support for comm.Mutex).
 func (c *TaskCtx) BoostPriority(p int) {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
 	c.t.boosts = append(c.t.boosts, p)
 	c.t.cpu.invalidateReadyBest()
 	c.t.cpu.eng.reevaluate()
@@ -538,6 +641,9 @@ func (c *TaskCtx) BoostPriority(p int) {
 
 // UnboostPriority undoes the most recent BoostPriority.
 func (c *TaskCtx) UnboostPriority() {
+	if c.lower != nil {
+		panic(lowerAbort{})
+	}
 	n := len(c.t.boosts)
 	if n == 0 {
 		panic("rtos: UnboostPriority without matching BoostPriority")

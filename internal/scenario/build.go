@@ -168,6 +168,23 @@ func (s *System) Build() (*Built, error) {
 		case "restart":
 			cfg.OnMiss = rtos.MissRestartTask
 		}
+		if t.Engine == "continuation" {
+			pb := rtos.BuildProgram()
+			if t.Period > 0 {
+				b.compileOps(pb, t.Body)
+				b.Tasks[t.Name] = cpu.NewPeriodicContTask(t.Name, cfg, pb.Build())
+				continue
+			}
+			if t.Loop {
+				pb.Loop(-1)
+			} else {
+				pb.Loop(max(1, t.Repeat))
+			}
+			b.compileOps(pb, t.Body)
+			pb.End()
+			b.Tasks[t.Name] = cpu.NewContTask(t.Name, cfg, pb.Build())
+			continue
+		}
 		if t.Period > 0 {
 			b.Tasks[t.Name] = cpu.NewPeriodicTask(t.Name, cfg, func(c *rtos.TaskCtx, cycle int) {
 				b.runOps(swOps(c), t.Body)
@@ -356,6 +373,89 @@ func (b *Built) runOps(a opActor, ops []Op) {
 			}
 		default:
 			panic(fmt.Sprintf("scenario: unvalidated op %q", op.Op))
+		}
+	}
+}
+
+// compileOps translates a behaviour script into continuation program ops,
+// mirroring runOps one for one: blocking ops become yield ops, non-blocking
+// ops become inline steps, repeat becomes a counted loop. Validation
+// guarantees the ops are continuation-expressible (no send/recv).
+func (b *Built) compileOps(pb *rtos.ProgramBuilder, ops []Op) {
+	for _, op := range ops {
+		op := op
+		switch op.Op {
+		case "execute":
+			pb.Compute(op.For.Time())
+		case "execute_trace":
+			pb.ComputeFn(func(c *rtos.TaskCtx) sim.Time {
+				tr := b.Desc.Traces[op.Trace]
+				i := b.traceCursors[op.Trace]
+				b.traceCursors[op.Trace] = (i + 1) % len(tr)
+				return tr[i].Time()
+			})
+		case "delay":
+			pb.WaitFor(op.For.Time())
+		case "wait":
+			pb.WaitOn(b.Events[op.Event])
+		case "signal":
+			pb.Signal(b.Events[op.Event])
+		case "put":
+			pb.Op(rtos.PutMsg(b.Queues[op.Queue], op.Value))
+		case "tryput":
+			pb.Do(func(c *rtos.TaskCtx) { b.Queues[op.Queue].TryPut(c, op.Value) })
+		case "get":
+			pb.Op(rtos.GetMsg(b.Queues[op.Queue], nil))
+		case "raise":
+			pb.Do(func(c *rtos.TaskCtx) { b.IRQs[op.IRQ].Raise() })
+		case "submit":
+			pb.Do(func(c *rtos.TaskCtx) {
+				job := rtos.AperiodicJob{Work: op.For.Time()}
+				if op.Constraint != "" {
+					mon := b.Constraints[op.Constraint]
+					job.Done = mon.Stop
+				}
+				b.Servers[op.Server].Submit(job)
+			})
+		case "lock":
+			pb.Lock(b.Shared[op.Shared].Mutex())
+		case "unlock":
+			pb.Do(func(c *rtos.TaskCtx) { b.Shared[op.Shared].Unlock(c) })
+		case "read":
+			// Shared.Read is lock + get + unlock; only the lock can block.
+			pb.Lock(b.Shared[op.Shared].Mutex())
+			pb.Do(func(c *rtos.TaskCtx) {
+				sv := b.Shared[op.Shared]
+				sv.Get(c)
+				sv.Unlock(c)
+			})
+		case "write":
+			pb.Lock(b.Shared[op.Shared].Mutex())
+			pb.Do(func(c *rtos.TaskCtx) {
+				sv := b.Shared[op.Shared]
+				sv.Set(c, op.Value)
+				sv.Unlock(c)
+			})
+		case "nopreempt_begin":
+			pb.Do(func(c *rtos.TaskCtx) { c.DisablePreemption() })
+		case "nopreempt_end":
+			pb.Do(func(c *rtos.TaskCtx) { c.EnablePreemption() })
+		case "setprio":
+			pb.Do(func(c *rtos.TaskCtx) { c.SetPriority(op.Value) })
+		case "yield":
+			pb.Yield()
+		case "lat_start":
+			pb.Do(func(c *rtos.TaskCtx) { b.Constraints[op.Constraint].Start() })
+		case "lat_stop":
+			pb.Do(func(c *rtos.TaskCtx) { b.Constraints[op.Constraint].Stop() })
+		case "kick":
+			pb.Do(func(c *rtos.TaskCtx) { b.Watchdogs[op.Watchdog].Kick() })
+		case "repeat":
+			pb.Loop(op.Count)
+			b.compileOps(pb, op.Body)
+			pb.End()
+		default:
+			panic(fmt.Sprintf("scenario: op %q is not continuation-expressible", op.Op))
 		}
 	}
 }

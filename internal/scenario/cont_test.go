@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// commRichJSON exercises every continuation-expressible op kind: queue
+// put/get, tryput, shared lock/unlock/read/write, events, nopreempt regions,
+// setprio, yield, repeat loops, execute_trace, an IRQ raised from a task, a
+// watchdog kick and a hang fault recovered by the watchdog.
+const commRichJSON = `{
+	"name": "comm-rich",
+	"horizon": "2ms",
+	"processors": [{"name": "cpu", "overheads": {"scheduling": "1us", "contextSave": "1us", "contextLoad": "1us"}}],
+	"events": [{"name": "go", "policy": "counter"}],
+	"queues": [{"name": "q", "capacity": 2}],
+	"shared": [{"name": "sv", "initial": 0, "inherit": true}],
+	"traces": {"frames": ["8us", "12us", "5us"]},
+	"irqs": [{"name": "rx", "processor": "cpu", "priority": 1, "latency": "2us", "body": [
+		{"op": "execute", "for": "3us"}
+	]}],
+	"watchdogs": [{"name": "wd", "processor": "cpu", "timeout": "200us", "task": "worker"}],
+	"tasks": [
+		{"name": "worker", "processor": "cpu", "priority": 5, "period": "150us", "onMiss": "abort", "body": [
+			{"op": "kick", "watchdog": "wd"},
+			{"op": "execute_trace", "trace": "frames"},
+			{"op": "lock", "shared": "sv"},
+			{"op": "execute", "for": "4us"},
+			{"op": "write", "shared": "sv", "value": 7},
+			{"op": "unlock", "shared": "sv"},
+			{"op": "tryput", "queue": "q", "value": 1},
+			{"op": "signal", "event": "go"}
+		]},
+		{"name": "reader", "processor": "cpu", "priority": 4, "loop": true, "body": [
+			{"op": "wait", "event": "go"},
+			{"op": "read", "shared": "sv"},
+			{"op": "repeat", "count": 2, "body": [
+				{"op": "execute", "for": "6us"},
+				{"op": "yield"}
+			]}
+		]},
+		{"name": "drain", "processor": "cpu", "priority": 3, "loop": true, "body": [
+			{"op": "get", "queue": "q"},
+			{"op": "nopreempt_begin"},
+			{"op": "execute", "for": "5us"},
+			{"op": "nopreempt_end"},
+			{"op": "setprio", "value": 3},
+			{"op": "raise", "irq": "rx"},
+			{"op": "delay", "for": "25us"}
+		]}
+	],
+	"faults": [{"kind": "hang", "task": "worker", "at": "400us"}]
+}`
+
+// smpJitterJSON exercises continuation tasks on a two-core global-domain
+// processor with release jitter and the threaded engine variant via replace.
+const smpJitterJSON = `{
+	"name": "smp-jitter",
+	"horizon": "2ms",
+	"processors": [{"name": "cpu", "engine": "procedural", "cores": 2, "domain": "global",
+		"overheads": {"scheduling": "1us", "contextSave": "1us", "contextLoad": "1us"}}],
+	"tasks": [
+		{"name": "a", "processor": "cpu", "priority": 6, "period": "90us", "jitter": "9us", "body": [
+			{"op": "execute", "for": "30us"}
+		]},
+		{"name": "b", "processor": "cpu", "priority": 5, "period": "120us", "body": [
+			{"op": "execute", "for": "45us"},
+			{"op": "delay", "for": "10us"},
+			{"op": "execute", "for": "15us"}
+		]},
+		{"name": "c", "processor": "cpu", "priority": 4, "period": "200us", "onMiss": "skip_next", "body": [
+			{"op": "execute", "for": "80us"}
+		]}
+	]
+}`
+
+// contGoldenScenarios are the four differential goldens of the continuation
+// engine at the scenario layer. Single-core goldens are held to raw
+// byte-identical trace exports; the multicore golden uses the canonical
+// signature instead, because two overhead charges completing at the same
+// instant on different cores are recorded in executor drain order, which
+// legitimately permutes between a goroutine (thread) and a continuation
+// (method) executor — same windows, same metrics, different record order.
+var contGoldenScenarios = []struct {
+	name      string
+	src       string
+	multicore bool
+}{
+	{"figure6", figure6JSON, false},
+	{"wcet-restart", faultScenarioJSON, false},
+	{"comm-rich", commRichJSON, false},
+	{"smp-jitter", smpJitterJSON, true},
+}
+
+// canonicalTrace serializes every record kind of a trace order-insensitively
+// within one instant: per-task state changes in task-local order, all other
+// record kinds sorted. Two simulations with identical behaviour but
+// different same-instant record interleavings canonicalize identically.
+func canonicalTrace(rec *trace.Recorder) string {
+	var b strings.Builder
+	perTask := map[string][]string{}
+	for _, c := range rec.StateChanges() {
+		perTask[c.Task] = append(perTask[c.Task],
+			fmt.Sprintf("%v %s core%d %v", c.At, c.CPU, c.Core, c.State))
+	}
+	tasks := make([]string, 0, len(perTask))
+	for task := range perTask {
+		tasks = append(tasks, task)
+	}
+	sort.Strings(tasks)
+	for _, task := range tasks {
+		fmt.Fprintf(&b, "task %s: %s\n", task, strings.Join(perTask[task], "; "))
+	}
+	var lines []string
+	for _, o := range rec.Overheads() {
+		lines = append(lines, fmt.Sprintf("ov %s %s core%d %s %v..%v", o.CPU, o.Task, o.Core, o.Kind, o.Start, o.End))
+	}
+	for _, a := range rec.Accesses() {
+		lines = append(lines, fmt.Sprintf("acc %v %s %s %v", a.At, a.Actor, a.Object, a.Kind))
+	}
+	for _, m := range rec.Migrations() {
+		lines = append(lines, fmt.Sprintf("mig %v %s %s %d->%d", m.At, m.Task, m.CPU, m.From, m.To))
+	}
+	for _, f := range rec.FaultEvents() {
+		lines = append(lines, fmt.Sprintf("fault %v %s %s %s", f.At, f.Kind, f.Task, f.Label))
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	return b.String()
+}
+
+// withEngine returns the scenario with every software task's body form set
+// to the given engine value, via the parsed description (not string edits).
+func withEngine(t *testing.T, src, engine string) *System {
+	t.Helper()
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		s.Tasks[i].Engine = engine
+	}
+	return s
+}
+
+// runScenario elaborates and runs a description, returning the built system,
+// the SHA-256 of the raw trace export and the filtered rtos_* metrics
+// serialization.
+func runScenario(t *testing.T, s *System) (built *Built, traceHash, metricsKey string) {
+	t.Helper()
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run()
+	h := sha256.New()
+	if err := b.Sys.Rec.WriteJSON(h); err != nil {
+		t.Fatal(err)
+	}
+	var keep []json.RawMessage
+	for _, m := range b.Sys.Metrics.Snapshot().Metrics {
+		if !strings.HasPrefix(m.Name, "rtos_") || m.Name == "rtos_continuation_resumes_total" {
+			continue
+		}
+		enc, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, enc)
+	}
+	mk, err := json.Marshal(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, hex.EncodeToString(h.Sum(nil)), string(mk)
+}
+
+// TestContinuationGoldens is the scenario-level differential golden of the
+// continuation engine: four canonical scenarios, each elaborated twice —
+// goroutine bodies and continuation bodies — on both RTOS engines, must
+// produce byte-identical trace exports and identical rtos_* metrics.
+func TestContinuationGoldens(t *testing.T) {
+	for _, g := range contGoldenScenarios {
+		for _, eng := range []string{"procedural", "threaded"} {
+			t.Run(g.name+"/"+eng, func(t *testing.T) {
+				src := g.src
+				if eng == "threaded" {
+					src = forceProcessorEngine(t, src, "threaded")
+				}
+				bG, hashG, metG := runScenario(t, withEngine(t, src, "goroutine"))
+				bC, hashC, metC := runScenario(t, withEngine(t, src, "continuation"))
+				if g.multicore {
+					if canonicalTrace(bG.Sys.Rec) != canonicalTrace(bC.Sys.Rec) {
+						t.Errorf("canonical traces differ between body forms")
+						diffScenarioTraces(t, src)
+					}
+				} else if hashG != hashC {
+					t.Errorf("trace exports differ between body forms: %s vs %s", hashG, hashC)
+					diffScenarioTraces(t, src)
+				}
+				if metG != metC {
+					t.Errorf("rtos_* metrics differ between body forms:\n goroutine:    %s\n continuation: %s", metG, metC)
+				}
+			})
+		}
+	}
+}
+
+// forceProcessorEngine re-parses the description with every processor set to
+// the given RTOS engine.
+func forceProcessorEngine(t *testing.T, src, engine string) string {
+	t.Helper()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(src), &raw); err != nil {
+		t.Fatal(err)
+	}
+	var procs []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["processors"], &procs); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		enc, _ := json.Marshal(engine)
+		p["engine"] = enc
+	}
+	enc, err := json.Marshal(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw["processors"] = enc
+	out, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// diffScenarioTraces re-runs a diverged golden with recorders kept and
+// reports the first differing records, for debuggability.
+func diffScenarioTraces(t *testing.T, src string) {
+	t.Helper()
+	bG, err := withEngine(t, src, "goroutine").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bG.Run()
+	bC, err := withEngine(t, src, "continuation").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bC.Run()
+	horizon := bG.Desc.Horizon.Time()
+	t.Logf("trace diff:\n%s", trace.Diff(bG.Sys.Rec, bC.Sys.Rec, horizon, 8))
+}
+
+// TestContinuationResumesCounted checks that a continuation-bodied scenario
+// advances the rtos_continuation_resumes_total counter.
+func TestContinuationResumesCounted(t *testing.T) {
+	s := withEngine(t, figure6JSON, "continuation")
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run()
+	m, ok := b.Sys.Metrics.Snapshot().Get("rtos_continuation_resumes_total")
+	if !ok {
+		t.Fatal("rtos_continuation_resumes_total not registered")
+	}
+	if m.Value == 0 {
+		t.Error("continuation scenario ran but the resume counter is zero")
+	}
+	for name, tk := range b.Tasks {
+		if !tk.IsContinuation() {
+			t.Errorf("task %q not built as a continuation", name)
+		}
+	}
+}
+
+// TestContinuationEngineValidation covers the per-task engine knob's
+// validation: unknown values are rejected, bus channel ops are rejected for
+// continuation bodies (also inside repeat), and valid combinations parse.
+func TestContinuationEngineValidation(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"unknown engine value",
+			`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","engine":"fiber","body":[{"op":"execute","for":"1us"}]}]}`,
+			`unknown engine "fiber"`,
+		},
+		{
+			"continuation with send",
+			`{"processors":[{"name":"p"}],"buses":[{"name":"bus"}],"channels":[{"name":"ch","bus":"bus","capacity":1}],
+			 "tasks":[{"name":"t","processor":"p","engine":"continuation","body":[{"op":"send","channel":"ch","value":1}]}]}`,
+			"bus channel ops need a goroutine body",
+		},
+		{
+			"continuation with recv inside repeat",
+			`{"processors":[{"name":"p"}],"buses":[{"name":"bus"}],"channels":[{"name":"ch","bus":"bus","capacity":1}],
+			 "tasks":[{"name":"t","processor":"p","engine":"continuation","body":[{"op":"repeat","count":2,"body":[{"op":"recv","channel":"ch"}]}]}]}`,
+			"bus channel ops need a goroutine body",
+		},
+		{
+			"goroutine body keeps send",
+			`{"processors":[{"name":"p"}],"buses":[{"name":"bus"}],"channels":[{"name":"ch","bus":"bus","capacity":1}],
+			 "tasks":[{"name":"t","processor":"p","engine":"goroutine","body":[{"op":"send","channel":"ch","value":1}]}]}`,
+			"",
+		},
+		{
+			"continuation with affinity and fault",
+			`{"processors":[{"name":"p","cores":2}],
+			 "tasks":[{"name":"t","processor":"p","engine":"continuation","affinity":1,"period":"100us","body":[{"op":"execute","for":"10us"}]}],
+			 "faults":[{"kind":"crash","task":"t","at":"50us"}]}`,
+			"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestContinuationActivationsLower checks the perf motivation end to end at
+// the scenario layer: the continuation form of a golden scenario must need
+// fewer kernel activations than its goroutine form.
+func TestContinuationActivationsLower(t *testing.T) {
+	run := func(engine string) uint64 {
+		b, err := withEngine(t, smpJitterJSON, engine).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Run()
+		return b.Sys.K.Activations()
+	}
+	g, c := run("goroutine"), run("continuation")
+	if c >= g {
+		t.Errorf("continuation form used %d activations, goroutine form %d; want fewer", c, g)
+	}
+}

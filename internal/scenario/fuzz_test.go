@@ -51,6 +51,15 @@ func FuzzParse(f *testing.F) {
 	// Timed-queue backend selection: valid override plus a rejected value.
 	f.Add(`{"timedQueue":"heap","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
 	f.Add(`{"timedQueue":"btree","processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
+	// Per-task body-form seeds: a continuation task over blocking comm ops, a
+	// continuation task with affinity + a crash fault, plus descriptions the
+	// validator must reject (unknown engine value, continuation with a bus op,
+	// also nested inside repeat).
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p"}],"queues":[{"name":"q","capacity":1}],"events":[{"name":"e"}],"tasks":[{"name":"t","processor":"p","engine":"continuation","loop":true,"body":[{"op":"execute","for":"5us"},{"op":"put","queue":"q"},{"op":"signal","event":"e"}]},{"name":"u","processor":"p","engine":"continuation","loop":true,"body":[{"op":"get","queue":"q"},{"op":"wait","event":"e"},{"op":"execute","for":"3us"}]}]}`)
+	f.Add(`{"horizon":"1ms","processors":[{"name":"p","cores":2}],"tasks":[{"name":"t","processor":"p","engine":"continuation","affinity":1,"period":"100us","body":[{"op":"execute","for":"10us"}]}],"faults":[{"kind":"crash","task":"t","at":"50us"}]}`)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","engine":"fiber","body":[{"op":"execute","for":"1us"}]}]}`)
+	f.Add(`{"processors":[{"name":"p"}],"buses":[{"name":"b"}],"channels":[{"name":"ch","bus":"b","capacity":1}],"tasks":[{"name":"t","processor":"p","engine":"continuation","body":[{"op":"send","channel":"ch","value":1}]}]}`)
+	f.Add(`{"processors":[{"name":"p"}],"buses":[{"name":"b"}],"channels":[{"name":"ch","bus":"b","capacity":1}],"tasks":[{"name":"t","processor":"p","engine":"continuation","body":[{"op":"repeat","count":2,"body":[{"op":"recv","channel":"ch"}]}]}]}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse([]byte(src))
 		if err != nil {

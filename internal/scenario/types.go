@@ -325,6 +325,13 @@ type SWTask struct {
 	// OnMiss selects the deadline-miss recovery policy of a periodic task:
 	// "continue" (default), "abort", "skip_next" or "restart".
 	OnMiss string `json:"onMiss"`
+	// Engine selects the task-body execution form: "goroutine" (the
+	// default; the body runs on its own simulation thread) or
+	// "continuation" (the body is compiled to a yield-op program resumed
+	// inline by the kernel, with no thread and no per-switch parking).
+	// Both forms produce identical simulated behaviour; continuation
+	// bodies cannot use the send/recv bus ops.
+	Engine string `json:"engine"`
 	Body   []Op   `json:"body"`
 }
 
@@ -383,6 +390,10 @@ type Op struct {
 	Count      int      `json:"count"`
 	Body       []Op     `json:"body"`
 }
+
+// Validate re-checks a description after programmatic edits (e.g. a CLI
+// override of every task's body form).
+func (s *System) Validate() error { return s.validate() }
 
 // Parse decodes and validates a scenario description.
 func Parse(data []byte) (*System, error) {

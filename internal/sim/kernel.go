@@ -95,18 +95,20 @@ type Kernel struct {
 	finish     FinishReason
 	diagnostic func() []string
 
-	deltaCount  uint64
-	activations uint64
-	methodRuns  uint64
+	deltaCount    uint64
+	activations   uint64
+	methodRuns    uint64
+	strandResumes uint64
 
 	// Observability counters (metrics.go). All nil until SetMetrics wires a
 	// registry; the instruments are nil-safe so the hot paths record
 	// unconditionally without allocating.
-	mDeltaCycles *metrics.Counter
-	mActivations *metrics.Counter
-	mMethodRuns  *metrics.Counter
-	mTimedPops   *metrics.Counter
-	mTimedSched  *metrics.Counter
+	mDeltaCycles   *metrics.Counter
+	mActivations   *metrics.Counter
+	mMethodRuns    *metrics.Counter
+	mTimedPops     *metrics.Counter
+	mTimedSched    *metrics.Counter
+	mStrandResumes *metrics.Counter
 }
 
 // New creates an empty simulation kernel at time zero.
@@ -199,6 +201,13 @@ func (k *Kernel) Activations() uint64 { return k.activations }
 // infrastructure work the method-ized formulation keeps off the goroutine
 // handoff path.
 func (k *Kernel) MethodRuns() uint64 { return k.methodRuns }
+
+// StrandResumes returns the number of strand resumes so far: continuation
+// state-machine advances run inline as method executions. Each one stands in
+// for what would be a full process activation in the goroutine formulation,
+// so comparing StrandResumes against Activations quantifies the handoffs the
+// continuation engine keeps off the parker path.
+func (k *Kernel) StrandResumes() uint64 { return k.strandResumes }
 
 // Processes returns the processes spawned on this kernel, in spawn order.
 func (k *Kernel) Processes() []*Proc { return k.procs }

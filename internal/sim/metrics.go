@@ -9,6 +9,7 @@ import "repro/internal/metrics"
 //	sim_method_runs_total      method executions (inline, no thread switch)
 //	sim_timed_pops_total       timed-queue entries popped (events + timeouts)
 //	sim_timed_scheduled_total  timed-queue entries scheduled
+//	sim_strand_resumes_total   continuation strand resumes (inline, no switch)
 //
 // The counters are registered once and updated in place by the run loop; a
 // nil registry detaches them again. Call before or between runs — the hot
@@ -16,7 +17,7 @@ import "repro/internal/metrics"
 // adds no allocations.
 func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 	if reg == nil {
-		k.mDeltaCycles, k.mActivations, k.mMethodRuns, k.mTimedPops, k.mTimedSched = nil, nil, nil, nil, nil
+		k.mDeltaCycles, k.mActivations, k.mMethodRuns, k.mTimedPops, k.mTimedSched, k.mStrandResumes = nil, nil, nil, nil, nil, nil
 		return
 	}
 	k.mDeltaCycles = reg.Counter("sim_delta_cycles_total", "delta cycles executed by the kernel")
@@ -24,9 +25,11 @@ func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 	k.mMethodRuns = reg.Counter("sim_method_runs_total", "method executions run inline in the evaluate phase")
 	k.mTimedPops = reg.Counter("sim_timed_pops_total", "timed-queue entries popped (fired events and expired timeouts)")
 	k.mTimedSched = reg.Counter("sim_timed_scheduled_total", "timed-queue entries scheduled")
+	k.mStrandResumes = reg.Counter("sim_strand_resumes_total", "continuation strand resumes run inline in the evaluate phase")
 	// Re-wiring mid-run keeps the registry consistent with the kernel's own
 	// lifetime counters.
 	k.mDeltaCycles.Add(k.deltaCount)
 	k.mActivations.Add(k.activations)
 	k.mMethodRuns.Add(k.methodRuns)
+	k.mStrandResumes.Add(k.strandResumes)
 }

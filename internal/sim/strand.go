@@ -1,0 +1,81 @@
+package sim
+
+// Strand is a continuation driver: a Method bundled with a private timer
+// event, the kernel-side harness for running task bodies expressed as
+// resumable state machines instead of goroutines. Where a Proc parks its
+// goroutine in Wait and pays a parker round-trip per activation, a Strand's
+// step function runs inline in the evaluate phase and simply returns after
+// advancing its state machine — control never leaves the kernel goroutine
+// and no stack is retained between resumes.
+//
+// The step function learns why it ran from Trigger() (the sensitivity event
+// that fired; TimedOut reports whether it was the private timer) and models
+// a timed sleep by arming the timer with WakeIn/WakeAt/WakeDelta and
+// returning. Strands follow Method rules: step must run to completion and
+// must not call the blocking Wait primitives.
+type Strand struct {
+	k     *Kernel
+	name  string
+	m     *Method
+	timer *Event
+	fn    func(*Strand)
+}
+
+// NewStrand creates a continuation driver executing fn, sensitive to the
+// given events plus its own private timer. With initial true the strand runs
+// once at the start of the simulation, like a default-initialized method.
+func (k *Kernel) NewStrand(name string, fn func(*Strand), initial bool, sensitivity ...*Event) *Strand {
+	if fn == nil {
+		panic("sim: NewStrand with nil function")
+	}
+	s := &Strand{k: k, name: name, fn: fn}
+	s.timer = k.NewEvent(name + ".strandTimer")
+	sens := make([]*Event, 0, len(sensitivity)+1)
+	sens = append(sens, sensitivity...)
+	sens = append(sens, s.timer)
+	s.m = k.NewMethod(name, s.step, initial, sens...)
+	return s
+}
+
+// step counts the resume and advances the state machine.
+func (s *Strand) step() {
+	s.k.strandResumes++
+	s.k.mStrandResumes.Inc()
+	s.fn(s)
+}
+
+// Name returns the strand's name.
+func (s *Strand) Name() string { return s.name }
+
+// Kernel returns the kernel the strand runs on.
+func (s *Strand) Kernel() *Kernel { return s.k }
+
+// Trigger returns the sensitivity event whose firing caused the current/last
+// resume, nil for the initial run or a manual Run.
+func (s *Strand) Trigger() *Event { return s.m.LastTrigger() }
+
+// TimedOut reports whether the current resume was caused by the private
+// timer (a WakeIn/WakeAt/WakeDelta expiring) rather than a sensitivity event.
+func (s *Strand) TimedOut() bool { return s.m.LastTrigger() == s.timer }
+
+// Run queues the strand to resume in the current evaluate phase regardless
+// of its sensitivity list.
+func (s *Strand) Run() { s.m.Trigger() }
+
+// WakeIn arms the private timer to resume the strand after duration d.
+// WakeIn(0) is equivalent to WakeDelta. The usual event override rules
+// apply: an earlier pending wake wins.
+func (s *Strand) WakeIn(d Time) { s.timer.NotifyIn(d) }
+
+// WakeAt arms the private timer to resume the strand at absolute time t.
+func (s *Strand) WakeAt(t Time) { s.timer.NotifyAt(t) }
+
+// WakeDelta arms the private timer to resume the strand in the next delta
+// cycle.
+func (s *Strand) WakeDelta() { s.timer.NotifyDelta() }
+
+// CancelWake cancels a pending timer wake, if any.
+func (s *Strand) CancelWake() { s.timer.Cancel() }
+
+// WakePending reports whether a timer wake is pending.
+func (s *Strand) WakePending() bool { return s.timer.HasPending() }

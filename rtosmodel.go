@@ -122,6 +122,16 @@ type (
 	TaskConfig = rtos.TaskConfig
 	// TaskCtx is the API a task behaviour uses.
 	TaskCtx = rtos.TaskCtx
+	// Continuation is a resumable task body executed inline by the kernel:
+	// no goroutine, no parker round-trip, no retained stack. See
+	// Processor.NewContTask / NewPeriodicContTask.
+	Continuation = rtos.Continuation
+	// Yield is one typed suspension request returned by a Continuation.
+	Yield = rtos.Yield
+	// Program is a flat yield-op Continuation with counted/infinite loops.
+	Program = rtos.Program
+	// ProgramBuilder assembles a Program with a chain API.
+	ProgramBuilder = rtos.ProgramBuilder
 	// HWTask is a hardware task (not scheduled by any RTOS).
 	HWTask = rtos.HWTask
 	// HWConfig carries a hardware task's static parameters.
@@ -277,6 +287,48 @@ func UniformOverheads(d Time) Overheads { return rtos.UniformOverheads(d) }
 
 // AssignRateMonotonic assigns fixed priorities by the rate-monotonic rule.
 func AssignRateMonotonic(tasks ...*Task) { rtos.AssignRateMonotonic(tasks...) }
+
+// BuildProgram starts a chain-API builder for a continuation Program.
+func BuildProgram() *ProgramBuilder { return rtos.BuildProgram() }
+
+// Compute yields a preemptible CPU consumption of duration d.
+func Compute(d Time) Yield { return rtos.Compute(d) }
+
+// ComputeFn yields a CPU consumption whose duration fn computes at resume.
+func ComputeFn(fn func(*TaskCtx) Time) Yield { return rtos.ComputeFn(fn) }
+
+// WaitFor yields a relative sleep (the delay service).
+func WaitFor(d Time) Yield { return rtos.WaitFor(d) }
+
+// YieldCPU yields the processor to equal-priority peers.
+func YieldCPU() Yield { return rtos.YieldCPU() }
+
+// Finish yields job completion (also the Yield zero value).
+func Finish() Yield { return rtos.Finish() }
+
+// WaitOn yields a blocking wait on an event relation.
+func WaitOn(e *Event) Yield { return rtos.WaitOn(e) }
+
+// LockMutex yields a blocking mutex acquisition (Unlock is non-blocking: use
+// ProgramBuilder.Unlock or a Do step).
+func LockMutex(m *Mutex) Yield { return rtos.LockMutex(m) }
+
+// PutMsg yields a blocking send of v into q.
+func PutMsg[T any](q *Queue[T], v T) Yield { return rtos.PutMsg(q, v) }
+
+// GetMsg yields a blocking receive from q into dst (nil discards).
+func GetMsg[T any](q *Queue[T], dst *T) Yield { return rtos.GetMsg(q, dst) }
+
+// LowerBody statically lowers an ordinary task body to a Program by
+// recording; ok is false when the body observes the simulation (time, names,
+// message values) and must stay on the goroutine engine.
+func LowerBody(fn func(*TaskCtx)) (*Program, bool) { return rtos.LowerBody(fn) }
+
+// LowerPeriodicBody lowers a periodic body; legal only when every cycle
+// records the same ops (the recorder checks cycles 0 and 1).
+func LowerPeriodicBody(body func(*TaskCtx, int)) (*Program, bool) {
+	return rtos.LowerPeriodicBody(body)
+}
 
 // MCSE communication relations.
 type (

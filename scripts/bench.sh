@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmark set and records ns/op, B/op, allocs/op (and
-# switches/run or migrations/run where reported) into BENCH_PR5.json, next to
+# switches/run or migrations/run where reported) into BENCH_PR7.json, next to
 # the committed pre-optimization baseline from scripts/bench_baseline.json.
 #
 # The baseline was measured on the seed code; re-running this script only
@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR7.json}"
 CPUPROFILE="${CPUPROFILE:-}"
 MEMPROFILE="${MEMPROFILE:-}"
 RAW="$(mktemp)"
@@ -35,8 +35,8 @@ bench() { # bench <pattern> <package>
 }
 
 {
-	bench 'BenchmarkKernelProcessSwitch$|BenchmarkRTOSContextSwitch$|BenchmarkMPEG2SoC$|BenchmarkEngineProcedural$|BenchmarkEngineThreaded$|BenchmarkSMPGlobal' .
-	bench 'BenchmarkManyTasks$|BenchmarkWaitAnyFanout$' .
+	bench 'BenchmarkKernelProcessSwitch$|BenchmarkRTOSContextSwitch$|BenchmarkContinuationSwitch$|BenchmarkMPEG2SoC$|BenchmarkEngineProcedural$|BenchmarkEngineThreaded$|BenchmarkSMPGlobal' .
+	bench 'BenchmarkManyTasks$|BenchmarkManyTaskBodies$|BenchmarkWaitAnyFanout$' .
 	bench 'BenchmarkTimedWait$|BenchmarkEventNotify$|BenchmarkDeltaCycle$|BenchmarkWaitTimeoutNoFire$' ./internal/sim/
 	bench 'BenchmarkTimedQueueOps$|BenchmarkTimedQueueCancel$' ./internal/sim/
 	bench 'BenchmarkSweep$' ./internal/batch/
@@ -49,10 +49,13 @@ bench() { # bench <pattern> <package>
 	printf '{\n  "benchtime": "%s",\n  "count": %s,\n  "baseline": ' "$BENCHTIME" "$COUNT"
 	cat scripts/bench_baseline.json
 	# bench_pr4.json is the same-machine PR 4 snapshot (pre activation fast
-	# path / timing wheel), the "before" side for the PR 5 deltas; the seed
-	# baseline above stays as the overall anchor.
+	# path / timing wheel) and bench_pr5.json the PR 5 one (pre continuation
+	# engine), the "before" sides for the later deltas; the seed baseline
+	# above stays as the overall anchor.
 	printf ',\n  "pr4": '
 	cat scripts/bench_pr4.json
+	printf ',\n  "pr5": '
+	cat scripts/bench_pr5.json
 	printf ',\n  "optimized": '
 	awk '
 		/^Benchmark/ {
