@@ -6,13 +6,15 @@ import (
 	"os"
 
 	"repro/internal/explore"
-	"repro/internal/scenario"
+	"repro/internal/runner"
 )
 
 // exploreMain implements `rtossim explore [flags] scenario.json`: bounded
 // schedule-space exploration of one scenario — enumerate same-instant
 // tie-break orderings and release-jitter perturbations, check invariants,
-// and emit a minimized replayable choice trace for every violation.
+// and emit a minimized replayable choice trace for every violation. The
+// exploration itself runs in internal/runner; replay stays here because a
+// single decoded trace is a CLI-interactive affair.
 func exploreMain(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
@@ -40,22 +42,15 @@ func exploreMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := explore.New(data)
-	if err != nil {
-		fatal(err)
-	}
-	if *runs > 0 {
-		eng.Cfg.MaxRuns = *runs
-	}
-	if *depth > 0 {
-		eng.Cfg.MaxDepth = *depth
-	}
-	eng.Cfg.Workers = *workers
-	if *checkEngines {
-		eng.Cfg.CheckEngines = true
-	}
 
 	if *replay != "" {
+		eng, err := explore.New(data)
+		if err != nil {
+			fatal(err)
+		}
+		if *depth > 0 {
+			eng.Cfg.MaxDepth = *depth
+		}
 		tr, err := explore.Decode(*replay)
 		if err != nil {
 			fatal(err)
@@ -80,21 +75,24 @@ func exploreMain(args []string) {
 		return
 	}
 
-	sum, err := eng.Run()
+	res, err := runner.Explore(data, runner.ExploreOptions{
+		Runs:         *runs,
+		Depth:        *depth,
+		Workers:      *workers,
+		CheckEngines: *checkEngines,
+	}, fs.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	name := fs.Arg(0)
-	if desc, err := scenario.Parse(data); err == nil && desc.Name != "" {
-		name = desc.Name
-	}
-	fmt.Printf("scenario %s\n", name)
-	fmt.Print(sum.Report())
+	os.Stdout.Write(res.Report)
 	if *metricsPath != "" {
-		writeFile(*metricsPath, eng.Metrics.WriteJSON)
+		if err := os.WriteFile(*metricsPath, res.MetricsJSON, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsPath)
 	}
 	if *expectViol {
-		for _, v := range sum.Violations {
+		for _, v := range res.Summary.Violations {
 			if v.Replayed {
 				return
 			}
@@ -102,7 +100,5 @@ func exploreMain(args []string) {
 		fmt.Fprintln(os.Stderr, "rtossim: expected at least one replay-verified violation, found none")
 		os.Exit(1)
 	}
-	if len(sum.Violations) > 0 {
-		os.Exit(1)
-	}
+	os.Exit(res.ExitCode())
 }

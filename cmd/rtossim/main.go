@@ -2,6 +2,10 @@
 // file using the generic RTOS model and reports timelines, statistics,
 // timing-constraint verdicts, and CSV/VCD trace exports.
 //
+// It is a thin client of internal/runner — the same pipeline the rtossimd
+// daemon serves over HTTP — so the report printed here is byte-identical to
+// the one a daemon job for the same scenario and options returns.
+//
 // Usage:
 //
 //	rtossim [flags] scenario.json
@@ -18,13 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
-	"repro/internal/analysis"
-	"repro/internal/scenario"
-	"repro/internal/trace"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -72,156 +73,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	desc, err := scenario.Parse(data)
-	if err != nil {
-		fatal(err)
+	opts := runner.Options{
+		Until:         *until,
+		Engine:        *engine,
+		TaskEngine:    *taskEngine,
+		Analyze:       *analyze,
+		Timeline:      *timeline,
+		Width:         *width,
+		Accesses:      *accesses,
+		Chronology:    *chronology,
+		NoStats:       !*stats,
+		NoConstraints: !*constraints,
+		NoFaults:      !*faults,
 	}
-	if *until != "" {
-		h, err := scenario.ParseDuration(*until)
-		if err != nil {
-			fatal(err)
+	// File flags map one-to-one onto runner artifacts.
+	files := map[string]string{
+		"csv": *csvPath, "vcd": *vcdPath, "json": *jsonPath, "svg": *svgPath,
+		"metrics": *metricsPath, "prom": *promPath, "perfetto": *perfetto,
+	}
+	for _, name := range runner.KnownArtifacts {
+		if files[name] != "" {
+			opts.Artifacts = append(opts.Artifacts, name)
 		}
-		desc.Horizon = scenario.Duration(h)
 	}
-	switch *engine {
-	case "":
-	case "procedural", "threaded":
-		for i := range desc.Processors {
-			desc.Processors[i].Engine = *engine
-		}
-	default:
-		fatal(fmt.Errorf("unknown engine %q (want procedural or threaded)", *engine))
-	}
-	switch *taskEngine {
-	case "":
-	case "goroutine", "continuation":
-		for i := range desc.Tasks {
-			desc.Tasks[i].Engine = *taskEngine
-		}
-		// Re-validate: some bodies (bus send/recv) have no continuation form.
-		if err := desc.Validate(); err != nil {
-			fatal(err)
-		}
-	default:
-		fatal(fmt.Errorf("unknown task engine %q (want goroutine or continuation)", *taskEngine))
-	}
-	if *analyze {
-		fmt.Print(desc.AnalysisReport())
-		fmt.Println()
-	}
-	built, err := desc.Build()
-	if err != nil {
-		fatal(err)
-	}
+
 	stopCPUProfile := startCPUProfile(*cpuprofile)
-	_, runErr := built.RunChecked()
+	res, err := runner.Run(data, opts, flag.Arg(0))
 	stopCPUProfile()
 	writeMemProfile(*memprofile)
-
-	sys := built.Sys
-	name := desc.Name
-	if name == "" {
-		name = flag.Arg(0)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("scenario %s simulated to %v, finished %v (%d kernel activations, %d delta cycles)\n",
-		name, sys.Now(), sys.FinishReason(), sys.K.Activations(), sys.K.DeltaCount())
-	if runErr != nil {
+
+	os.Stdout.Write(res.Report)
+	if res.SimError != "" {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprintln(os.Stderr, "rtossim: simulation failed:")
-		for _, line := range strings.Split(runErr.Error(), "\n") {
+		for _, line := range strings.Split(res.SimError, "\n") {
 			fmt.Fprintln(os.Stderr, "  "+line)
 		}
 	}
-
-	if blocked := sys.BlockedTasks(); len(blocked) > 0 {
-		fmt.Printf("warning: %d task(s) still blocked at the end:", len(blocked))
-		for _, t := range blocked {
-			fmt.Printf(" %s(%v)", t.Name(), t.State())
+	for _, name := range opts.Artifacts {
+		path := files[name]
+		if err := os.WriteFile(path, res.Artifacts[name], 0o644); err != nil {
+			fatal(err)
 		}
-		fmt.Println()
+		fmt.Printf("wrote %s\n", path)
 	}
-	if *timeline {
-		fmt.Println()
-		fmt.Print(sys.Timeline(trace.TimelineOptions{
-			Width:        *width,
-			ShowAccesses: *accesses,
-			Legend:       true,
-		}))
-	}
-	if *chronology {
-		fmt.Println()
-		fmt.Print(sys.Chronology())
-	}
-	if *stats {
-		fmt.Println()
-		fmt.Print(sys.Stats(0).String())
-		for _, cpu := range sys.Processors() {
-			if cpu.Cores() > 1 {
-				fmt.Println()
-				fmt.Print(analysis.CoreLoadReport(analysis.CoreLoads(sys.Rec, 0)))
-				break
-			}
-		}
-	}
-	if *constraints {
-		fmt.Println()
-		fmt.Print(sys.Constraints.Report())
-	}
-	if evs := sys.Rec.FaultEvents(); *faults && len(evs) > 0 {
-		m := analysis.ComputeFaultMetrics(evs, sys.Now())
-		for _, t := range built.Tasks {
-			m.Jobs += int(t.CompletedCycles() + t.AbortedCycles())
-			m.AbortedJobs += int(t.AbortedCycles())
-		}
-		for _, v := range sys.Constraints.Violations() {
-			if strings.HasSuffix(v.Name, ".deadline") {
-				m.Misses++
-			}
-		}
-		fmt.Println()
-		fmt.Print(m.Report())
-	}
-	if *csvPath != "" {
-		writeFile(*csvPath, sys.WriteCSV)
-	}
-	if *vcdPath != "" {
-		writeFile(*vcdPath, sys.WriteVCD)
-	}
-	if *jsonPath != "" {
-		writeFile(*jsonPath, sys.WriteJSON)
-	}
-	if *svgPath != "" {
-		writeFile(*svgPath, func(w io.Writer) error {
-			return sys.WriteSVG(w, trace.SVGOptions{ShowAccesses: *accesses})
-		})
-	}
-	if *metricsPath != "" {
-		writeFile(*metricsPath, sys.WriteMetricsJSON)
-	}
-	if *promPath != "" {
-		writeFile(*promPath, sys.WriteMetricsPrometheus)
-	}
-	if *perfetto != "" {
-		writeFile(*perfetto, sys.WritePerfetto)
-	}
-	if runErr != nil || !sys.Constraints.OK() {
-		os.Exit(1)
-	}
-}
-
-func writeFile(path string, write func(w io.Writer) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %s\n", path)
+	os.Exit(res.ExitCode())
 }
 
 func fatal(err error) {

@@ -1,19 +1,20 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/batch"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
 // sweepMain implements `rtossim sweep [flags] sweep.json`: a parallel
 // parameter sweep of one base scenario over the cross-product of the spec's
-// axes (engines, policies, speeds, overhead sets, fault seeds).
+// axes (engines, policies, speeds, overhead sets, fault seeds). The sweep
+// itself runs in internal/runner; this wrapper only resolves files and flags.
 func sweepMain(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	var (
@@ -62,14 +63,7 @@ func sweepMain(args []string) {
 		fatal(fmt.Errorf("base scenario %s: %w", scenPath, err))
 	}
 
-	variants, err := spec.Expand()
-	if err != nil {
-		fatal(err)
-	}
-	opts := batch.Options{Workers: *workers}
-	if opts.Workers == 0 {
-		opts.Workers = spec.Workers
-	}
+	opts := runner.SweepOptions{Workers: *workers, NoTable: !*table}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d", done, total)
@@ -79,34 +73,24 @@ func sweepMain(args []string) {
 		}
 	}
 	stopCPUProfile := startCPUProfile(*cpuprof)
-	results := spec.Run(base, variants, opts)
+	res, err := runner.Sweep(spec, base, opts)
 	stopCPUProfile()
 	writeMemProfile(*memprof)
-
-	if *table {
-		fmt.Print(batch.Table(results))
-		fmt.Println()
+	if err != nil {
+		fatal(err)
 	}
-	sum := batch.Summarize(results)
-	fmt.Print(sum.Report())
+
+	os.Stdout.Write(res.Report)
 
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+		data, err := res.ResultsJSON()
 		if err != nil {
 			fatal(err)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
-	if sum.Failures > 0 {
-		os.Exit(1)
-	}
+	os.Exit(res.ExitCode())
 }

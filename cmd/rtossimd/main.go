@@ -1,0 +1,81 @@
+// Command rtossimd serves the simulator as a service: an HTTP/JSON API over
+// the same internal/runner pipeline the rtossim CLI uses, with a durable
+// in-memory job queue, a content-hash-sharded worker pool, a result cache
+// keyed by the scenario's canonical hash, and streaming progress.
+//
+// Usage:
+//
+//	rtossimd [-addr :7077] [-shards N] [-queue N] [-cache N]
+//
+// Submit a scenario and read its report:
+//
+//	curl -s localhost:7077/v1/jobs -d '{"scenario": '"$(cat figure6.json)"'}'
+//	curl -s localhost:7077/v1/jobs/j000001/report
+//
+// The report and trace bytes are identical to `rtossim figure6.json` — both
+// run through internal/runner. Resubmitting a semantically identical
+// scenario (any field order, any duration spelling) is served from the
+// cache without running a simulation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":7077", "listen address")
+		shards = flag.Int("shards", 0, "worker shard count (0: GOMAXPROCS, capped at 8)")
+		queue  = flag.Int("queue", 0, "per-shard queue depth (0: 256)")
+		cache  = flag.Int("cache", 0, "result cache entries (0: 128, negative: disable)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtossimd [flags]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("rtossimd: ")
+
+	srv := server.New(server.Config{Shards: *shards, QueueDepth: *queue, CacheEntries: *cache})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+}

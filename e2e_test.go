@@ -4,11 +4,18 @@ package rtosmodel_test
 // run them on the shipped scenarios. Skipped under -short.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one cmd/<name> into a temp dir and returns the binary
@@ -173,4 +180,203 @@ func TestE2EExperiments(t *testing.T) {
 	if strings.Contains(text, "FAIL") || strings.Contains(text, "MISMATCH") {
 		t.Errorf("experiments reported failures:\n%s", text)
 	}
+}
+
+// TestE2ERtossimd drives the real daemon over HTTP: submit, poll, compare
+// the served report byte-for-byte with the CLI's stdout, prove the cache
+// serves resubmissions without running a simulation, scrape /metrics, and
+// cancel a long sweep mid-flight.
+func TestE2ERtossimd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cli := buildTool(t, "rtossim")
+	daemon := buildTool(t, "rtossimd")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(daemon, "-addr", addr)
+	var logBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &logBuf, &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	base := "http://" + addr
+
+	// Wait for the daemon to come up.
+	up := false
+	for i := 0; i < 200 && !up; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+		}
+		if !up {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	if !up {
+		t.Fatalf("daemon did not come up:\n%s", logBuf.String())
+	}
+
+	scenario, err := os.ReadFile("examples/scenarios/figure6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+		}
+		var job map[string]any
+		if err := json.Unmarshal(data, &job); err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+	getJSON := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	waitDone := func(id string) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			job := getJSON("/v1/jobs/" + id)
+			state := job["state"].(string)
+			if state == "done" || state == "failed" || state == "canceled" {
+				return job
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("job %s did not finish", id)
+		return nil
+	}
+	getBody := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, data)
+		}
+		return data
+	}
+
+	// Submit figure6, wait, and compare the report with the CLI's stdout.
+	job := submit(`{"scenario": ` + string(scenario) + `}`)
+	id := job["id"].(string)
+	done := waitDone(id)
+	if done["state"] != "done" {
+		t.Fatalf("job finished %v (error %v)", done["state"], done["error"])
+	}
+	daemonReport := getBody("/v1/jobs/" + id + "/report")
+	cliOut, err := exec.Command(cli, "examples/scenarios/figure6.json").Output()
+	if err != nil {
+		t.Fatalf("rtossim: %v", err)
+	}
+	if !bytes.Equal(daemonReport, cliOut) {
+		t.Errorf("daemon report differs from CLI stdout:\n--- daemon\n%s\n--- cli\n%s", daemonReport, cliOut)
+	}
+	if trace := getBody("/v1/jobs/" + id + "/trace"); !json.Valid(trace) {
+		t.Error("trace endpoint did not serve valid JSON")
+	}
+
+	simsBefore := promMetric(t, getBody("/metrics"), "rtossimd_simulations_total")
+
+	// Resubmit with scrambled spelling: cache hit, zero additional runs.
+	var doc map[string]any
+	if err := json.Unmarshal(scenario, &doc); err != nil {
+		t.Fatal(err)
+	}
+	respelled, err := json.Marshal(doc) // map marshal reorders fields
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := submit(`{"scenario": ` + string(respelled) + `}`)
+	if again["cacheHit"] != true || again["state"] != "done" {
+		t.Fatalf("resubmission not served from cache: %v", again)
+	}
+	if again["hash"] != job["hash"] {
+		t.Errorf("respelled scenario hashed differently: %v vs %v", again["hash"], job["hash"])
+	}
+	metricsText := getBody("/metrics")
+	if simsAfter := promMetric(t, metricsText, "rtossimd_simulations_total"); simsAfter != simsBefore {
+		t.Errorf("cache hit ran a simulation: %v -> %v", simsBefore, simsAfter)
+	}
+	if hits := promMetric(t, metricsText, "rtossimd_cache_hits_total"); hits < 1 {
+		t.Errorf("cache hits = %v, want >= 1", hits)
+	}
+	if !bytes.Equal(getBody("/v1/jobs/"+again["id"].(string)+"/report"), daemonReport) {
+		t.Error("cached report differs from the original job's report")
+	}
+
+	// Cancel a long sweep mid-flight: terminal state canceled, not all
+	// variants run.
+	sweep := submit(`{"kind": "sweep", "scenario": {
+		"name": "slow", "horizon": "200ms",
+		"processors": [{"name": "cpu0"}],
+		"tasks": [{"name": "t", "processor": "cpu0", "priority": 2, "period": "20us",
+		           "body": [{"op": "execute", "for": "5us"}]}]},
+		"sweep": {"workers": 1, "seeds": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}}`)
+	sweepID := sweep["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for getJSON("/v1/jobs/" + sweepID)["state"] == "queued" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Post(base+"/v1/jobs/"+sweepID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	canceled := waitDone(sweepID)
+	if canceled["state"] != "canceled" {
+		t.Errorf("sweep state after cancel = %v", canceled["state"])
+	}
+}
+
+// promMetric sums the samples of one metric family in Prometheus text form.
+func promMetric(t *testing.T, text []byte, name string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(string(text), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue
+		}
+		fields := strings.Fields(line)
+		var v float64
+		fmt.Sscanf(fields[len(fields)-1], "%g", &v)
+		sum += v
+	}
+	return sum
 }

@@ -1,9 +1,11 @@
 package batch
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/scenario"
@@ -333,5 +335,90 @@ func TestSummarizeAndTable(t *testing.T) {
 	rep := sum.Report()
 	if rep == "" {
 		t.Fatal("empty summary report")
+	}
+}
+
+func TestForEachCtxCancel(t *testing.T) {
+	// Cancelling mid-dispatch stops new work: with a serial pool that
+	// cancels the context from inside the third call, indices past it are
+	// never visited and ForEachCtx still returns (workers drain and exit).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited []int
+	ForEachCtx(ctx, 100, 1, func(i int) {
+		visited = append(visited, i)
+		if i == 2 {
+			cancel()
+		}
+	})
+	if len(visited) > 4 {
+		t.Fatalf("canceled ForEachCtx visited %d indices: %v", len(visited), visited)
+	}
+	for i, v := range visited {
+		if v != i {
+			t.Fatalf("serial ForEachCtx out of order: %v", visited)
+		}
+	}
+	// An already-canceled context dispatches nothing.
+	var n int32
+	ForEachCtx(ctx, 8, 4, func(i int) { atomic.AddInt32(&n, 1) })
+	if n != 0 {
+		t.Fatalf("pre-canceled ForEachCtx ran %d calls", n)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	// Cancelling a sweep stops in-flight dispatch promptly: the variants
+	// that never ran come back with ErrCanceled instead of the sweep
+	// draining the whole spec.
+	spec := testSpec()
+	variants, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done int32
+	results := spec.Run([]byte(baseScenario), variants, Options{
+		Workers: 1,
+		Context: ctx,
+		Progress: func(d, total int) {
+			if atomic.AddInt32(&done, 1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if len(results) != len(variants) {
+		t.Fatalf("got %d results for %d variants", len(results), len(variants))
+	}
+	var ok, canceled int
+	for i, r := range results {
+		if r.Variant.Index != variants[i].Index {
+			t.Fatalf("result %d carries variant %d", i, r.Variant.Index)
+		}
+		switch r.Err {
+		case "":
+			ok++
+		case ErrCanceled:
+			canceled++
+		default:
+			t.Fatalf("variant %d failed: %s", i, r.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation marked no variant as canceled")
+	}
+	if ok == 0 {
+		t.Fatal("no variant ran before cancellation")
+	}
+	if ok+canceled != len(results) {
+		t.Fatalf("ok %d + canceled %d != %d", ok, canceled, len(results))
+	}
+	// A nil context (the zero Options) still runs everything.
+	all := spec.Run([]byte(baseScenario), variants[:2], Options{Workers: 2})
+	for _, r := range all {
+		if r.Err != "" {
+			t.Fatalf("uncanceled run failed: %s", r.Err)
+		}
 	}
 }

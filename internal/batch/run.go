@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -60,15 +61,34 @@ type Options struct {
 	// done so far and the total. Calls are serialized but not ordered by
 	// variant index.
 	Progress func(done, total int)
+	// Context, when set, cancels the sweep: no new variant is dispatched
+	// after it is done, and variants that never ran report ErrCanceled as
+	// their result. In-flight variants finish (a simulation is internally
+	// single-threaded and cannot be interrupted mid-run), so cancellation
+	// latency is one variant's run time, not the remaining sweep.
+	Context context.Context
 }
+
+// ErrCanceled is the Result.Err text of a variant that was never simulated
+// because the sweep's context was canceled first.
+const ErrCanceled = "canceled"
 
 // ForEach runs fn(i) for every index in [0, n) on a bounded worker pool and
 // blocks until all calls return. Workers <= 0 means GOMAXPROCS. It is the
 // worker-pool core of Run, exported so other frontier consumers (the
-// schedule explorer fans its enumeration waves through it) share one
-// execution discipline: each fn call owns its index's work exclusively, and
-// a Workers=1 pool is fully serial.
+// schedule explorer fans its enumeration waves through it, the rtossimd
+// server runs its shard loops on it) share one execution discipline: each fn
+// call owns its index's work exclusively, and a Workers=1 pool is fully
+// serial.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done no further index
+// is dispatched, and the call returns as soon as the already-dispatched fn
+// calls finish. Indices that were never dispatched are simply skipped — the
+// caller distinguishes them by whatever per-index state fn leaves behind.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -89,8 +109,17 @@ func ForEach(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -103,10 +132,21 @@ func ForEach(n, workers int, fn func(i int)) {
 // the same results as any parallel execution.
 func (s *Spec) Run(base []byte, variants []Variant, opts Options) []Result {
 	results := make([]Result, len(variants))
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ran := make([]bool, len(variants))
 	var progressMu sync.Mutex
 	done := 0
-	ForEach(len(variants), opts.Workers, func(i int) {
-		results[i] = s.runOne(base, variants[i])
+	ForEachCtx(ctx, len(variants), opts.Workers, func(i int) {
+		ran[i] = true
+		if ctx.Err() != nil {
+			// Dispatched but not yet started when the sweep was canceled.
+			results[i] = Result{Variant: variants[i], Err: ErrCanceled}
+		} else {
+			results[i] = s.runOne(base, variants[i])
+		}
 		if opts.Progress != nil {
 			progressMu.Lock()
 			done++
@@ -114,6 +154,11 @@ func (s *Spec) Run(base []byte, variants []Variant, opts Options) []Result {
 			progressMu.Unlock()
 		}
 	})
+	for i := range results {
+		if !ran[i] {
+			results[i] = Result{Variant: variants[i], Err: ErrCanceled}
+		}
+	}
 	return results
 }
 

@@ -1,0 +1,299 @@
+// Package runner is the reusable run pipeline of the simulator: load →
+// validate → elaborate → run → analyze → export, factored out of the
+// one-shot CLI so every consumer — cmd/rtossim, the rtossimd daemon, tests —
+// produces reports, metrics, Perfetto traces and sweep/explore results
+// through one code path. The CLI is a thin client that parses flags into an
+// Options value and prints the Result; the daemon queues Requests, caches
+// Results by the scenario's canonical content hash, and serves the same
+// bytes over HTTP. Byte-identity between those consumers is a feature, not
+// an accident: the report text and every artifact are composed here, once.
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options parameterizes one simulation run. The zero value reproduces the
+// CLI's defaults (statistics, constraint and fault reports on; nothing
+// else), so a JSON job payload that omits the options gets the same report a
+// bare `rtossim scenario.json` prints. Suppression flags are spelled
+// negatively (NoStats) for exactly that reason.
+type Options struct {
+	// Until overrides the scenario horizon (e.g. "2ms").
+	Until string `json:"until,omitempty"`
+	// Engine overrides every processor's engine: "procedural" or "threaded".
+	Engine string `json:"engine,omitempty"`
+	// TaskEngine overrides every software task's body form: "goroutine" or
+	// "continuation".
+	TaskEngine string `json:"taskEngine,omitempty"`
+	// Analyze prepends the schedulability analysis for periodic tasks.
+	Analyze bool `json:"analyze,omitempty"`
+	// Timeline includes the ASCII TimeLine chart; Width is its column count
+	// (default 100) and Accesses shows communication accesses on it.
+	Timeline bool `json:"timeline,omitempty"`
+	Width    int  `json:"width,omitempty"`
+	Accesses bool `json:"accesses,omitempty"`
+	// Chronology includes the chronological event listing.
+	Chronology bool `json:"chronology,omitempty"`
+	// NoStats, NoConstraints and NoFaults suppress the corresponding report
+	// sections (all included by default; the fault report only appears when
+	// fault events were recorded).
+	NoStats       bool `json:"noStats,omitempty"`
+	NoConstraints bool `json:"noConstraints,omitempty"`
+	NoFaults      bool `json:"noFaults,omitempty"`
+	// Artifacts lists the exports to produce alongside the report: "csv",
+	// "vcd", "json", "svg", "perfetto", "metrics" (registry JSON), "prom"
+	// (registry Prometheus text).
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// KnownArtifacts are the artifact names Options.Artifacts accepts.
+var KnownArtifacts = []string{"csv", "vcd", "json", "svg", "perfetto", "metrics", "prom"}
+
+// Result is one finished run: identity, outcome, the human report (exactly
+// the bytes the CLI prints to stdout), and the requested artifacts.
+type Result struct {
+	// Name is the scenario's name (or the caller-supplied fallback).
+	Name string `json:"name"`
+	// End is the simulated end time; Finish tells why the run stopped.
+	End    sim.Time `json:"end"`
+	Finish string   `json:"finish"`
+	// Activations and DeltaCycles are the kernel's effort counters.
+	Activations uint64 `json:"activations"`
+	DeltaCycles uint64 `json:"deltaCycles"`
+	// SimError carries the failure text of a diagnosed bad run (deadlock,
+	// model panic, starvation); empty on success. The CLI prints it to
+	// stderr, so it is not part of Report.
+	SimError string `json:"simError,omitempty"`
+	// ConstraintsOK reports whether every timing constraint held.
+	ConstraintsOK bool `json:"constraintsOK"`
+	// AutoLowered names the tasks the build layer auto-selected onto the
+	// continuation engine (sorted; empty when none).
+	AutoLowered []string `json:"autoLowered,omitempty"`
+	// Report is the full report text, byte-identical to the CLI's stdout
+	// for the same options (minus its "wrote file" notices).
+	Report []byte `json:"-"`
+	// Artifacts maps requested artifact names to their rendered bytes.
+	Artifacts map[string][]byte `json:"-"`
+}
+
+// ExitCode is the process exit status the CLI maps the outcome to: 1 when
+// the simulation failed or a constraint was violated, 0 otherwise.
+func (r *Result) ExitCode() int {
+	if r.SimError != "" || !r.ConstraintsOK {
+		return 1
+	}
+	return 0
+}
+
+// Prepare parses the scenario bytes and applies the option overrides,
+// returning the ready-to-build description. Split from Run so callers that
+// need the description early (content hashing, job validation) share the
+// exact override semantics.
+func Prepare(data []byte, opts Options) (*scenario.System, error) {
+	desc, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Until != "" {
+		h, err := scenario.ParseDuration(opts.Until)
+		if err != nil {
+			return nil, err
+		}
+		desc.Horizon = scenario.Duration(h)
+	}
+	switch opts.Engine {
+	case "":
+	case "procedural", "threaded":
+		for i := range desc.Processors {
+			desc.Processors[i].Engine = opts.Engine
+		}
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want procedural or threaded)", opts.Engine)
+	}
+	switch opts.TaskEngine {
+	case "":
+	case "goroutine", "continuation":
+		for i := range desc.Tasks {
+			desc.Tasks[i].Engine = opts.TaskEngine
+		}
+		// Re-validate: some bodies (bus send/recv) have no continuation form.
+		if err := desc.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown task engine %q (want goroutine or continuation)", opts.TaskEngine)
+	}
+	for _, a := range opts.Artifacts {
+		known := false
+		for _, k := range KnownArtifacts {
+			known = known || a == k
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown artifact %q (want one of %s)", a, strings.Join(KnownArtifacts, ", "))
+		}
+	}
+	return desc, nil
+}
+
+// Run executes the full pipeline on one scenario. A non-nil error is a
+// load/validate/build-class failure (the CLI's exit-2 class); simulation
+// failures and constraint violations come back inside the Result.
+// fallbackName labels the report when the scenario has no name (the CLI
+// passes the file path).
+func Run(data []byte, opts Options, fallbackName string) (*Result, error) {
+	desc, err := Prepare(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	return RunPrepared(desc, opts, fallbackName)
+}
+
+// RunPrepared is Run for an already-Prepared description.
+func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Result, error) {
+	var report bytes.Buffer
+	if opts.Analyze {
+		report.WriteString(desc.AnalysisReport())
+		report.WriteString("\n")
+	}
+	built, err := desc.Build()
+	if err != nil {
+		return nil, err
+	}
+	rep, runErr := built.RunChecked()
+
+	sys := built.Sys
+	name := desc.Name
+	if name == "" {
+		name = fallbackName
+	}
+	res := &Result{
+		Name:          name,
+		End:           sys.Now(),
+		Finish:        rep.Reason.String(),
+		Activations:   sys.K.Activations(),
+		DeltaCycles:   sys.K.DeltaCount(),
+		ConstraintsOK: sys.Constraints.OK(),
+		AutoLowered:   append([]string(nil), built.AutoLowered...),
+	}
+	if runErr != nil {
+		res.SimError = runErr.Error()
+		res.Finish = sys.FinishReason().String()
+	}
+	fmt.Fprintf(&report, "scenario %s simulated to %v, finished %v (%d kernel activations, %d delta cycles)\n",
+		name, sys.Now(), sys.FinishReason(), sys.K.Activations(), sys.K.DeltaCount())
+
+	if blocked := sys.BlockedTasks(); len(blocked) > 0 {
+		fmt.Fprintf(&report, "warning: %d task(s) still blocked at the end:", len(blocked))
+		for _, t := range blocked {
+			fmt.Fprintf(&report, " %s(%v)", t.Name(), t.State())
+		}
+		fmt.Fprintln(&report)
+	}
+	if opts.Timeline {
+		width := opts.Width
+		if width == 0 {
+			width = 100
+		}
+		report.WriteString("\n")
+		report.WriteString(sys.Timeline(trace.TimelineOptions{
+			Width:        width,
+			ShowAccesses: opts.Accesses,
+			Legend:       true,
+		}))
+	}
+	if opts.Chronology {
+		report.WriteString("\n")
+		report.WriteString(sys.Chronology())
+	}
+	if !opts.NoStats {
+		report.WriteString("\n")
+		report.WriteString(sys.Stats(0).String())
+		for _, cpu := range sys.Processors() {
+			if cpu.Cores() > 1 {
+				report.WriteString("\n")
+				report.WriteString(analysis.CoreLoadReport(analysis.CoreLoads(sys.Rec, 0)))
+				break
+			}
+		}
+	}
+	if !opts.NoConstraints {
+		report.WriteString("\n")
+		report.WriteString(sys.Constraints.Report())
+	}
+	if evs := sys.Rec.FaultEvents(); !opts.NoFaults && len(evs) > 0 {
+		m := analysis.ComputeFaultMetrics(evs, sys.Now())
+		for _, t := range built.Tasks {
+			m.Jobs += int(t.CompletedCycles() + t.AbortedCycles())
+			m.AbortedJobs += int(t.AbortedCycles())
+		}
+		for _, v := range sys.Constraints.Violations() {
+			if strings.HasSuffix(v.Name, ".deadline") {
+				m.Misses++
+			}
+		}
+		report.WriteString("\n")
+		report.WriteString(m.Report())
+	}
+	res.Report = report.Bytes()
+
+	if len(opts.Artifacts) > 0 {
+		res.Artifacts = make(map[string][]byte, len(opts.Artifacts))
+		for _, a := range opts.Artifacts {
+			var buf bytes.Buffer
+			var err error
+			switch a {
+			case "csv":
+				err = sys.WriteCSV(&buf)
+			case "vcd":
+				err = sys.WriteVCD(&buf)
+			case "json":
+				err = sys.WriteJSON(&buf)
+			case "svg":
+				err = sys.WriteSVG(&buf, trace.SVGOptions{ShowAccesses: opts.Accesses})
+			case "perfetto":
+				err = sys.WritePerfetto(&buf)
+			case "metrics":
+				err = sys.WriteMetricsJSON(&buf)
+			case "prom":
+				err = sys.WriteMetricsPrometheus(&buf)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("rendering %s artifact: %w", a, err)
+			}
+			res.Artifacts[a] = buf.Bytes()
+		}
+	}
+	return res, nil
+}
+
+// WriteArtifact streams one rendered artifact; it exists so callers that
+// write straight to files or sockets need not special-case names.
+func (r *Result) WriteArtifact(w io.Writer, name string) error {
+	data, ok := r.Artifacts[name]
+	if !ok {
+		return fmt.Errorf("runner: artifact %q was not produced (have %s)",
+			name, strings.Join(r.ArtifactNames(), ", "))
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// ArtifactNames lists the produced artifacts, sorted.
+func (r *Result) ArtifactNames() []string {
+	names := make([]string, 0, len(r.Artifacts))
+	for n := range r.Artifacts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

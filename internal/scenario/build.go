@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bus"
 	"repro/internal/comm"
@@ -26,6 +27,11 @@ type Built struct {
 	Servers     map[string]*rtos.Server
 	Tasks       map[string]*rtos.Task
 	Watchdogs   map[string]*rtos.Watchdog
+
+	// AutoLowered names the tasks (sorted) whose unset engine field was
+	// auto-selected onto the continuation engine because their body lowered
+	// cleanly via rtos.LowerBody; see System.AutoEngine.
+	AutoLowered []string
 
 	// traceCursors tracks each named duration trace's position; a trace has
 	// one global cursor shared by all its execute_trace sites, advancing
@@ -168,6 +174,25 @@ func (s *System) Build() (*Built, error) {
 		case "restart":
 			cfg.OnMiss = rtos.MissRestartTask
 		}
+		if t.Engine == "" && s.autoEngine() && !t.Loop && len(t.Body) > 0 && autoLowerable(t.Body) {
+			// The engine is unset and the body is made only of purely
+			// recordable ops, so probe it with the real lowering machinery:
+			// run the goroutine closure against a recording TaskCtx and, when
+			// it lowers cleanly, run the task on the continuation engine with
+			// the recorded Program. The autoLowerable pre-check is what makes
+			// the probe safe — recording interprets the body once at
+			// elaboration time, so ops with effects outside the TaskCtx
+			// (raise, signal, tryput, execute_trace) must never reach it.
+			if prog, ok := b.lowerTask(t); ok {
+				b.AutoLowered = append(b.AutoLowered, t.Name)
+				if t.Period > 0 {
+					b.Tasks[t.Name] = cpu.NewPeriodicContTask(t.Name, cfg, prog)
+				} else {
+					b.Tasks[t.Name] = cpu.NewContTask(t.Name, cfg, prog)
+				}
+				continue
+			}
+		}
 		if t.Engine == "continuation" {
 			pb := rtos.BuildProgram()
 			if t.Period > 0 {
@@ -203,6 +228,7 @@ func (s *System) Build() (*Built, error) {
 			}
 		})
 	}
+	sort.Strings(b.AutoLowered)
 	for _, h := range s.Hardware {
 		h := h
 		b.Sys.NewHWTask(h.Name, rtos.HWConfig{Priority: h.Priority, StartAt: h.StartAt.Time()}, func(c *rtos.HWCtx) {
@@ -375,6 +401,51 @@ func (b *Built) runOps(a opActor, ops []Op) {
 			panic(fmt.Sprintf("scenario: unvalidated op %q", op.Op))
 		}
 	}
+}
+
+// autoEngine reports whether automatic task-engine selection is enabled for
+// the scenario: on unless the description says "autoEngine": false.
+func (s *System) autoEngine() bool {
+	return s.AutoEngine == nil || *s.AutoEngine
+}
+
+// autoLowerable reports whether every op in the body belongs to the purely
+// recordable subset of the behaviour language: ops that map one-to-one onto
+// the TaskCtx calls rtos.LowerBody records (execute, delay, yield, the
+// preemption toggles, setprio) plus bounded repeat over the same subset.
+// Anything else — comm relations, IRQ raises, traces, watchdog kicks — either
+// has effects outside the TaskCtx or depends on simulation state, so it must
+// never run against a recording context.
+func autoLowerable(ops []Op) bool {
+	for _, op := range ops {
+		switch op.Op {
+		case "execute", "delay", "yield", "nopreempt_begin", "nopreempt_end", "setprio":
+		case "repeat":
+			if !autoLowerable(op.Body) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lowerTask probes one auto-lowerable task body with the rtos lowering
+// machinery and returns the recorded Program. Lowering can still fail here —
+// a deeply nested repeat can overflow the recording bound — in which case the
+// task keeps the goroutine engine.
+func (b *Built) lowerTask(t SWTask) (*rtos.Program, bool) {
+	if t.Period > 0 {
+		return rtos.LowerPeriodicBody(func(c *rtos.TaskCtx, cycle int) {
+			b.runOps(swOps(c), t.Body)
+		})
+	}
+	return rtos.LowerBody(func(c *rtos.TaskCtx) {
+		for i := 0; i < max(1, t.Repeat); i++ {
+			b.runOps(swOps(c), t.Body)
+		}
+	})
 }
 
 // compileOps translates a behaviour script into continuation program ops,

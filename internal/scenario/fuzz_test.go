@@ -82,6 +82,45 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzCanonicalHash checks the canonical-hash fixed point on arbitrary
+// inputs: whatever parses must canonicalize, the canonical form must itself
+// parse, and hashing it must reproduce the original hash (otherwise the
+// rtossimd result cache would miss — or worse, collide — on re-submitted
+// configurations).
+func FuzzCanonicalHash(f *testing.F) {
+	f.Add(figure6JSON)
+	f.Add(hashBase)
+	f.Add(`{"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
+	// Duration spelling and field order must not move the hash; explicit
+	// autoEngine values exercise the tri-state normalization.
+	f.Add(`{"horizon":1000000000,"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":1000000}]}]}`)
+	f.Add(`{"tasks":[{"body":[{"for":"1us","op":"execute"}],"processor":"p","name":"t"}],"processors":[{"name":"p"}],"horizon":"1us"}`)
+	f.Add(`{"autoEngine":true,"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
+	f.Add(`{"autoEngine":false,"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute","for":"1us"}]}]}`)
+	f.Add(`{"traces":{"b":["1us"],"a":["2us","3us"]},"processors":[{"name":"p"}],"tasks":[{"name":"t","processor":"p","body":[{"op":"execute_trace","trace":"a"}]}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse([]byte(src))
+		if err != nil {
+			return
+		}
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatalf("parsed scenario failed to hash: %v", err)
+		}
+		canon, err := s.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("parsed scenario failed to canonicalize: %v", err)
+		}
+		h2, err := HashBytes(canon)
+		if err != nil {
+			t.Fatalf("canonical form %s does not re-parse: %v", canon, err)
+		}
+		if h1 != h2 {
+			t.Fatalf("canonical form re-hashes %s, want %s (canon: %s)", h2, h1, canon)
+		}
+	})
+}
+
 // TestFuzzSeedsAsUnitTests keeps the seed corpus exercised in plain `go
 // test` runs (the fuzz engine itself only runs with -fuzz).
 func TestFuzzSeedsAsUnitTests(t *testing.T) {

@@ -89,6 +89,13 @@ type System struct {
 	// exists for differential testing and for tiny models where the heap's
 	// footprint wins.
 	TimedQueue string `json:"timedQueue,omitempty"`
+	// AutoEngine, when explicitly false, opts the scenario out of automatic
+	// task-engine selection: tasks whose engine field is unset then always
+	// run goroutine bodies. Absent (or true), Build probes each unset task
+	// with rtos.LowerBody and runs it on the continuation engine when the
+	// body lowers cleanly; both forms produce identical simulated behaviour
+	// (see the engine field of SWTask).
+	AutoEngine *bool `json:"autoEngine,omitempty"`
 
 	Processors  []Processor  `json:"processors"`
 	Events      []Event      `json:"events"`

@@ -1,0 +1,57 @@
+package server
+
+import "container/list"
+
+// resultCache is a plain LRU over finished simulate results, keyed by the
+// scenario's canonical content hash plus the canonical options JSON. Entries
+// are immutable once inserted — the cached *runner.Result and its byte
+// slices are shared between jobs, never mutated — so a hit costs a map
+// lookup and a list splice. The cache is guarded by the server mutex.
+type resultCache struct {
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+func (c *resultCache) get(key string) (any, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+func (c *resultCache) put(key string, value any) (evicted bool) {
+	if c.cap <= 0 {
+		return false
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: value})
+	if len(c.entries) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		return true
+	}
+	return false
+}
+
+func (c *resultCache) len() int { return len(c.entries) }

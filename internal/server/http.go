@@ -1,0 +1,244 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// maxRequestBytes bounds a job submission body (scenarios are small; a sweep
+// spec plus base scenario fits comfortably).
+const maxRequestBytes = 4 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs              submit a job (scenario, sweep or explore)
+//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs/{id}         job status (result summary when done)
+//	GET    /v1/jobs/{id}/report  the human report, byte-identical to the CLI
+//	GET    /v1/jobs/{id}/trace   the Perfetto trace artifact
+//	GET    /v1/jobs/{id}/metrics the simulation metrics registry (JSON)
+//	GET    /v1/jobs/{id}/results a sweep job's per-variant results (JSON)
+//	GET    /v1/jobs/{id}/stream  progress events as NDJSON (chunked)
+//	POST   /v1/jobs/{id}/cancel  cancel (DELETE /v1/jobs/{id} is an alias)
+//	GET    /metrics              daemon metrics in Prometheus text form
+//	GET    /healthz              liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.jobBytes(func(j *Job) ([]byte, string) {
+		return j.report(), "text/plain; charset=utf-8"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.jobBytes(func(j *Job) ([]byte, string) {
+		return j.artifact("perfetto"), "application/json"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.jobBytes(func(j *Job) ([]byte, string) {
+		if j.explore != nil {
+			return j.explore.MetricsJSON, "application/json"
+		}
+		return j.artifact("metrics"), "application/json"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.jobBytes(func(j *Job) ([]byte, string) {
+		if j.sweep == nil {
+			return nil, ""
+		}
+		data, err := j.sweep.ResultsJSON()
+		if err != nil {
+			return nil, ""
+		}
+		return data, "application/json"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxRequestBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "request over %d bytes", maxRequestBytes)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	job, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJob(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(jobs)
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *Job {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.lookupJob(w, r); job != nil {
+		s.writeJob(w, http.StatusOK, job)
+	}
+}
+
+// writeJob marshals a job snapshot under the server lock (workers mutate
+// jobs concurrently).
+func (s *Server) writeJob(w http.ResponseWriter, code int, job *Job) {
+	s.mu.Lock()
+	data, err := json.MarshalIndent(job, "", "  ")
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// jobBytes adapts a "bytes of a finished job" accessor to a handler. 409
+// for jobs still in flight, 404 for artifacts the job did not produce.
+func (s *Server) jobBytes(get func(*Job) ([]byte, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job := s.lookupJob(w, r)
+		if job == nil {
+			return
+		}
+		s.mu.Lock()
+		terminal := job.State.terminal()
+		var data []byte
+		var ctype string
+		if terminal {
+			data, ctype = get(job)
+		}
+		s.mu.Unlock()
+		if !terminal {
+			httpError(w, http.StatusConflict, "job %s is %s; retry when terminal", job.ID, job.State)
+			return
+		}
+		if data == nil {
+			httpError(w, http.StatusNotFound, "job %s has no such artifact", job.ID)
+			return
+		}
+		w.Header().Set("Content-Type", ctype)
+		w.Write(data)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.Cancel(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	job, _ := s.Job(r.PathValue("id"))
+	s.writeJob(w, http.StatusOK, job)
+}
+
+// handleStream serves the job's event log as NDJSON and keeps the response
+// open, flushing new events as the job progresses, until the job reaches a
+// terminal state or the client goes away.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(w, r)
+	if job == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	past, ch := s.subscribe(job)
+	lastSeq := -1
+	for _, ev := range past {
+		enc.Encode(ev)
+		lastSeq = ev.Seq
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Terminal: emit any events a full buffer dropped, so the
+				// stream always ends with the terminal transition.
+				s.mu.Lock()
+				tail := append([]Event(nil), job.events...)
+				s.mu.Unlock()
+				for _, ev := range tail {
+					if ev.Seq > lastSeq {
+						enc.Encode(ev)
+						lastSeq = ev.Seq
+					}
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+			if ev.Seq <= lastSeq {
+				continue
+			}
+			enc.Encode(ev)
+			lastSeq = ev.Seq
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(func(reg *metrics.Registry) error {
+		return reg.WritePrometheus(w)
+	})
+}

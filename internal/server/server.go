@@ -1,0 +1,457 @@
+// Package server is the simulation-as-a-service core behind the rtossimd
+// daemon: a durable in-memory job queue, a sharded worker pool (reusing
+// internal/batch's pool), a content-hash LRU result cache, and an HTTP/JSON
+// API with streaming progress. It is a thin shell around internal/runner —
+// every job runs through the same pipeline the rtossim CLI uses, so the
+// report and trace bytes a job serves are identical to the CLI's output for
+// the same scenario and options.
+//
+// Jobs are routed to a worker shard by the scenario's canonical content hash
+// (internal/scenario.Hash): resubmissions of a semantically identical
+// scenario — any field order, any duration spelling — land on the same
+// shard, and simulate jobs whose (hash, options) pair is cached complete
+// without running a simulation at all.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// Config parameterizes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// Shards is the number of worker queues (default: GOMAXPROCS, capped at 8).
+	Shards int
+	// QueueDepth bounds each shard's queue; submissions beyond it are
+	// rejected with 503 (default 256).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 128; 0 uses the
+	// default, negative disables caching).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 128
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	return c
+}
+
+// Server owns the job table, the shard queues and the result cache. One
+// mutex guards all of them plus the metrics registry (the registry is
+// allocation-free but not itself thread-safe); the heavy work — running
+// simulations — happens outside the lock.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // job IDs in submission order
+	seq   int
+	cache *resultCache
+
+	queues []chan *Job
+
+	reg *metrics.Registry
+	m   struct {
+		submitted   *metrics.Counter
+		completed   map[JobState]*metrics.Counter
+		queued      *metrics.Gauge
+		running     *metrics.Gauge
+		shardDepth  []*metrics.Gauge
+		workersBusy *metrics.Gauge
+		workers     *metrics.Gauge
+		cacheHits   *metrics.Counter
+		cacheMiss   *metrics.Counter
+		cacheSize   *metrics.Gauge
+		cacheEvict  *metrics.Counter
+		simulations map[JobKind]*metrics.Counter
+		wallMS      *metrics.Histogram
+	}
+
+	ctx         context.Context
+	cancel      context.CancelFunc
+	workersDone chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		jobs:        make(map[string]*Job),
+		cache:       newResultCache(cfg.CacheEntries),
+		queues:      make([]chan *Job, cfg.Shards),
+		reg:         metrics.NewRegistry(),
+		workersDone: make(chan struct{}),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for i := range s.queues {
+		s.queues[i] = make(chan *Job, cfg.QueueDepth)
+	}
+
+	// Create every metric up front: Registry lookups mutate its maps, so
+	// after this point only the pre-built handles are touched (under s.mu).
+	s.m.submitted = s.reg.Counter("rtossimd_jobs_submitted_total", "jobs accepted by the queue")
+	s.m.completed = map[JobState]*metrics.Counter{}
+	for _, st := range []JobState{StateDone, StateFailed, StateCanceled} {
+		s.m.completed[st] = s.reg.Counter("rtossimd_jobs_completed_total",
+			"jobs finished, by terminal state", metrics.L("state", string(st)))
+	}
+	s.m.queued = s.reg.Gauge("rtossimd_jobs_queued", "jobs waiting in shard queues")
+	s.m.running = s.reg.Gauge("rtossimd_jobs_running", "jobs currently executing")
+	s.m.shardDepth = make([]*metrics.Gauge, cfg.Shards)
+	for i := range s.m.shardDepth {
+		s.m.shardDepth[i] = s.reg.Gauge("rtossimd_queue_depth",
+			"queued jobs per worker shard", metrics.L("shard", strconv.Itoa(i)))
+	}
+	s.m.workersBusy = s.reg.Gauge("rtossimd_workers_busy", "workers executing a job")
+	s.m.workers = s.reg.Gauge("rtossimd_workers", "worker pool size")
+	s.m.workers.Set(int64(cfg.Shards))
+	s.m.cacheHits = s.reg.Counter("rtossimd_cache_hits_total", "simulate jobs served from the result cache")
+	s.m.cacheMiss = s.reg.Counter("rtossimd_cache_misses_total", "simulate jobs that had to run")
+	s.m.cacheSize = s.reg.Gauge("rtossimd_cache_entries", "results held in the cache")
+	s.m.cacheEvict = s.reg.Counter("rtossimd_cache_evictions_total", "results evicted from the cache")
+	s.m.simulations = map[JobKind]*metrics.Counter{}
+	for _, k := range []JobKind{KindSimulate, KindSweep, KindExplore} {
+		s.m.simulations[k] = s.reg.Counter("rtossimd_simulations_total",
+			"simulation pipeline executions (cache hits run none)", metrics.L("kind", string(k)))
+	}
+	s.m.wallMS = s.reg.Histogram("rtossimd_job_wall_ms", "job wall time in milliseconds",
+		[]int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000})
+
+	// The worker pool is internal/batch's: one pool item per shard, each
+	// item a shard loop that drains its queue until shutdown.
+	go func() {
+		defer close(s.workersDone)
+		batch.ForEach(cfg.Shards, cfg.Shards, s.shardLoop)
+	}()
+	return s
+}
+
+// Close stops the worker pool and cancels every job context. In-flight
+// single simulations run to completion in their worker before the pool
+// exits; sweeps stop at the next variant boundary.
+func (s *Server) Close() {
+	s.cancel()
+	<-s.workersDone
+}
+
+// Submit validates a request, routes it to a shard by content hash, and
+// returns the job. Cache hits complete synchronously. The returned error is
+// a client error (bad request); queue overflow returns ErrQueueFull.
+func (s *Server) Submit(req Request) (*Job, error) {
+	kind := req.Kind
+	if kind == "" {
+		kind = KindSimulate
+	}
+	if len(req.Scenario) == 0 {
+		return nil, fmt.Errorf("request has no scenario document")
+	}
+
+	job := &Job{Kind: kind, State: StateQueued, Created: time.Now(), req: req,
+		scenario: append([]byte(nil), req.Scenario...)}
+
+	desc, err := scenario.Parse(job.scenario)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	job.Hash, err = desc.Hash()
+	if err != nil {
+		return nil, err
+	}
+
+	switch kind {
+	case KindSimulate:
+		// Default artifacts so the trace/metrics endpoints work; an explicit
+		// empty list opts out. Normalize before building the cache key so
+		// spelled-out defaults hit the same entry.
+		if job.req.Options.Artifacts == nil {
+			job.req.Options.Artifacts = []string{"perfetto", "metrics"}
+		}
+		if _, err := runner.Prepare(job.scenario, job.req.Options); err != nil {
+			return nil, err
+		}
+		optJSON, err := json.Marshal(job.req.Options)
+		if err != nil {
+			return nil, err
+		}
+		job.cacheKey = job.Hash + "\x00" + string(optJSON)
+	case KindSweep:
+		if len(req.Sweep) == 0 {
+			return nil, fmt.Errorf("sweep job has no sweep spec")
+		}
+		spec, err := batch.ParseSpec(req.Sweep)
+		if err != nil {
+			return nil, fmt.Errorf("sweep spec: %w", err)
+		}
+		if _, err := spec.Expand(); err != nil {
+			return nil, fmt.Errorf("sweep spec: %w", err)
+		}
+		job.spec = spec
+	case KindExplore:
+		// The scenario parse above is the full validation; explore bounds
+		// default inside the engine.
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want simulate, sweep or explore)", kind)
+	}
+
+	job.Shard = shardOf(job.Hash, s.cfg.Shards)
+	job.ctx, job.cancel = context.WithCancel(s.ctx)
+
+	s.mu.Lock()
+	s.seq++
+	job.ID = fmt.Sprintf("j%06d", s.seq)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.m.submitted.Inc()
+
+	// Cache check (simulate only): a hit completes the job immediately, on
+	// the caller's goroutine, without entering a queue.
+	if job.cacheKey != "" {
+		if v, ok := s.cache.get(job.cacheKey); ok {
+			res := v.(*runner.Result)
+			job.CacheHit = true
+			job.Started = time.Now()
+			job.Result = res
+			s.m.cacheHits.Inc()
+			s.finishLocked(job, StateDone, "served from cache")
+			s.mu.Unlock()
+			return job, nil
+		}
+		s.m.cacheMiss.Inc()
+	}
+
+	select {
+	case s.queues[job.Shard] <- job:
+		s.m.queued.Add(1)
+		s.m.shardDepth[job.Shard].Add(1)
+		s.pushEventLocked(job, Event{State: StateQueued})
+		s.mu.Unlock()
+		return job, nil
+	default:
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// ErrQueueFull is returned by Submit when the job's shard queue is at
+// capacity.
+var ErrQueueFull = fmt.Errorf("shard queue is full")
+
+// shardOf routes a canonical content hash to a shard: the hash is uniform,
+// so its first 8 hex digits modulo the shard count balance the pool while
+// keeping identical scenarios on one shard.
+func shardOf(hash string, shards int) int {
+	if len(hash) < 8 || shards <= 1 {
+		return 0
+	}
+	v, err := strconv.ParseUint(hash[:8], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return int(v % uint64(shards))
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: queued jobs complete as canceled without running,
+// running sweeps stop at the next variant boundary, and a running single
+// simulation finishes its run but the job still lands in state canceled.
+// It reports whether the job exists.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	if j.State.terminal() {
+		return true
+	}
+	j.cancel()
+	if j.State == StateQueued {
+		// The worker will skip it when dequeued; finish it now so pollers
+		// and streams see the terminal state immediately.
+		s.finishLocked(j, StateCanceled, "canceled while queued")
+	}
+	return true
+}
+
+// shardLoop is one worker: it drains its shard queue until shutdown.
+func (s *Server) shardLoop(shard int) {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job := <-s.queues[shard]:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one dequeued job through internal/runner.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	s.m.queued.Add(-1)
+	s.m.shardDepth[job.Shard].Add(-1)
+	if job.State.terminal() { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	job.Started = time.Now()
+	s.m.running.Add(1)
+	s.m.workersBusy.Add(1)
+	s.m.simulations[job.Kind].Inc()
+	s.pushEventLocked(job, Event{State: StateRunning})
+	progress := func(done, total int) {
+		s.mu.Lock()
+		s.pushEventLocked(job, Event{State: StateRunning, Done: done, Total: total})
+		s.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	var (
+		result  *runner.Result
+		sweep   *runner.SweepResult
+		explore *runner.ExploreResult
+		err     error
+	)
+	switch job.Kind {
+	case KindSimulate:
+		result, err = runner.Run(job.scenario, job.req.Options, job.Hash[:12])
+	case KindSweep:
+		sweep, err = runner.Sweep(job.spec, job.scenario, runner.SweepOptions{
+			Workers:  job.spec.Workers,
+			Progress: progress,
+			Context:  job.ctx,
+		})
+	case KindExplore:
+		explore, err = runner.Explore(job.scenario, job.req.Explore, job.Hash[:12])
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.running.Add(-1)
+	s.m.workersBusy.Add(-1)
+	s.m.wallMS.Observe(time.Since(job.Started).Milliseconds())
+	switch {
+	case err != nil:
+		job.Error = err.Error()
+		s.finishLocked(job, StateFailed, job.Error)
+	case job.ctx.Err() != nil || (sweep != nil && sweep.Canceled):
+		job.Result, job.sweep, job.explore = result, sweep, explore
+		s.fillSummariesLocked(job)
+		s.finishLocked(job, StateCanceled, "canceled")
+	default:
+		job.Result, job.sweep, job.explore = result, sweep, explore
+		s.fillSummariesLocked(job)
+		if job.cacheKey != "" && result != nil && result.SimError == "" {
+			if s.cache.put(job.cacheKey, result) {
+				s.m.cacheEvict.Inc()
+			}
+			s.m.cacheSize.Set(int64(s.cache.len()))
+		}
+		s.finishLocked(job, StateDone, "")
+	}
+}
+
+func (s *Server) fillSummariesLocked(job *Job) {
+	if job.sweep != nil {
+		sum := job.sweep.Summary
+		job.SweepSummary = &sum
+	}
+	if job.explore != nil {
+		job.Violations = len(job.explore.Summary.Violations)
+	}
+}
+
+// finishLocked moves a job to a terminal state, emits the final event, and
+// closes every stream subscription. Caller holds s.mu.
+func (s *Server) finishLocked(job *Job, state JobState, msg string) {
+	job.State = state
+	job.Finished = time.Now()
+	job.cancel()
+	s.m.completed[state].Inc()
+	s.pushEventLocked(job, Event{State: state, Message: msg})
+	for _, ch := range job.subs {
+		close(ch)
+	}
+	job.subs = nil
+}
+
+// pushEventLocked appends an event to the job log and fans it out to
+// subscribers. Caller holds s.mu. A slow stream reader loses intermediate
+// progress events rather than blocking the worker.
+func (s *Server) pushEventLocked(job *Job, ev Event) {
+	ev.Seq = len(job.events)
+	ev.Time = time.Now()
+	job.events = append(job.events, ev)
+	for _, ch := range job.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a stream reader: it returns the events so far and a
+// channel for subsequent ones (nil when the job is already terminal).
+func (s *Server) subscribe(job *Job) ([]Event, chan Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	past := append([]Event(nil), job.events...)
+	if job.State.terminal() {
+		return past, nil
+	}
+	ch := make(chan Event, 64)
+	job.subs = append(job.subs, ch)
+	return past, ch
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Metrics renders the registry under the server lock (the registry itself
+// is not thread-safe).
+func (s *Server) writeMetrics(write func(*metrics.Registry) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return write(s.reg)
+}
