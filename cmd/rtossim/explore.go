@@ -25,6 +25,7 @@ func exploreMain(args []string) {
 		expectViol   = fs.Bool("expect-violation", false, "exit 0 only when at least one violation is found and its replay verified (for CI smoke checks)")
 		checkEngines = fs.Bool("check-engines", false, "compare every interleaving's trace signature across both RTOS engines")
 		metricsPath  = fs.String("metrics", "", "write the exploration metrics registry as JSON to this file")
+		remote       = fs.String("remote", "", "run through a rtossimd daemon at this address instead of in process")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rtossim explore [flags] scenario.json\n\n")
@@ -41,6 +42,19 @@ func exploreMain(args []string) {
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *remote != "" {
+		if *replay != "" {
+			fatal(fmt.Errorf("-replay is local-only (replaying a trace is a single interactive run, not a queued job)"))
+		}
+		remoteExplore(*remote, data, runner.ExploreOptions{
+			Runs:         *runs,
+			Depth:        *depth,
+			Workers:      *workers,
+			CheckEngines: *checkEngines,
+		}, *metricsPath, *expectViol)
+		return
 	}
 
 	if *replay != "" {

@@ -58,6 +58,7 @@ func main() {
 		perfetto    = flag.String("perfetto", "", "write the trace as Perfetto/Chrome trace_event JSON to this file")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile  = flag.String("memprofile", "", "write a memory profile to this file after the simulation")
+		remote      = flag.String("remote", "", "run through a rtossimd daemon at this address instead of in process")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtossim [flags] scenario.json\n\n")
@@ -95,6 +96,11 @@ func main() {
 		if files[name] != "" {
 			opts.Artifacts = append(opts.Artifacts, name)
 		}
+	}
+
+	if *remote != "" {
+		remoteSimulate(*remote, data, opts, files)
+		return
 	}
 
 	stopCPUProfile := startCPUProfile(*cpuprofile)

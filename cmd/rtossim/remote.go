@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+// This file implements -remote: the same subcommands, executed by a rtossimd
+// daemon instead of in process. The output contract is byte-identity — the
+// report on stdout, the "wrote file" notices, the simulation-failure block on
+// stderr and the exit code are exactly what the local run produces, because
+// the daemon composes them in the same internal/runner pipeline. Only
+// host-local concerns (profiling, explore -replay) stay local-only.
+
+func newRemoteClient(addr string) *client.Client {
+	c := client.New(addr)
+	c.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rtossim: "+format+"\n", args...)
+	}
+	return c
+}
+
+// remoteFinish waits a submitted job to its terminal state and maps
+// non-done outcomes onto the CLI's error behavior (exit 2, like any other
+// pipeline failure).
+func remoteFinish(c *client.Client, id string, onEvent func(server.Event)) *server.Job {
+	job, err := c.Wait(context.Background(), id, onEvent)
+	if err != nil {
+		fatal(err)
+	}
+	switch job.State {
+	case server.StateDone:
+		return job
+	case server.StateFailed:
+		fatal(fmt.Errorf("remote job %s failed: %s", id, job.Error))
+	case server.StateCanceled:
+		fatal(fmt.Errorf("remote job %s was canceled", id))
+	default:
+		fatal(fmt.Errorf("remote job %s ended in unexpected state %s", id, job.State))
+	}
+	return nil
+}
+
+// remoteSimulate runs one scenario through the daemon: submit, wait, print
+// the report, write the requested artifact files, mirror the local exit code.
+func remoteSimulate(addr string, data []byte, opts runner.Options, files map[string]string) {
+	c := newRemoteClient(addr)
+	sub, err := c.Submit(server.Request{Scenario: data, Options: opts})
+	if err != nil {
+		fatal(err)
+	}
+	job := remoteFinish(c, sub.ID, nil)
+
+	report, err := c.Report(job.ID)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(report)
+	res := job.Result
+	if res == nil {
+		fatal(fmt.Errorf("remote job %s returned no result", job.ID))
+	}
+	if res.SimError != "" {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "rtossim: simulation failed:")
+		for _, line := range strings.Split(res.SimError, "\n") {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+	}
+	for _, name := range opts.Artifacts {
+		data, err := c.Artifact(job.ID, name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(files[name], data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", files[name])
+	}
+	os.Exit(res.ExitCode())
+}
+
+// injectWorkers folds the CLI's -workers override into the sweep spec JSON:
+// the daemon reads the worker count from the spec, so the flag must travel
+// inside it. A zero override leaves the spec untouched.
+func injectWorkers(spec []byte, workers int) ([]byte, error) {
+	if workers == 0 {
+		return spec, nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(spec, &m); err != nil {
+		return nil, fmt.Errorf("sweep spec: %w", err)
+	}
+	m["workers"] = workers
+	return json.Marshal(m)
+}
+
+// remoteSweep runs a sweep through the daemon. The spec travels as JSON with
+// the -workers override injected (the daemon reads the worker count from the
+// spec, not from a flag), and the base scenario is embedded in the request —
+// the daemon never touches the filesystem.
+func remoteSweep(addr string, spec []byte, base []byte, jsonPath string, quiet bool) {
+	c := newRemoteClient(addr)
+	sub, err := c.Submit(server.Request{Kind: server.KindSweep, Scenario: base, Sweep: spec})
+	if err != nil {
+		fatal(err)
+	}
+	onEvent := func(ev server.Event) {
+		if quiet || ev.Total == 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\rsweep: %d/%d", ev.Done, ev.Total)
+		if ev.Done == ev.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	job := remoteFinish(c, sub.ID, onEvent)
+
+	report, err := c.Report(job.ID)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(report)
+	if jsonPath != "" {
+		data, err := c.Results(job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if job.SweepSummary != nil && job.SweepSummary.Failures > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// remoteExplore runs a schedule-space exploration through the daemon.
+// -replay stays local-only: replaying a decoded trace is interactive
+// single-run work, not a queued job.
+func remoteExplore(addr string, data []byte, opts runner.ExploreOptions, metricsPath string, expectViol bool) {
+	c := newRemoteClient(addr)
+	sub, err := c.Submit(server.Request{Kind: server.KindExplore, Scenario: data, Explore: opts})
+	if err != nil {
+		fatal(err)
+	}
+	job := remoteFinish(c, sub.ID, nil)
+
+	report, err := c.Report(job.ID)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(report)
+	if metricsPath != "" {
+		data, err := c.Metrics(job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsPath)
+	}
+	if expectViol {
+		if job.ExploreSummary != nil {
+			for _, v := range job.ExploreSummary.Violations {
+				if v.Replayed {
+					return
+				}
+			}
+		}
+		fmt.Fprintln(os.Stderr, "rtossim: expected at least one replay-verified violation, found none")
+		os.Exit(1)
+	}
+	if job.Violations > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -24,6 +24,7 @@ func sweepMain(args []string) {
 		quiet    = fs.Bool("quiet", false, "suppress the progress line")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprof  = fs.String("memprofile", "", "write a memory profile to this file after the sweep")
+		remote   = fs.String("remote", "", "run through a rtossimd daemon at this address instead of in process")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rtossim sweep [flags] sweep.json\n\n")
@@ -61,6 +62,15 @@ func sweepMain(args []string) {
 	}
 	if _, err := scenario.Parse(base); err != nil {
 		fatal(fmt.Errorf("base scenario %s: %w", scenPath, err))
+	}
+
+	if *remote != "" {
+		specJSON, err := injectWorkers(specData, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		remoteSweep(*remote, specJSON, base, *jsonPath, *quiet)
+		return
 	}
 
 	opts := runner.SweepOptions{Workers: *workers, NoTable: !*table}

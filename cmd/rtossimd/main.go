@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rtossimd [-addr :7077] [-shards N] [-queue N] [-cache N]
+//	rtossimd [-addr :7077] [-shards N] [-queue N] [-cache N] [-journal DIR]
 //
 // Submit a scenario and read its report:
 //
@@ -16,6 +16,11 @@
 // run through internal/runner. Resubmitting a semantically identical
 // scenario (any field order, any duration spelling) is served from the
 // cache without running a simulation.
+//
+// With -journal DIR the daemon is crash-safe: every accepted submission and
+// terminal state is appended (fsynced) to DIR/journal.ndjson and replayed on
+// the next start — finished jobs come back with their exact result bytes,
+// unfinished jobs are re-enqueued and re-run.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,10 +40,11 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7077", "listen address")
-		shards = flag.Int("shards", 0, "worker shard count (0: GOMAXPROCS, capped at 8)")
-		queue  = flag.Int("queue", 0, "per-shard queue depth (0: 256)")
-		cache  = flag.Int("cache", 0, "result cache entries (0: 128, negative: disable)")
+		addr    = flag.String("addr", ":7077", "listen address (port 0 picks an ephemeral port)")
+		shards  = flag.Int("shards", 0, "worker shard count (0: GOMAXPROCS, capped at 8)")
+		queue   = flag.Int("queue", 0, "per-shard queue depth (0: 256)")
+		cache   = flag.Int("cache", 0, "result cache entries (0: 128, negative: disable)")
+		journal = flag.String("journal", "", "crash-safe job journal directory (empty: no durability)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtossimd [flags]\n\n")
@@ -52,16 +59,30 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("rtossimd: ")
 
-	srv := server.New(server.Config{Shards: *shards, QueueDepth: *queue, CacheEntries: *cache})
+	srv, err := server.New(server.Config{
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		Journal:      *journal,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Listen before logging so "listening on" always names the bound address
+	// (with -addr :0, the kernel-assigned port) — scripts parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

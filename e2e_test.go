@@ -361,6 +361,316 @@ func TestE2ERtossimd(t *testing.T) {
 	}
 }
 
+// startDaemon launches rtossimd on an ephemeral port (writing its log to
+// logPath so crashes leave evidence) and returns the process and base URL.
+// The port is parsed from the daemon's own "listening on" line — the same
+// contract scripts/smoke_rtossimd.sh relies on.
+func startDaemon(t *testing.T, bin, logPath string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	logf.Close() // the child owns the descriptor now
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			data, _ := os.ReadFile(logPath)
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("daemon never logged its address:\n%s", data)
+		}
+		data, _ := os.ReadFile(logPath)
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr = strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+		if addr == "" {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+	for i := 0; i < 200; i++ {
+		if resp, err := http.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	data, _ := os.ReadFile(logPath)
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("daemon did not become healthy:\n%s", data)
+	return nil, ""
+}
+
+func postJSON(t *testing.T, base, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var job map[string]any
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func getJSONAt(t *testing.T, base, path string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDoneAt(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		job := getJSONAt(t, base, "/v1/jobs/"+id)
+		switch job["state"] {
+		case "done", "failed", "canceled":
+			return job
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return nil
+}
+
+func getBodyAt(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestE2EJournalRecovery is the restart-recovery proof: SIGKILL the daemon
+// mid-sweep, restart it on the same journal, and the unfinished job re-runs
+// to completion with a report byte-identical to an uninterrupted run of the
+// same request. A torn journal tail must not impede the recovery.
+func TestE2EJournalRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	daemon := buildTool(t, "rtossimd")
+	dir := t.TempDir()
+	journalDir := filepath.Join(dir, "journal")
+
+	sweepReq := `{"kind": "sweep", "scenario": {
+		"name": "slow", "horizon": "200ms",
+		"processors": [{"name": "cpu0"}],
+		"tasks": [{"name": "t", "processor": "cpu0", "priority": 2, "period": "20us",
+		           "body": [{"op": "execute", "for": "5us"}]}]},
+		"sweep": {"workers": 1, "seeds": [1,2,3,4,5,6,7,8]}}`
+
+	// First life: submit the sweep, wait until it is actually running, then
+	// SIGKILL — no shutdown path runs, the journal is all that survives.
+	cmd1, base1 := startDaemon(t, daemon, filepath.Join(dir, "life1.log"), "-journal", journalDir)
+	job := postJSON(t, base1, sweepReq)
+	id := job["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for getJSONAt(t, base1, "/v1/jobs/"+id)["state"] == "queued" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Simulate a torn append on top of the kill: half a record, no newline.
+	jf := filepath.Join(journalDir, "journal.ndjson")
+	f, err := os.OpenFile(jf, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"op":"end","id":"j0`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Second life: the job replays, re-runs, and completes under its old ID.
+	cmd2, base2 := startDaemon(t, daemon, filepath.Join(dir, "life2.log"), "-journal", journalDir)
+	defer func() {
+		cmd2.Process.Signal(os.Interrupt)
+		cmd2.Wait()
+	}()
+	recovered := waitDoneAt(t, base2, id)
+	if recovered["state"] != "done" {
+		t.Fatalf("recovered job finished %v (error %v)", recovered["state"], recovered["error"])
+	}
+	recoveredReport := getBodyAt(t, base2, "/v1/jobs/"+id+"/report")
+
+	// Uninterrupted reference run of the identical request.
+	fresh := postJSON(t, base2, sweepReq)
+	freshDone := waitDoneAt(t, base2, fresh["id"].(string))
+	if freshDone["state"] != "done" {
+		t.Fatalf("reference job finished %v", freshDone["state"])
+	}
+	freshReport := getBodyAt(t, base2, "/v1/jobs/"+fresh["id"].(string)+"/report")
+	if !bytes.Equal(recoveredReport, freshReport) {
+		t.Errorf("recovered report differs from uninterrupted run:\n--- recovered\n%s\n--- fresh\n%s",
+			recoveredReport, freshReport)
+	}
+
+	// Third life: everything terminal now restores without re-running.
+	cmd2.Process.Signal(os.Interrupt)
+	cmd2.Wait()
+	cmd3, base3 := startDaemon(t, daemon, filepath.Join(dir, "life3.log"), "-journal", journalDir)
+	defer func() {
+		cmd3.Process.Signal(os.Interrupt)
+		cmd3.Wait()
+	}()
+	restored := getJSONAt(t, base3, "/v1/jobs/"+id)
+	if restored["state"] != "done" {
+		t.Fatalf("restored job state %v after third start", restored["state"])
+	}
+	if !bytes.Equal(getBodyAt(t, base3, "/v1/jobs/"+id+"/report"), recoveredReport) {
+		t.Error("third-life report differs from second-life bytes")
+	}
+}
+
+// TestE2ERemoteCLI proves `rtossim -remote` is byte-identical to local runs
+// for all three subcommands on shipped examples.
+func TestE2ERemoteCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cli := buildTool(t, "rtossim")
+	daemon := buildTool(t, "rtossimd")
+	dir := t.TempDir()
+	cmd, base := startDaemon(t, daemon, filepath.Join(dir, "daemon.log"))
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	addr := strings.TrimPrefix(base, "http://")
+
+	run := func(args ...string) ([]byte, int) {
+		t.Helper()
+		out, err := exec.Command(cli, args...).Output()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("rtossim %v: %v", args, err)
+		}
+		return out, code
+	}
+
+	// Simulate: report and exit code match.
+	local, lcode := run("examples/scenarios/figure6.json")
+	remote, rcode := run("-remote", addr, "examples/scenarios/figure6.json")
+	if !bytes.Equal(local, remote) || lcode != rcode {
+		t.Errorf("simulate differs: exit %d vs %d\n--- local\n%s\n--- remote\n%s", lcode, rcode, local, remote)
+	}
+
+	// Simulate with an artifact file: the "wrote" notice and the file bytes
+	// match (same relative path so stdout is comparable).
+	wd, _ := os.Getwd()
+	localArt := filepath.Join(dir, "local")
+	remoteArt := filepath.Join(dir, "remote")
+	for _, d := range []string{localArt, remoteArt} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runIn := func(cwd string, args ...string) ([]byte, int) {
+		t.Helper()
+		c := exec.Command(cli, args...)
+		c.Dir = cwd
+		out, err := c.Output()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("rtossim %v: %v", args, err)
+		}
+		return out, code
+	}
+	scen := filepath.Join(wd, "examples", "scenarios", "figure6.json")
+	localOut, _ := runIn(localArt, "-perfetto", "trace.json", scen)
+	remoteOut, _ := runIn(remoteArt, "-remote", addr, "-perfetto", "trace.json", scen)
+	if !bytes.Equal(localOut, remoteOut) {
+		t.Errorf("simulate with artifact stdout differs:\n--- local\n%s\n--- remote\n%s", localOut, remoteOut)
+	}
+	lTrace, err := os.ReadFile(filepath.Join(localArt, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTrace, err := os.ReadFile(filepath.Join(remoteArt, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lTrace, rTrace) {
+		t.Error("perfetto artifact bytes differ between local and remote")
+	}
+
+	// Sweep: stdout and per-variant JSON match.
+	localSweep, lcode := run("sweep", "-quiet", "examples/scenarios/sweep.json")
+	remoteSweep, rcode := run("sweep", "-quiet", "-remote", addr, "examples/scenarios/sweep.json")
+	if !bytes.Equal(localSweep, remoteSweep) || lcode != rcode {
+		t.Errorf("sweep differs: exit %d vs %d\n--- local\n%s\n--- remote\n%s", lcode, rcode, localSweep, remoteSweep)
+	}
+	lJSON := filepath.Join(dir, "local.json")
+	rJSON := filepath.Join(dir, "remote.json")
+	run("sweep", "-quiet", "-json", lJSON, "examples/scenarios/sweep.json")
+	run("sweep", "-quiet", "-remote", addr, "-json", rJSON, "examples/scenarios/sweep.json")
+	lRows, err := os.ReadFile(lJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRows, err := os.ReadFile(rJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lRows, rRows) {
+		t.Error("sweep results JSON differs between local and remote")
+	}
+
+	// Explore: stdout and exit code match (violations exit 1 on both sides).
+	localExp, lcode := run("explore", "-runs", "16", "examples/scenarios/faults.json")
+	remoteExp, rcode := run("explore", "-runs", "16", "-remote", addr, "examples/scenarios/faults.json")
+	if !bytes.Equal(localExp, remoteExp) || lcode != rcode {
+		t.Errorf("explore differs: exit %d vs %d\n--- local\n%s\n--- remote\n%s", lcode, rcode, localExp, remoteExp)
+	}
+
+	// -replay is local-only.
+	if _, code := run("explore", "-remote", addr, "-replay", "xt1:AA", "examples/scenarios/faults.json"); code != 2 {
+		t.Errorf("explore -remote -replay exited %d, want 2", code)
+	}
+}
+
 // promMetric sums the samples of one metric family in Prometheus text form.
 func promMetric(t *testing.T, text []byte, name string) float64 {
 	t.Helper()

@@ -1,0 +1,249 @@
+// Package client is the Go client for the rtossimd HTTP API, used by
+// `rtossim -remote` to run simulations through a daemon instead of in
+// process. It submits jobs, follows their NDJSON progress streams, and
+// fetches result bytes — which are byte-identical to a local run, because
+// both sides compose them in internal/runner.
+//
+// The client cooperates with the daemon's smart backpressure: a 503 from a
+// full shard queue carries a Retry-After header and a JSON body with the
+// queue depth and estimated wait, and Submit backs off and retries a bounded
+// number of times before giving up.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one rtossimd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// SubmitRetries bounds how many times Submit retries a queue-full 503
+	// before giving up (default 5).
+	SubmitRetries int
+	// MaxBackoff caps each backoff sleep regardless of what the daemon's
+	// Retry-After advises (default 10s), so a wild estimate cannot hang the
+	// CLI for minutes.
+	MaxBackoff time.Duration
+	// Logf, when set, receives backoff notices ("queue full, retrying in 2s").
+	Logf func(format string, args ...any)
+
+	// sleep is swapped out by tests.
+	sleep func(time.Duration)
+}
+
+// New builds a client for addr, which may be a bare "host:port" or a full
+// "http://host:port" base URL.
+func New(addr string) *Client {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base:          base,
+		hc:            &http.Client{},
+		SubmitRetries: 5,
+		MaxBackoff:    10 * time.Second,
+		sleep:         time.Sleep,
+	}
+}
+
+// apiError is a non-2xx response: the HTTP status plus the server's decoded
+// error message.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("daemon: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// decodeError turns an error response body into an apiError, falling back to
+// the raw body when it is not the usual {"error": ...} JSON.
+func decodeError(status int, body []byte) *apiError {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &payload) == nil && payload.Error != "" {
+		return &apiError{Status: status, Message: payload.Error}
+	}
+	return &apiError{Status: status, Message: strings.TrimSpace(string(body))}
+}
+
+// queueFullInfo is the body of a smart-backpressure 503.
+type queueFullInfo struct {
+	Error           string `json:"error"`
+	QueueDepth      int    `json:"queueDepth"`
+	EstimatedWaitMs int64  `json:"estimatedWaitMs"`
+	RetryAfterSec   int    `json:"retryAfterSec"`
+}
+
+// Submit posts a job request. Queue-full 503s are retried with the backoff
+// the daemon advises (Retry-After, capped at MaxBackoff) up to SubmitRetries
+// times; any other error status fails immediately.
+func (c *Client) Submit(req server.Request) (*server.Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var job server.Job
+			if err := json.Unmarshal(out, &job); err != nil {
+				return nil, fmt.Errorf("decoding job: %w", err)
+			}
+			return &job, nil
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < c.SubmitRetries:
+			d := c.backoff(resp.Header.Get("Retry-After"), out)
+			if c.Logf != nil {
+				var info queueFullInfo
+				json.Unmarshal(out, &info)
+				c.Logf("daemon queue full (%d queued), retrying in %v", info.QueueDepth, d)
+			}
+			c.sleep(d)
+		default:
+			return nil, decodeError(resp.StatusCode, out)
+		}
+	}
+}
+
+// backoff picks the sleep before a submit retry: the Retry-After header in
+// whole seconds, refined by the body's millisecond estimate when that is
+// smaller, capped at MaxBackoff, floored at 100ms.
+func (c *Client) backoff(retryAfter string, body []byte) time.Duration {
+	d := time.Second
+	if sec, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && sec > 0 {
+		d = time.Duration(sec) * time.Second
+	}
+	var info queueFullInfo
+	if json.Unmarshal(body, &info) == nil && info.EstimatedWaitMs > 0 {
+		if ms := time.Duration(info.EstimatedWaitMs) * time.Millisecond; ms < d {
+			d = ms
+		}
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(id string) (*server.Job, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp.StatusCode, out)
+	}
+	var job server.Job
+	if err := json.Unmarshal(out, &job); err != nil {
+		return nil, fmt.Errorf("decoding job: %w", err)
+	}
+	return &job, nil
+}
+
+// Wait follows the job's NDJSON event stream until it ends (the daemon
+// closes it at the terminal state), invoking onEvent — which may be nil —
+// for each event, then returns the final job status.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(server.Event)) (*server.Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		return nil, decodeError(resp.StatusCode, out)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("decoding stream event %q: %w", sc.Text(), err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading stream: %w", err)
+	}
+	return c.Job(id)
+}
+
+// bytesOf fetches one of a finished job's byte endpoints.
+func (c *Client) bytesOf(id, suffix string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "/" + suffix)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+// Report fetches the job's human report — the bytes a local run prints.
+func (c *Client) Report(id string) ([]byte, error) { return c.bytesOf(id, "report") }
+
+// Artifact fetches one named simulate artifact (csv, vcd, perfetto, ...).
+func (c *Client) Artifact(id, name string) ([]byte, error) {
+	return c.bytesOf(id, "artifacts/"+name)
+}
+
+// Results fetches a sweep job's per-variant results JSON — the bytes the
+// CLI's -json flag writes.
+func (c *Client) Results(id string) ([]byte, error) { return c.bytesOf(id, "results") }
+
+// Metrics fetches the job's metrics registry JSON (simulate artifact or
+// explore registry).
+func (c *Client) Metrics(id string) ([]byte, error) { return c.bytesOf(id, "metrics") }
+
+// Healthy probes the daemon's liveness endpoint.
+func (c *Client) Healthy() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon: healthz returned HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

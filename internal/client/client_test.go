@@ -1,0 +1,166 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+func newDaemon(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, New(ts.URL)
+}
+
+func readScenario(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSubmitWaitAndFetch(t *testing.T) {
+	_, c := newDaemon(t, server.Config{})
+	if err := c.Healthy(); err != nil {
+		t.Fatal(err)
+	}
+	data := readScenario(t, "figure6.json")
+
+	job, err := c.Submit(server.Request{Scenario: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []server.Event
+	final, err := c.Wait(context.Background(), job.ID, func(ev server.Event) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("job state = %s (%s)", final.State, final.Error)
+	}
+	if len(events) == 0 || !events[len(events)-1].State.Terminal() {
+		t.Fatalf("stream events incomplete: %+v", events)
+	}
+
+	// The bytes the client fetches are the bytes a local run produces.
+	want, err := runner.Run(data, runner.Options{Artifacts: []string{"perfetto", "metrics"}}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(report, want.Report) {
+		t.Error("remote report differs from local run")
+	}
+	trace, err := c.Artifact(job.ID, "perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trace, want.Artifacts["perfetto"]) {
+		t.Error("remote perfetto artifact differs from local run")
+	}
+	if _, err := c.Artifact(job.ID, "nonsense"); err == nil {
+		t.Error("fetching a missing artifact did not fail")
+	}
+	met, err := c.Metrics(job.ID)
+	if err != nil || !json.Valid(met) {
+		t.Errorf("metrics fetch: %v", err)
+	}
+}
+
+func TestSubmitBadRequestFailsFast(t *testing.T) {
+	_, c := newDaemon(t, server.Config{})
+	slept := 0
+	c.sleep = func(time.Duration) { slept++ }
+	_, err := c.Submit(server.Request{Scenario: json.RawMessage(`{"bogus": true}`)})
+	if err == nil || slept != 0 {
+		t.Fatalf("bad request: err %v, %d sleeps (want an immediate error)", err, slept)
+	}
+	if !strings.Contains(err.Error(), "HTTP 400") {
+		t.Errorf("error does not surface the status: %v", err)
+	}
+}
+
+func TestSubmitBacksOffOnQueueFull(t *testing.T) {
+	s, c := newDaemon(t, server.Config{Shards: 1, QueueDepth: 1})
+	slow := server.Request{
+		Kind: server.KindSweep,
+		Scenario: json.RawMessage(`{
+			"name": "slow", "horizon": "200ms",
+			"processors": [{"name": "cpu0"}],
+			"tasks": [{"name": "t", "processor": "cpu0", "priority": 2, "period": "20us",
+			           "body": [{"op": "execute", "for": "5us"}]}]
+		}`),
+		Sweep: json.RawMessage(`{"workers": 1, "seeds": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}`),
+	}
+	blocker, err := c.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the blocker to start executing, then fill the depth-1 queue.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := c.Job(blocker.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != server.StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.Submit(slow); err != nil {
+		t.Fatal(err)
+	}
+
+	// The third submission overflows: the client must back off the advised
+	// amount each attempt and surface the queue-full error once retries are
+	// spent. Stub the sleep so the test is instant and deterministic.
+	var sleeps []time.Duration
+	c.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	c.SubmitRetries = 3
+	var notices int
+	c.Logf = func(string, ...any) { notices++ }
+	_, err = c.Submit(slow)
+	if err == nil {
+		t.Fatal("overflow submit succeeded with a full queue")
+	}
+	if !strings.Contains(err.Error(), "queue is full") || !strings.Contains(err.Error(), "503") {
+		t.Errorf("queue-full error unhelpful: %v", err)
+	}
+	if len(sleeps) != 3 || notices != 3 {
+		t.Fatalf("client slept %d times, logged %d notices, want 3 each", len(sleeps), notices)
+	}
+	for _, d := range sleeps {
+		if d < 100*time.Millisecond || d > c.MaxBackoff {
+			t.Errorf("backoff %v outside [100ms, %v]", d, c.MaxBackoff)
+		}
+	}
+	s.Cancel(blocker.ID)
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/scenario"
@@ -79,6 +80,11 @@ type Result struct {
 	// AutoLowered names the tasks the build layer auto-selected onto the
 	// continuation engine (sorted; empty when none).
 	AutoLowered []string `json:"autoLowered,omitempty"`
+	// ElapsedMS is the wall-clock cost of the run pipeline in milliseconds.
+	// It feeds the daemon's per-shard service-time estimate (and thus the
+	// Retry-After advice under backpressure); a cached result reports the
+	// original run's cost, not the (near-zero) cache lookup.
+	ElapsedMS int64 `json:"elapsedMs"`
 	// Report is the full report text, byte-identical to the CLI's stdout
 	// for the same options (minus its "wrote file" notices).
 	Report []byte `json:"-"`
@@ -160,6 +166,7 @@ func Run(data []byte, opts Options, fallbackName string) (*Result, error) {
 
 // RunPrepared is Run for an already-Prepared description.
 func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Result, error) {
+	start := time.Now()
 	var report bytes.Buffer
 	if opts.Analyze {
 		report.WriteString(desc.AnalysisReport())
@@ -273,6 +280,7 @@ func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Res
 			res.Artifacts[a] = buf.Bytes()
 		}
 	}
+	res.ElapsedMS = time.Since(start).Milliseconds()
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/explore"
@@ -35,6 +36,8 @@ type SweepResult struct {
 	// Canceled reports that the sweep's context was canceled before every
 	// variant ran.
 	Canceled bool
+	// ElapsedMS is the wall-clock cost of the whole sweep in milliseconds.
+	ElapsedMS int64
 }
 
 // ExitCode mirrors the CLI: 1 when any variant failed, 0 otherwise.
@@ -62,6 +65,7 @@ func (r *SweepResult) ResultsJSON() ([]byte, error) {
 // filesystem is the CLI's business; the daemon embeds the base scenario in
 // the job payload instead.
 func Sweep(spec *batch.Spec, base []byte, opts SweepOptions) (*SweepResult, error) {
+	start := time.Now()
 	if _, err := scenario.Parse(base); err != nil {
 		return nil, fmt.Errorf("base scenario: %w", err)
 	}
@@ -88,6 +92,7 @@ func Sweep(spec *batch.Spec, base []byte, opts SweepOptions) (*SweepResult, erro
 	}
 	report.WriteString(res.Summary.Report())
 	res.Report = report.Bytes()
+	res.ElapsedMS = time.Since(start).Milliseconds()
 	return res, nil
 }
 
@@ -111,6 +116,8 @@ type ExploreResult struct {
 	// MetricsJSON is the exploration metrics registry (always produced; it
 	// is small).
 	MetricsJSON []byte
+	// ElapsedMS is the wall-clock cost of the exploration in milliseconds.
+	ElapsedMS int64
 }
 
 // ExitCode mirrors the CLI: 1 when any violation was found.
@@ -124,6 +131,7 @@ func (r *ExploreResult) ExitCode() int {
 // Explore runs bounded schedule-space exploration of one scenario.
 // fallbackName labels the report when the scenario has no name.
 func Explore(data []byte, opts ExploreOptions, fallbackName string) (*ExploreResult, error) {
+	start := time.Now()
 	eng, err := explore.New(data)
 	if err != nil {
 		return nil, err
@@ -153,5 +161,6 @@ func Explore(data []byte, opts ExploreOptions, fallbackName string) (*ExploreRes
 	if err := eng.Metrics.WriteJSON(&mbuf); err != nil {
 		return nil, err
 	}
-	return &ExploreResult{Summary: *sum, Report: report.Bytes(), MetricsJSON: mbuf.Bytes()}, nil
+	return &ExploreResult{Summary: *sum, Report: report.Bytes(), MetricsJSON: mbuf.Bytes(),
+		ElapsedMS: time.Since(start).Milliseconds()}, nil
 }

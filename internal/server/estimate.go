@@ -1,0 +1,49 @@
+package server
+
+import "time"
+
+// shardEstimator keeps a rolling per-shard estimate of job service time, fed
+// by the same wall-clock timings the rtossimd_job_wall_ms histogram records.
+// It backs the smart-backpressure response: when a shard queue is full, the
+// 503 carries the estimated wait for a queue slot to open instead of a bare
+// "try later". An exponentially weighted moving average is enough here —
+// job cost is dominated by the scenario, and scenarios hash to a fixed
+// shard, so per-shard history is the right predictor.
+type shardEstimator struct {
+	ewma    []float64 // nanoseconds; 0 until the first sample
+	samples []uint64
+}
+
+// ewmaAlpha weights the newest sample: high enough to track a workload
+// shift within a few jobs, low enough that one outlier does not swing the
+// advertised wait.
+const ewmaAlpha = 0.3
+
+func newShardEstimator(shards int) *shardEstimator {
+	return &shardEstimator{ewma: make([]float64, shards), samples: make([]uint64, shards)}
+}
+
+// observe records one completed job's service time on a shard.
+func (e *shardEstimator) observe(shard int, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	e.samples[shard]++
+	if e.samples[shard] == 1 {
+		e.ewma[shard] = float64(d)
+		return
+	}
+	e.ewma[shard] = ewmaAlpha*float64(d) + (1-ewmaAlpha)*e.ewma[shard]
+}
+
+// serviceTime returns the shard's current estimate (0 before any sample).
+func (e *shardEstimator) serviceTime(shard int) time.Duration {
+	return time.Duration(e.ewma[shard])
+}
+
+// wait estimates how long a submission arriving now would sit before
+// running: the jobs ahead of it (queued plus the one executing) times the
+// per-job estimate.
+func (e *shardEstimator) wait(shard, ahead int) time.Duration {
+	return time.Duration(ahead) * e.serviceTime(shard)
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -23,6 +25,7 @@ const maxRequestBytes = 4 << 20
 //	GET    /v1/jobs/{id}/trace   the Perfetto trace artifact
 //	GET    /v1/jobs/{id}/metrics the simulation metrics registry (JSON)
 //	GET    /v1/jobs/{id}/results a sweep job's per-variant results (JSON)
+//	GET    /v1/jobs/{id}/artifacts/{name}  any named simulate artifact
 //	GET    /v1/jobs/{id}/stream  progress events as NDJSON (chunked)
 //	POST   /v1/jobs/{id}/cancel  cancel (DELETE /v1/jobs/{id} is an alias)
 //	GET    /metrics              daemon metrics in Prometheus text form
@@ -32,27 +35,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/report", s.jobBytes(func(j *Job) ([]byte, string) {
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.jobBytes(func(j *Job, r *http.Request) ([]byte, string) {
 		return j.report(), "text/plain; charset=utf-8"
 	}))
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.jobBytes(func(j *Job) ([]byte, string) {
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.jobBytes(func(j *Job, r *http.Request) ([]byte, string) {
 		return j.artifact("perfetto"), "application/json"
 	}))
-	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.jobBytes(func(j *Job) ([]byte, string) {
-		if j.explore != nil {
-			return j.explore.MetricsJSON, "application/json"
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.jobBytes(func(j *Job, r *http.Request) ([]byte, string) {
+		if data := j.exploreMetrics(); data != nil {
+			return data, "application/json"
 		}
 		return j.artifact("metrics"), "application/json"
 	}))
-	mux.HandleFunc("GET /v1/jobs/{id}/results", s.jobBytes(func(j *Job) ([]byte, string) {
-		if j.sweep == nil {
-			return nil, ""
-		}
-		data, err := j.sweep.ResultsJSON()
-		if err != nil {
-			return nil, ""
-		}
-		return data, "application/json"
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.jobBytes(func(j *Job, r *http.Request) ([]byte, string) {
+		return j.sweepResults(), "application/json"
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.jobBytes(func(j *Job, r *http.Request) ([]byte, string) {
+		// Perfetto traces are JSON; metrics registries are JSON; keep it
+		// simple — every artifact the runner produces today is JSON.
+		return j.artifact(r.PathValue("name")), "application/json"
 	}))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
@@ -87,15 +88,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.Submit(req)
+	var qf *QueueFullError
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.As(err, &qf):
+		s.writeQueueFull(w, qf)
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.writeJob(w, http.StatusAccepted, job)
+}
+
+// writeQueueFull renders the smart-backpressure 503: a Retry-After header
+// derived from the shard's rolling service-time estimate (minimum 1s — the
+// client should always back off a little) and a JSON body carrying the queue
+// depth and the wait estimate in milliseconds so clients can pace themselves
+// more precisely than whole seconds allow.
+func (s *Server) writeQueueFull(w http.ResponseWriter, qf *QueueFullError) {
+	retry := int(qf.EstimatedWait / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":           qf.Error(),
+		"shard":           qf.Shard,
+		"queueDepth":      qf.Depth,
+		"estimatedWaitMs": qf.EstimatedWait.Milliseconds(),
+		"retryAfterSec":   retry,
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -141,7 +165,7 @@ func (s *Server) writeJob(w http.ResponseWriter, code int, job *Job) {
 
 // jobBytes adapts a "bytes of a finished job" accessor to a handler. 409
 // for jobs still in flight, 404 for artifacts the job did not produce.
-func (s *Server) jobBytes(get func(*Job) ([]byte, string)) http.HandlerFunc {
+func (s *Server) jobBytes(get func(*Job, *http.Request) ([]byte, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		job := s.lookupJob(w, r)
 		if job == nil {
@@ -152,7 +176,7 @@ func (s *Server) jobBytes(get func(*Job) ([]byte, string)) http.HandlerFunc {
 		var data []byte
 		var ctype string
 		if terminal {
-			data, ctype = get(job)
+			data, ctype = get(job, r)
 		}
 		s.mu.Unlock()
 		if !terminal {

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedWriter is a ResponseWriter whose Write blocks until the gate opens:
+// it pins the stream handler mid-write so the job's event fan-out channel
+// (capacity 64) overflows and drops events, exercising the terminal tail
+// replay that guarantees the stream still ends complete and in order.
+type gatedWriter struct {
+	gate <-chan struct{}
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	h    http.Header
+}
+
+func (w *gatedWriter) Header() http.Header { return w.h }
+func (w *gatedWriter) WriteHeader(int)     {}
+func (w *gatedWriter) Write(p []byte) (int, error) {
+	<-w.gate
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *gatedWriter) bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf.Bytes()...)
+}
+
+func TestStreamDroppedEventTailReplay(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1})
+	blocker := postJob(t, ts, slowSweepRequest(t))
+
+	// A fast sweep with ~100 variants: >100 progress events, well past the
+	// 64-slot subscription buffer, so a blocked reader must drop some.
+	seeds := make([]int, 100)
+	for i := range seeds {
+		seeds[i] = i + 1
+	}
+	seedJSON, _ := json.Marshal(seeds)
+	target := postJob(t, ts, Request{
+		Kind: KindSweep,
+		Scenario: json.RawMessage(`{
+			"name": "fast", "horizon": "1ms",
+			"processors": [{"name": "cpu0"}],
+			"tasks": [{"name": "t", "processor": "cpu0", "priority": 2, "period": "100us",
+			           "body": [{"op": "execute", "for": "10us"}]}]
+		}`),
+		Sweep: json.RawMessage(`{"workers": 1, "seeds": ` + string(seedJSON) + `}`),
+	})
+
+	gate := make(chan struct{})
+	w := &gatedWriter{gate: gate, h: make(http.Header)}
+	req := httptest.NewRequest("GET", "/v1/jobs/"+target.ID+"/stream", nil)
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		s.Handler().ServeHTTP(w, req)
+	}()
+
+	// Wait until the stream handler has subscribed, then let the sweep run
+	// while the reader stays wedged in its first Write.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s.mu.Lock()
+		subscribed := len(s.jobs[target.ID].subs) > 0
+		s.mu.Unlock()
+		if subscribed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Cancel(blocker.ID) {
+		t.Fatal("cancel blocker")
+	}
+	done := waitTerminal(t, ts, target.ID)
+	if done.State != StateDone {
+		t.Fatalf("target sweep: %s (%s)", done.State, done.Error)
+	}
+	close(gate)
+	select {
+	case <-handlerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream handler did not finish after terminal state")
+	}
+
+	// The job produced more events than the subscription buffer holds…
+	s.mu.Lock()
+	total := len(s.jobs[target.ID].events)
+	s.mu.Unlock()
+	if total <= 64 {
+		t.Fatalf("job produced %d events, want >64 to overflow the buffer", total)
+	}
+	// …yet the stream replays every one of them, in order, terminal last.
+	var events []Event
+	for _, line := range strings.Split(strings.TrimSpace(string(w.bytes())), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("stream line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != total {
+		t.Errorf("stream delivered %d events, job log holds %d", len(events), total)
+	}
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: tail replay lost or reordered events", i, ev.Seq)
+		}
+	}
+	if !events[len(events)-1].State.terminal() {
+		t.Errorf("stream ended on non-terminal event %+v", events[len(events)-1])
+	}
+}
+
+func TestCancelRacesCompletion(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 2})
+	data := readScenario(t, "figure6.json")
+
+	// Fire cancels concurrently with job completion, over and over: whatever
+	// the interleaving, the job must land in exactly one terminal state with
+	// its subscriptions closed, and the stream must still terminate.
+	for i := 0; i < 12; i++ {
+		job := postJob(t, ts, Request{Scenario: data, Options: optionsVariant(i)})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Cancel(job.ID)
+		}()
+		done := waitTerminal(t, ts, job.ID)
+		wg.Wait()
+		if done.State != StateDone && done.State != StateCanceled {
+			t.Fatalf("race iteration %d: state %s (%s)", i, done.State, done.Error)
+		}
+		// Cancel after terminal must stay idempotent and truthful.
+		if !s.Cancel(job.ID) {
+			t.Fatalf("cancel of finished job %s reported unknown", job.ID)
+		}
+		stream, code := getBytes(t, ts, "/v1/jobs/"+job.ID+"/stream")
+		if code != http.StatusOK {
+			t.Fatalf("/stream: %d", code)
+		}
+		lines := strings.Split(strings.TrimSpace(string(stream)), "\n")
+		var last Event
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil || !last.State.terminal() {
+			t.Fatalf("race iteration %d: stream tail %v %+v", i, err, last)
+		}
+		s.mu.Lock()
+		subs := len(s.jobs[job.ID].subs)
+		s.mu.Unlock()
+		if subs != 0 {
+			t.Fatalf("race iteration %d: %d subscriptions left open", i, subs)
+		}
+	}
+}

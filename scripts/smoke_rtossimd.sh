@@ -2,26 +2,49 @@
 # End-to-end smoke of the rtossimd daemon, mirroring TestE2ERtossimd for CI:
 # start the daemon, submit a scenario, poll to completion, assert the served
 # report is byte-identical to the rtossim CLI's stdout, resubmit and require
-# a cache hit with zero additional simulation runs, scrape /metrics, and
-# cancel a long sweep mid-flight.
+# a cache hit with zero additional simulation runs, scrape /metrics, cancel a
+# long sweep mid-flight, and run the same scenario through `rtossim -remote`.
+#
+# The daemon listens on an ephemeral port (parsed from its own "listening on"
+# line), so concurrent CI jobs cannot collide. Set SMOKE_LOG_DIR to keep the
+# daemon log after the run (CI uploads it on failure).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ADDR="127.0.0.1:${RTOSSIMD_PORT:-7077}"
-BASE="http://$ADDR"
 WORK="$(mktemp -d)"
+DAEMON=""
+cleanup() {
+  status=$?
+  if [ -n "$DAEMON" ]; then
+    kill "$DAEMON" 2>/dev/null || true
+    wait "$DAEMON" 2>/dev/null || true
+  fi
+  if [ -n "${SMOKE_LOG_DIR:-}" ] && [ -f "$WORK/daemon.log" ]; then
+    mkdir -p "$SMOKE_LOG_DIR"
+    cp "$WORK/daemon.log" "$SMOKE_LOG_DIR/smoke_rtossimd.daemon.log" || true
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap cleanup EXIT
 
 go build -o "$WORK/rtossim" ./cmd/rtossim
 go build -o "$WORK/rtossimd" ./cmd/rtossimd
 
-"$WORK/rtossimd" -addr "$ADDR" >"$WORK/daemon.log" 2>&1 &
+"$WORK/rtossimd" -addr 127.0.0.1:0 >"$WORK/daemon.log" 2>&1 &
 DAEMON=$!
-cleanup() {
-  kill "$DAEMON" 2>/dev/null || true
-  wait "$DAEMON" 2>/dev/null || true
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+
+# The daemon logs "listening on 127.0.0.1:PORT" once bound; parse the
+# kernel-assigned port from it.
+ADDR=""
+for i in $(seq 1 100); do
+  ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$WORK/daemon.log" | head -n1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$DAEMON" 2>/dev/null || { echo "daemon exited early" >&2; cat "$WORK/daemon.log" >&2; exit 1; }
+  sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "daemon never logged its address" >&2; cat "$WORK/daemon.log" >&2; exit 1; }
+BASE="http://$ADDR"
 
 for i in $(seq 1 100); do
   if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
@@ -103,5 +126,10 @@ for fam in rtossimd_jobs_submitted_total rtossimd_cache_hits_total \
            rtossimd_queue_depth rtossimd_workers rtossimd_simulations_total; do
   grep -q "^$fam" "$WORK/prom.txt" || { echo "metric $fam missing" >&2; exit 1; }
 done
+
+# 5. `rtossim -remote` proxies through the daemon with byte-identical output.
+"$WORK/rtossim" -remote "$ADDR" examples/scenarios/figure6.json >"$WORK/remote.report"
+cmp "$WORK/remote.report" "$WORK/cli.report" || {
+  echo "rtossim -remote output differs from local run" >&2; exit 1; }
 
 echo "rtossimd smoke: ok"
