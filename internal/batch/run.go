@@ -67,6 +67,15 @@ type Options struct {
 	// single-threaded and cannot be interrupted mid-run), so cancellation
 	// latency is one variant's run time, not the remaining sweep.
 	Context context.Context
+	// Lookup, when set, is consulted before each variant is simulated; a hit
+	// is used as the variant's result verbatim and the simulation is skipped.
+	// Simulations are deterministic, so a cache keyed on (scenario, spec
+	// horizon, variant) is sound. Called concurrently from worker goroutines.
+	Lookup func(v Variant) (Result, bool)
+	// Store, when set, receives each successfully simulated result that did
+	// not come from Lookup. Results with a non-empty Err (failed or canceled
+	// variants) are never offered. Called concurrently from worker goroutines.
+	Store func(v Variant, r Result)
 }
 
 // ErrCanceled is the Result.Err text of a variant that was never simulated
@@ -141,11 +150,22 @@ func (s *Spec) Run(base []byte, variants []Variant, opts Options) []Result {
 	done := 0
 	ForEachCtx(ctx, len(variants), opts.Workers, func(i int) {
 		ran[i] = true
-		if ctx.Err() != nil {
+		switch {
+		case ctx.Err() != nil:
 			// Dispatched but not yet started when the sweep was canceled.
 			results[i] = Result{Variant: variants[i], Err: ErrCanceled}
-		} else {
+		default:
+			if opts.Lookup != nil {
+				if r, ok := opts.Lookup(variants[i]); ok {
+					r.Variant = variants[i] // the cache may have normalized it
+					results[i] = r
+					break
+				}
+			}
 			results[i] = s.runOne(base, variants[i])
+			if opts.Store != nil && results[i].Err == "" {
+				opts.Store(variants[i], results[i])
+			}
 		}
 		if opts.Progress != nil {
 			progressMu.Lock()

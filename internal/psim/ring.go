@@ -1,0 +1,89 @@
+// Package psim runs a scenario as a set of shards, each owning a private
+// simulation kernel on its own goroutine, synchronized conservatively by
+// channel-lookahead bound advertisement. See DESIGN.md ("Sharded parallel
+// simulation") for the invariants; scenario.Partition computes which
+// processors may legally share a shard.
+package psim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// message is one cross-shard channel transfer: the value surfaces on the
+// receiving shard at simulated instant ts, attributed to the original
+// sending actor so the receiver-side trace matches the sequential run.
+type message struct {
+	ts     sim.Time
+	value  int
+	sender string
+}
+
+// ringBlock is one chunk of the unbounded SPSC ring. The producer fills
+// slots in order and publishes them by advancing w; when a block fills it
+// links a fresh one through next. The consumer follows w and next with
+// acquire loads. Slots are written before the w that covers them is stored,
+// and a block is fully initialized before next is stored, so the consumer
+// never observes a partial message.
+const ringBlockSize = 256
+
+type ringBlock struct {
+	msgs [ringBlockSize]message
+	w    atomic.Int32
+	next atomic.Pointer[ringBlock]
+}
+
+// ring is an unbounded single-producer single-consumer message FIFO. It is
+// unbounded by design: a bounded ring would let a full buffer block the
+// producing shard behind a consumer that is itself waiting on a third
+// shard's promise, deadlocking the conservative protocol. Messages are tiny
+// and their count is bounded by the simulated work between synchronization
+// rounds, so growth is modest in practice.
+type ring struct {
+	tail *ringBlock // producer-owned
+	head *ringBlock // consumer-owned
+	r    int        // consumer read index within head
+}
+
+func newRing() *ring {
+	b := &ringBlock{}
+	return &ring{tail: b, head: b}
+}
+
+// push appends a message; producer side only.
+func (q *ring) push(m message) {
+	b := q.tail
+	w := b.w.Load()
+	if int(w) == ringBlockSize {
+		nb := &ringBlock{}
+		nb.msgs[0] = m
+		nb.w.Store(1)
+		b.next.Store(nb)
+		q.tail = nb
+		return
+	}
+	b.msgs[w] = m
+	b.w.Store(w + 1)
+}
+
+// pop removes the oldest message; consumer side only.
+func (q *ring) pop() (message, bool) {
+	for {
+		b := q.head
+		if q.r < int(b.w.Load()) {
+			m := b.msgs[q.r]
+			q.r++
+			return m, true
+		}
+		if q.r < ringBlockSize {
+			return message{}, false // block not yet full: nothing new
+		}
+		nb := b.next.Load()
+		if nb == nil {
+			return message{}, false
+		}
+		q.head = nb
+		q.r = 0
+	}
+}

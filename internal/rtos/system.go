@@ -161,12 +161,7 @@ func (s *System) WriteMetricsPrometheus(w io.Writer) error { return s.Metrics.Wr
 // instant markers for faults, deadline misses and migrations), openable at
 // ui.perfetto.dev. Deadline misses come from the constraint monitor.
 func (s *System) WritePerfetto(w io.Writer) error {
-	var opts trace.PerfettoOptions
-	for _, v := range s.Constraints.Violations() {
-		if task, ok := deadlineViolationTask(v.Name); ok {
-			opts.Misses = append(opts.Misses, trace.MissMark{At: v.At, Task: task})
-		}
-	}
+	opts := trace.PerfettoOptions{Misses: s.Constraints.PerfettoMisses()}
 	return s.Rec.WritePerfetto(w, opts)
 }
 

@@ -18,6 +18,9 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/metrics"
+	"repro/internal/psim"
+	"repro/internal/rtos"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -36,6 +39,12 @@ type Options struct {
 	// TaskEngine overrides every software task's body form: "goroutine" or
 	// "continuation".
 	TaskEngine string `json:"taskEngine,omitempty"`
+	// Shards selects the sharded multi-kernel parallel engine: 0 (the
+	// default) runs sequentially unless the scenario carries shard labels, 1
+	// runs the parallel driver on a single shard (byte-identical to the
+	// sequential engine), and N > 1 partitions the processors onto at most N
+	// shards synchronized by channel lookahead.
+	Shards int `json:"shards,omitempty"`
 	// Analyze prepends the schedulability analysis for periodic tasks.
 	Analyze bool `json:"analyze,omitempty"`
 	// Timeline includes the ASCII TimeLine chart; Width is its column count
@@ -172,36 +181,33 @@ func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Res
 		report.WriteString(desc.AnalysisReport())
 		report.WriteString("\n")
 	}
-	built, err := desc.Build()
+	v, err := execute(desc, opts)
 	if err != nil {
 		return nil, err
 	}
-	rep, runErr := built.RunChecked()
 
-	sys := built.Sys
 	name := desc.Name
 	if name == "" {
 		name = fallbackName
 	}
 	res := &Result{
 		Name:          name,
-		End:           sys.Now(),
-		Finish:        rep.Reason.String(),
-		Activations:   sys.K.Activations(),
-		DeltaCycles:   sys.K.DeltaCount(),
-		ConstraintsOK: sys.Constraints.OK(),
-		AutoLowered:   append([]string(nil), built.AutoLowered...),
+		End:           v.end,
+		Finish:        v.finish.String(),
+		Activations:   v.activations,
+		DeltaCycles:   v.deltaCycles,
+		ConstraintsOK: v.constraints.OK(),
+		AutoLowered:   v.autoLowered,
 	}
-	if runErr != nil {
-		res.SimError = runErr.Error()
-		res.Finish = sys.FinishReason().String()
+	if v.runErr != nil {
+		res.SimError = v.runErr.Error()
 	}
 	fmt.Fprintf(&report, "scenario %s simulated to %v, finished %v (%d kernel activations, %d delta cycles)\n",
-		name, sys.Now(), sys.FinishReason(), sys.K.Activations(), sys.K.DeltaCount())
+		name, v.end, v.finish, v.activations, v.deltaCycles)
 
-	if blocked := sys.BlockedTasks(); len(blocked) > 0 {
-		fmt.Fprintf(&report, "warning: %d task(s) still blocked at the end:", len(blocked))
-		for _, t := range blocked {
+	if len(v.blocked) > 0 {
+		fmt.Fprintf(&report, "warning: %d task(s) still blocked at the end:", len(v.blocked))
+		for _, t := range v.blocked {
 			fmt.Fprintf(&report, " %s(%v)", t.Name(), t.State())
 		}
 		fmt.Fprintln(&report)
@@ -212,7 +218,7 @@ func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Res
 			width = 100
 		}
 		report.WriteString("\n")
-		report.WriteString(sys.Timeline(trace.TimelineOptions{
+		report.WriteString(v.rec.RenderTimeline(trace.TimelineOptions{
 			Width:        width,
 			ShowAccesses: opts.Accesses,
 			Legend:       true,
@@ -220,31 +226,26 @@ func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Res
 	}
 	if opts.Chronology {
 		report.WriteString("\n")
-		report.WriteString(sys.Chronology())
+		report.WriteString(v.rec.RenderChronology())
 	}
 	if !opts.NoStats {
 		report.WriteString("\n")
-		report.WriteString(sys.Stats(0).String())
-		for _, cpu := range sys.Processors() {
-			if cpu.Cores() > 1 {
-				report.WriteString("\n")
-				report.WriteString(analysis.CoreLoadReport(analysis.CoreLoads(sys.Rec, 0)))
-				break
-			}
+		report.WriteString(v.rec.ComputeStats(0).String())
+		if v.multiCore {
+			report.WriteString("\n")
+			report.WriteString(analysis.CoreLoadReport(analysis.CoreLoads(v.rec, 0)))
 		}
 	}
 	if !opts.NoConstraints {
 		report.WriteString("\n")
-		report.WriteString(sys.Constraints.Report())
+		report.WriteString(v.constraints.Report())
 	}
-	if evs := sys.Rec.FaultEvents(); !opts.NoFaults && len(evs) > 0 {
-		m := analysis.ComputeFaultMetrics(evs, sys.Now())
-		for _, t := range built.Tasks {
-			m.Jobs += int(t.CompletedCycles() + t.AbortedCycles())
-			m.AbortedJobs += int(t.AbortedCycles())
-		}
-		for _, v := range sys.Constraints.Violations() {
-			if strings.HasSuffix(v.Name, ".deadline") {
+	if evs := v.rec.FaultEvents(); !opts.NoFaults && len(evs) > 0 {
+		m := analysis.ComputeFaultMetrics(evs, v.end)
+		m.Jobs += v.jobs
+		m.AbortedJobs += v.abortedJobs
+		for _, vi := range v.constraints.Violations() {
+			if strings.HasSuffix(vi.Name, ".deadline") {
 				m.Misses++
 			}
 		}
@@ -260,19 +261,19 @@ func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Res
 			var err error
 			switch a {
 			case "csv":
-				err = sys.WriteCSV(&buf)
+				err = v.rec.WriteCSV(&buf)
 			case "vcd":
-				err = sys.WriteVCD(&buf)
+				err = v.rec.WriteVCD(&buf)
 			case "json":
-				err = sys.WriteJSON(&buf)
+				err = v.rec.WriteJSON(&buf)
 			case "svg":
-				err = sys.WriteSVG(&buf, trace.SVGOptions{ShowAccesses: opts.Accesses})
+				err = v.rec.WriteSVG(&buf, trace.SVGOptions{ShowAccesses: opts.Accesses})
 			case "perfetto":
-				err = sys.WritePerfetto(&buf)
+				err = v.rec.WritePerfetto(&buf, trace.PerfettoOptions{Misses: v.constraints.PerfettoMisses()})
 			case "metrics":
-				err = sys.WriteMetricsJSON(&buf)
+				err = v.reg.WriteJSON(&buf)
 			case "prom":
-				err = sys.WriteMetricsPrometheus(&buf)
+				err = v.reg.WritePrometheus(&buf)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("rendering %s artifact: %w", a, err)
@@ -282,6 +283,138 @@ func RunPrepared(desc *scenario.System, opts Options, fallbackName string) (*Res
 	}
 	res.ElapsedMS = time.Since(start).Milliseconds()
 	return res, nil
+}
+
+// runView is the engine-independent material the report and every artifact
+// are composed from. The sequential engine fills it straight from the one
+// system; the parallel engine fills it from per-shard systems, merged. Both
+// report paths below are the same code, which is what makes a single-shard
+// parallel run byte-identical to a sequential one.
+type runView struct {
+	end         sim.Time
+	finish      sim.FinishReason
+	activations uint64
+	deltaCycles uint64
+	runErr      error
+	blocked     []*rtos.Task
+	rec         *trace.Recorder
+	constraints *rtos.ConstraintSet
+	reg         *metrics.Registry
+	multiCore   bool
+	autoLowered []string
+	// jobs/abortedJobs pre-aggregate the per-task cycle counters the fault
+	// report needs.
+	jobs        int
+	abortedJobs int
+}
+
+// execute runs the scenario on the engine the options select: the in-process
+// sequential kernel by default, the sharded parallel engine when -shards is
+// given or the scenario carries shard labels.
+func execute(desc *scenario.System, opts Options) (*runView, error) {
+	if opts.Shards == 0 && !desc.HasShardLabels() {
+		return executeSequential(desc)
+	}
+	plan, err := desc.Partition(opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return executeParallel(desc, plan)
+}
+
+func executeSequential(desc *scenario.System) (*runView, error) {
+	built, err := desc.Build()
+	if err != nil {
+		return nil, err
+	}
+	_, runErr := built.RunChecked()
+	sys := built.Sys
+	v := &runView{
+		end:         sys.Now(),
+		finish:      sys.FinishReason(),
+		activations: sys.K.Activations(),
+		deltaCycles: sys.K.DeltaCount(),
+		runErr:      runErr,
+		blocked:     sys.BlockedTasks(),
+		rec:         sys.Rec,
+		constraints: sys.Constraints,
+		reg:         sys.Metrics,
+		multiCore:   multiCore(sys),
+		autoLowered: append([]string(nil), built.AutoLowered...),
+	}
+	countJobs(v, built)
+	return v, nil
+}
+
+func executeParallel(desc *scenario.System, plan *scenario.ShardPlan) (*runView, error) {
+	pres, err := psim.Run(desc, plan)
+	if err != nil {
+		return nil, err
+	}
+	v := &runView{
+		end:         pres.End,
+		finish:      pres.Finish,
+		activations: pres.Activations,
+		deltaCycles: pres.DeltaCycles,
+		runErr:      pres.Err,
+	}
+	if len(pres.Builts) == 1 {
+		// Single shard: expose the one system's recorder, constraints and
+		// registry directly — no merge step that could perturb the bytes.
+		built := pres.Builts[0]
+		sys := built.Sys
+		v.blocked = sys.BlockedTasks()
+		v.rec = sys.Rec
+		v.constraints = sys.Constraints
+		v.reg = sys.Metrics
+		v.multiCore = multiCore(sys)
+		v.autoLowered = append([]string(nil), built.AutoLowered...)
+		countJobs(v, built)
+		return v, nil
+	}
+	recs := make([]*trace.Recorder, len(pres.Builts))
+	sets := make([]*rtos.ConstraintSet, len(pres.Builts))
+	v.reg = metrics.NewRegistry()
+	lowered := map[string]bool{}
+	for i, built := range pres.Builts {
+		sys := built.Sys
+		recs[i] = sys.Rec
+		sets[i] = sys.Constraints
+		v.reg.Merge(sys.Metrics)
+		v.blocked = append(v.blocked, sys.BlockedTasks()...)
+		v.multiCore = v.multiCore || multiCore(sys)
+		for _, name := range built.AutoLowered {
+			lowered[name] = true
+		}
+		countJobs(v, built)
+	}
+	v.rec = trace.MergeRecorders(recs, pres.End)
+	nameOrder := make([]string, len(desc.Constraints))
+	for i, c := range desc.Constraints {
+		nameOrder[i] = c.Name
+	}
+	v.constraints = rtos.MergeConstraintSets(sets, nameOrder)
+	for name := range lowered {
+		v.autoLowered = append(v.autoLowered, name)
+	}
+	sort.Strings(v.autoLowered)
+	return v, nil
+}
+
+func multiCore(sys *rtos.System) bool {
+	for _, cpu := range sys.Processors() {
+		if cpu.Cores() > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func countJobs(v *runView, built *scenario.Built) {
+	for _, t := range built.Tasks {
+		v.jobs += int(t.CompletedCycles() + t.AbortedCycles())
+		v.abortedJobs += int(t.AbortedCycles())
+	}
 }
 
 // WriteArtifact streams one rendered artifact; it exists so callers that

@@ -23,6 +23,12 @@ type SweepOptions struct {
 	Progress func(done, total int) `json:"-"`
 	// Context cancels the sweep at variant granularity (see batch.Options).
 	Context context.Context `json:"-"`
+	// Lookup and Store are the per-variant result cache hooks, passed through
+	// to batch.Options verbatim (see the contract there). The rtossimd daemon
+	// uses them to serve repeated sweep variants from its LRU without
+	// re-simulating.
+	Lookup func(v batch.Variant) (batch.Result, bool) `json:"-"`
+	Store  func(v batch.Variant, r batch.Result)      `json:"-"`
 }
 
 // SweepResult is one finished sweep: the ordered per-variant results, their
@@ -73,7 +79,8 @@ func Sweep(spec *batch.Spec, base []byte, opts SweepOptions) (*SweepResult, erro
 	if err != nil {
 		return nil, err
 	}
-	bo := batch.Options{Workers: opts.Workers, Progress: opts.Progress, Context: opts.Context}
+	bo := batch.Options{Workers: opts.Workers, Progress: opts.Progress, Context: opts.Context,
+		Lookup: opts.Lookup, Store: opts.Store}
 	if bo.Workers == 0 {
 		bo.Workers = spec.Workers
 	}

@@ -37,10 +37,107 @@ type Built struct {
 	// one global cursor shared by all its execute_trace sites, advancing
 	// deterministically with the simulation.
 	traceCursors map[string]int
+
+	// xsend/xrecv hold the cross-shard halves of channels cut by a shard
+	// filter: xsend maps a channel whose senders are local (receivers
+	// remote) to its split-phase publish function, xrecv maps a channel
+	// whose receivers are local (senders remote) to the bare delivery
+	// queue the parallel engine's injector feeds. Nil for full builds.
+	xsend map[string]func(comm.Actor, int)
+	xrecv map[string]*comm.Queue[int]
+}
+
+// CrossHooks connects a shard build to the parallel engine. The build calls
+// Inbound once per inbound cross-shard channel during elaboration; the
+// sender-side split-phase transfer calls FloorHold, then occupies the local
+// bus for the usual transfer time, then Publish at the instant the message
+// would have been deposited, then FloorRelease. The floor brackets let the
+// engine bound its outbound promises by in-flight transfers.
+type CrossHooks struct {
+	// Publish hands a sent value to the engine; the message surfaces on the
+	// receiving shard timestamped with the sending kernel's current time.
+	Publish func(channel, sender string, value int)
+	// FloorHold announces an in-flight send that will publish no earlier
+	// than `earliest`; it returns a token for FloorRelease.
+	FloorHold func(channel string, earliest sim.Time) int
+	// FloorRelease retires a FloorHold token once its message is published.
+	FloorRelease func(channel string, id int)
+	// Inbound registers the local delivery queue of an inbound channel.
+	Inbound func(channel string, q *comm.Queue[int])
+}
+
+// shardFilter restricts elaboration to one shard of a partition plan.
+type shardFilter struct {
+	procs, hardware                                                  map[string]bool
+	events, queues, shared, constraints, servers, irqs, watchdogs, buses map[string]bool
+	chanLocal, chanOut, chanIn                                       map[string]bool
+	hooks                                                            *CrossHooks
 }
 
 // Build elaborates the description into a simulation-ready system.
-func (s *System) Build() (*Built, error) {
+func (s *System) Build() (*Built, error) { return s.build(nil) }
+
+// BuildShard elaborates exactly one shard of a partition plan: the shard's
+// processors, hardware tasks and the objects the plan assigns to it. Cross-
+// shard channels elaborate as half-objects wired to the hooks. A plan with a
+// single group builds the full system (hooks unused), which is what makes
+// the partition-of-one configuration byte-identical to the sequential
+// engine: it runs the very same elaboration.
+func (s *System) BuildShard(plan *ShardPlan, shard int, hooks *CrossHooks) (*Built, error) {
+	if len(plan.Groups) == 1 {
+		return s.build(nil)
+	}
+	f := &shardFilter{
+		procs:       map[string]bool{},
+		hardware:    map[string]bool{},
+		events:      map[string]bool{},
+		queues:      map[string]bool{},
+		shared:      map[string]bool{},
+		constraints: map[string]bool{},
+		servers:     map[string]bool{},
+		irqs:        map[string]bool{},
+		watchdogs:   map[string]bool{},
+		buses:       map[string]bool{},
+		chanLocal:   map[string]bool{},
+		chanOut:     map[string]bool{},
+		chanIn:      map[string]bool{},
+		hooks:       hooks,
+	}
+	for _, name := range plan.Groups[shard].Processors {
+		f.procs[name] = true
+	}
+	for _, name := range plan.Groups[shard].Hardware {
+		f.hardware[name] = true
+	}
+	keep := func(dst map[string]bool, owners map[string]int) {
+		for name, g := range owners {
+			if g == shard {
+				dst[name] = true
+			}
+		}
+	}
+	keep(f.events, plan.Events)
+	keep(f.queues, plan.Queues)
+	keep(f.shared, plan.Shared)
+	keep(f.constraints, plan.Constraints)
+	keep(f.servers, plan.Servers)
+	keep(f.irqs, plan.IRQs)
+	keep(f.watchdogs, plan.Watchdogs)
+	keep(f.buses, plan.Buses)
+	for name, route := range plan.Channels {
+		switch {
+		case route.From == shard && route.To == shard:
+			f.chanLocal[name] = true
+		case route.From == shard:
+			f.chanOut[name] = true
+		case route.To == shard:
+			f.chanIn[name] = true
+		}
+	}
+	return s.build(f)
+}
+
+func (s *System) build(f *shardFilter) (*Built, error) {
 	b := &Built{
 		Desc:         s,
 		Sys:          rtos.NewSystem(),
@@ -57,12 +154,19 @@ func (s *System) Build() (*Built, error) {
 		Watchdogs:    map[string]*rtos.Watchdog{},
 		traceCursors: map[string]int{},
 	}
+	if f != nil {
+		b.xsend = map[string]func(comm.Actor, int){}
+		b.xrecv = map[string]*comm.Queue[int]{}
+	}
 	// The timed-queue backend must be selected before elaboration: fault
 	// injection and server replenishment schedule timers during Build.
 	if s.TimedQueue == "heap" {
 		b.Sys.K.SetTimedQueue(sim.TimedQueueHeap)
 	}
 	for _, p := range s.Processors {
+		if f != nil && !f.procs[p.Name] {
+			continue
+		}
 		cfg := rtos.Config{NonPreemptive: p.NonPreemptive, Speed: p.Speed, Cores: p.Cores}
 		if p.Engine == "threaded" {
 			cfg.Engine = rtos.EngineThreaded
@@ -93,6 +197,9 @@ func (s *System) Build() (*Built, error) {
 		b.Processors[p.Name] = b.Sys.NewProcessor(p.Name, cfg)
 	}
 	for _, e := range s.Events {
+		if f != nil && !f.events[e.Name] {
+			continue
+		}
 		pol := comm.Fugitive
 		switch e.Policy {
 		case "boolean":
@@ -103,9 +210,15 @@ func (s *System) Build() (*Built, error) {
 		b.Events[e.Name] = comm.NewEvent(b.Sys.Rec, e.Name, pol)
 	}
 	for _, q := range s.Queues {
+		if f != nil && !f.queues[q.Name] {
+			continue
+		}
 		b.Queues[q.Name] = comm.NewQueue[int](b.Sys.Rec, q.Name, q.Capacity)
 	}
 	for _, v := range s.Shared {
+		if f != nil && !f.shared[v.Name] {
+			continue
+		}
 		if v.Inherit {
 			b.Shared[v.Name] = comm.NewInheritShared(b.Sys.Rec, v.Name, v.Initial)
 		} else {
@@ -113,10 +226,16 @@ func (s *System) Build() (*Built, error) {
 		}
 	}
 	for _, c := range s.Constraints {
+		if f != nil && !f.constraints[c.Name] {
+			continue
+		}
 		b.Constraints[c.Name] = b.Sys.Constraints.NewLatency(c.Name, c.Limit.Time())
 	}
 
 	for _, def := range s.Buses {
+		if f != nil && !f.buses[def.Name] {
+			continue
+		}
 		b.Buses[def.Name] = bus.New(b.Sys.Rec, def.Name, bus.Config{
 			PerByte:     def.PerByte.Time(),
 			Arbitration: def.Arbitration.Time(),
@@ -127,10 +246,40 @@ func (s *System) Build() (*Built, error) {
 		if size == 0 {
 			size = 1
 		}
-		b.Channels[def.Name] = bus.NewChannel(b.Buses[def.Bus], def.Name, def.Capacity,
-			func(int) int { return size })
+		switch {
+		case f != nil && f.chanLocal[def.Name] && b.Buses[def.Bus] == nil:
+			// A senderless channel routes to its receivers' shard while its
+			// (never contended) bus elaborated elsewhere. A bare queue models
+			// it exactly: receivers block, nothing ever sends.
+			b.xrecv[def.Name] = comm.NewQueue[int](b.Sys.Rec, def.Name, def.Capacity)
+		case f == nil || f.chanLocal[def.Name]:
+			b.Channels[def.Name] = bus.NewChannel(b.Buses[def.Bus], def.Name, def.Capacity,
+				func(int) int { return size })
+		case f.chanOut[def.Name]:
+			// Sender half of a cross-shard channel: the local bus charges its
+			// usual contention and transfer time, then the value leaves the
+			// shard as a timestamped message instead of entering a queue. The
+			// floor bracket keeps the engine's outbound promise below the
+			// publish instant while the transfer is in flight.
+			name, theBus, hooks := def.Name, b.Buses[def.Bus], f.hooks
+			b.xsend[name] = func(a comm.Actor, v int) {
+				id := hooks.FloorHold(name, addTimeSat(b.Sys.Now(), theBus.TransferTime(size)))
+				theBus.Transfer(a, size)
+				hooks.Publish(name, a.Name(), v)
+				hooks.FloorRelease(name, id)
+			}
+		case f.chanIn[def.Name]:
+			// Receiver half: a bare delivery queue fed by the engine's
+			// injector. Receivers block on it exactly as on a local channel.
+			q := comm.NewQueue[int](b.Sys.Rec, def.Name, def.Capacity)
+			b.xrecv[def.Name] = q
+			f.hooks.Inbound(def.Name, q)
+		}
 	}
 	for _, def := range s.Servers {
+		if f != nil && !f.servers[def.Name] {
+			continue
+		}
 		cfg := rtos.ServerConfig{
 			Priority: def.Priority,
 			Period:   def.Period.Time(),
@@ -148,6 +297,9 @@ func (s *System) Build() (*Built, error) {
 		}
 	}
 	for _, q := range s.IRQs {
+		if f != nil && !f.irqs[q.Name] {
+			continue
+		}
 		q := q
 		ctrl := b.Processors[q.Processor].Interrupts()
 		b.IRQs[q.Name] = ctrl.NewIRQ(q.Name, q.Priority, q.Latency.Time(), func(c *rtos.ISRCtx) {
@@ -156,6 +308,9 @@ func (s *System) Build() (*Built, error) {
 	}
 
 	for _, t := range s.Tasks {
+		if f != nil && !f.procs[t.Processor] {
+			continue
+		}
 		t := t
 		cpu := b.Processors[t.Processor]
 		cfg := rtos.TaskConfig{
@@ -230,6 +385,9 @@ func (s *System) Build() (*Built, error) {
 	}
 	sort.Strings(b.AutoLowered)
 	for _, h := range s.Hardware {
+		if f != nil && !f.hardware[h.Name] {
+			continue
+		}
 		h := h
 		b.Sys.NewHWTask(h.Name, rtos.HWConfig{Priority: h.Priority, StartAt: h.StartAt.Time()}, func(c *rtos.HWCtx) {
 			ops := hwOps(c)
@@ -245,31 +403,54 @@ func (s *System) Build() (*Built, error) {
 	}
 
 	for _, w := range s.Watchdogs {
+		if f != nil && !f.watchdogs[w.Name] {
+			continue
+		}
 		b.Watchdogs[w.Name] = b.Processors[w.Processor].NewWatchdog(
 			w.Name, w.Timeout.Time(), b.Tasks[w.Task]) // Task "" maps to nil
 	}
-	for _, f := range s.Faults {
-		switch f.Kind {
+	for _, fd := range s.Faults {
+		// Faults follow their target: a shard build skips injections whose
+		// task or IRQ lives elsewhere.
+		switch fd.Kind {
+		case "wcet_overrun", "crash", "hang":
+			if f != nil && b.Tasks[fd.Task] == nil {
+				continue
+			}
+		default:
+			if f != nil && b.IRQs[fd.IRQ] == nil {
+				continue
+			}
+		}
+		switch fd.Kind {
 		case "wcet_overrun":
-			b.Tasks[f.Task].InjectWCETOverrun(rtos.WCETOverrun{
-				Factor:      f.Factor,
-				Extra:       f.Extra.Time(),
-				Probability: f.Probability,
-				Seed:        f.Seed,
-				After:       f.After.Time(),
-				Until:       f.Until.Time(),
+			b.Tasks[fd.Task].InjectWCETOverrun(rtos.WCETOverrun{
+				Factor:      fd.Factor,
+				Extra:       fd.Extra.Time(),
+				Probability: fd.Probability,
+				Seed:        fd.Seed,
+				After:       fd.After.Time(),
+				Until:       fd.Until.Time(),
 			})
 		case "crash":
-			b.Tasks[f.Task].InjectCrashAt(f.At.Time())
+			b.Tasks[fd.Task].InjectCrashAt(fd.At.Time())
 		case "hang":
-			b.Tasks[f.Task].InjectHangAt(f.At.Time(), f.For.Time())
+			b.Tasks[fd.Task].InjectHangAt(fd.At.Time(), fd.For.Time())
 		case "irq_drop":
-			b.IRQs[f.IRQ].InjectDrop(f.Probability, f.Seed)
+			b.IRQs[fd.IRQ].InjectDrop(fd.Probability, fd.Seed)
 		case "irq_latency":
-			b.IRQs[f.IRQ].InjectLatencySpike(f.Extra.Time(), f.Probability, f.Seed)
+			b.IRQs[fd.IRQ].InjectLatencySpike(fd.Extra.Time(), fd.Probability, fd.Seed)
 		}
 	}
 	return b, nil
+}
+
+// addTimeSat adds two times, saturating at sim.TimeMax.
+func addTimeSat(a, b sim.Time) sim.Time {
+	if c := a + b; c >= a {
+		return c
+	}
+	return sim.TimeMax
 }
 
 // Run simulates the built scenario to its horizon (or to event starvation)
@@ -361,9 +542,19 @@ func (b *Built) runOps(a opActor, ops []Op) {
 		case "raise":
 			b.IRQs[op.IRQ].Raise()
 		case "send":
-			b.Channels[op.Channel].Send(a.actor, op.Value)
+			if ch := b.Channels[op.Channel]; ch != nil {
+				ch.Send(a.actor, op.Value)
+			} else {
+				// Sender half of a cross-shard channel (see BuildShard).
+				b.xsend[op.Channel](a.actor, op.Value)
+			}
 		case "recv":
-			b.Channels[op.Channel].Recv(a.actor)
+			if ch := b.Channels[op.Channel]; ch != nil {
+				ch.Recv(a.actor)
+			} else {
+				// Receiver half: block on the injector-fed delivery queue.
+				b.xrecv[op.Channel].Get(a.actor)
+			}
 		case "submit":
 			job := rtos.AperiodicJob{Work: op.For.Time()}
 			if op.Constraint != "" {

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mustParse(t *testing.T, js string) *System {
+	t.Helper()
+	s, err := Parse([]byte(js))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+func dur(t *testing.T, s string) sim.Time {
+	t.Helper()
+	d, err := ParseDuration(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const partitionFixture = `{
+  "name": "part",
+  "horizon": "1ms",
+  "processors": [
+    {"name": "a", "shard": "x"},
+    {"name": "b", "shard": "y"},
+    {"name": "c"}
+  ],
+  "buses": [{"name": "noc", "perByte": "4ns", "arbitration": "200ns"}],
+  "channels": [
+    {"name": "ab", "bus": "noc", "capacity": 4, "messageBytes": 100},
+    {"name": "bc", "bus": "noc", "capacity": 4}
+  ],
+  "tasks": [
+    {"name": "ta", "processor": "a", "priority": 5, "repeat": 2, "body": [
+      {"op": "execute", "for": "1us"},
+      {"op": "send", "channel": "ab", "value": 1},
+      {"op": "send", "channel": "bc", "value": 2}
+    ]},
+    {"name": "tb", "processor": "b", "priority": 5, "repeat": 2, "body": [
+      {"op": "recv", "channel": "ab"},
+      {"op": "execute", "for": "2us"}
+    ]},
+    {"name": "tc", "processor": "c", "priority": 5, "repeat": 2, "body": [
+      {"op": "recv", "channel": "bc"},
+      {"op": "execute", "for": "3us"}
+    ]}
+  ]
+}`
+
+func TestPartitionByLabels(t *testing.T) {
+	s := mustParse(t, partitionFixture)
+	plan, err := s.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 3 {
+		t.Fatalf("want 3 groups, got %+v", plan.Groups)
+	}
+	if plan.Groups[0].Label != "x" || plan.Groups[1].Label != "y" || plan.Groups[2].Label != "" {
+		t.Errorf("labels: %+v", plan.Groups)
+	}
+	if len(plan.Links) != 2 {
+		t.Fatalf("want 2 links, got %+v", plan.Links)
+	}
+	// Links sort by channel name: ab then bc.
+	ab, bc := plan.Links[0], plan.Links[1]
+	if ab.Channel != "ab" || ab.From != 0 || ab.To != 1 {
+		t.Errorf("ab link: %+v", ab)
+	}
+	// Lookahead = arbitration + messageBytes*perByte = 200ns + 100*4ns.
+	if want := dur(t, "600ns"); ab.Lookahead != want {
+		t.Errorf("ab lookahead = %v, want %v", ab.Lookahead, want)
+	}
+	// bc defaults to 1 message byte: 200ns + 4ns.
+	if want := dur(t, "204ns"); bc.Channel != "bc" || bc.From != 0 || bc.To != 2 || bc.Lookahead != want {
+		t.Errorf("bc link: %+v, want lookahead %v", bc, want)
+	}
+	// Bus contention pins the bus to the sender shard.
+	if plan.Buses["noc"] != 0 {
+		t.Errorf("bus owner = %d, want 0", plan.Buses["noc"])
+	}
+}
+
+func TestPartitionMergeToTarget(t *testing.T) {
+	s := mustParse(t, partitionFixture)
+	plan, err := s.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 2 {
+		t.Fatalf("want 2 groups, got %+v", plan.Groups)
+	}
+	total := 0
+	for _, g := range plan.Groups {
+		total += len(g.Processors) + len(g.Hardware)
+	}
+	if total != 3 {
+		t.Errorf("partition lost members: %+v", plan.Groups)
+	}
+	one, err := s.Partition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Groups) != 1 || len(one.Links) != 0 {
+		t.Errorf("partition(1): %+v", one)
+	}
+}
+
+// Processors coupled by synchronous state (here a shared event) cannot carry
+// different shard labels.
+func TestPartitionLabelConflict(t *testing.T) {
+	js := `{
+  "name": "conflict",
+  "horizon": "1ms",
+  "processors": [
+    {"name": "a", "shard": "x"},
+    {"name": "b", "shard": "y"}
+  ],
+  "events": [{"name": "go"}],
+  "tasks": [
+    {"name": "ta", "processor": "a", "priority": 5, "body": [{"op": "signal", "event": "go"}]},
+    {"name": "tb", "processor": "b", "priority": 5, "body": [{"op": "wait", "event": "go"}]}
+  ]
+}`
+	s := mustParse(t, js)
+	_, err := s.Partition(0)
+	if err == nil || !strings.Contains(err.Error(), "cannot be placed on different shards") {
+		t.Fatalf("want label-conflict error, got %v", err)
+	}
+}
+
+// Every synchronous coupling kind must union its users into one atom.
+func TestPartitionAtomCoupling(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  [2]string
+		defs string
+	}{
+		{"event", [2]string{`{"op": "signal", "event": "e"}`, `{"op": "wait", "event": "e"}`},
+			`"events": [{"name": "e"}],`},
+		{"queue", [2]string{`{"op": "put", "queue": "q", "value": 1}`, `{"op": "get", "queue": "q"}`},
+			`"queues": [{"name": "q", "capacity": 4}],`},
+		{"shared", [2]string{`{"op": "write", "shared": "v", "value": 1}`, `{"op": "read", "shared": "v"}`},
+			`"shared": [{"name": "v"}],`},
+		{"constraint", [2]string{`{"op": "lat_start", "constraint": "c"}`, `{"op": "lat_stop", "constraint": "c"}`},
+			`"constraints": [{"name": "c", "limit": "1ms"}],`},
+		{"trace", [2]string{`{"op": "execute_trace", "trace": "tr"}`, `{"op": "execute_trace", "trace": "tr"}`},
+			`"traces": {"tr": ["1us", "2us"]},`},
+	}
+	for _, tc := range cases {
+		js := `{
+  "name": "couple",
+  "horizon": "1ms",
+  "processors": [{"name": "a"}, {"name": "b"}],
+  ` + tc.defs + `
+  "tasks": [
+    {"name": "ta", "processor": "a", "priority": 5, "body": [` + tc.ops[0] + `]},
+    {"name": "tb", "processor": "b", "priority": 5, "body": [` + tc.ops[1] + `]}
+  ]
+}`
+		s := mustParse(t, js)
+		plan, err := s.Partition(0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(plan.Groups) != 1 {
+			t.Errorf("%s: users not unioned into one atom: %+v", tc.name, plan.Groups)
+		}
+	}
+}
+
+func TestPartitionMultiShardValidation(t *testing.T) {
+	noHorizon := strings.Replace(partitionFixture, `"horizon": "1ms",`, "", 1)
+	s := mustParse(t, noHorizon)
+	if _, err := s.Partition(0); err == nil || !strings.Contains(err.Error(), "finite horizon") {
+		t.Errorf("want horizon error, got %v", err)
+	}
+
+	zeroLA := strings.Replace(partitionFixture,
+		`{"name": "noc", "perByte": "4ns", "arbitration": "200ns"}`,
+		`{"name": "noc"}`, 1)
+	s = mustParse(t, zeroLA)
+	if _, err := s.Partition(0); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("want lookahead error, got %v", err)
+	}
+
+	if _, err := mustParse(t, partitionFixture).Partition(-1); err == nil {
+		t.Errorf("want negative-target error")
+	}
+}
+
+func TestHasShardLabels(t *testing.T) {
+	if !mustParse(t, partitionFixture).HasShardLabels() {
+		t.Error("labeled fixture reports no labels")
+	}
+	plain := strings.ReplaceAll(strings.ReplaceAll(partitionFixture,
+		`, "shard": "x"`, ""), `, "shard": "y"`, "")
+	if mustParse(t, plain).HasShardLabels() {
+		t.Error("unlabeled fixture reports labels")
+	}
+}
+
+// Shard labels must not perturb the scenario's canonical content hash: the
+// daemon's result cache keys on it, and a labeled scenario simulated
+// sequentially is the same simulation.
+func TestShardLabelOmittedFromUnlabeledHash(t *testing.T) {
+	labeled := mustParse(t, partitionFixture)
+	plain := mustParse(t, strings.ReplaceAll(strings.ReplaceAll(partitionFixture,
+		`, "shard": "x"`, ""), `, "shard": "y"`, ""))
+	lh, err := labeled.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh == ph {
+		t.Errorf("shard labels must be part of the canonical hash (they change the engine): %s", lh)
+	}
+}

@@ -271,6 +271,12 @@ type Processor struct {
 	Domain string `json:"domain"`
 	// Overheads are the three RTOS durations (fixed values).
 	Overheads OverheadSpec `json:"overheads"`
+	// Shard labels the parallel shard group this processor belongs to when
+	// the sharded multi-kernel engine runs the scenario. Processors sharing
+	// a label are pinned onto one kernel; empty leaves placement to the
+	// partitioner. Processors that interact through anything but
+	// latency-bearing channels are co-located regardless of labels.
+	Shard string `json:"shard,omitempty"`
 }
 
 // OverheadSpec configures the three RTOS overhead durations. SchedulingPerReady

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -18,7 +19,11 @@ const maxRequestBytes = 4 << 20
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs              submit a job (scenario, sweep or explore)
+//	POST   /v1/jobs              submit a job (scenario, sweep or explore);
+//	                             simulate jobs without a body artifact list
+//	                             negotiate it via ?artifacts=csv,vcd,... (an
+//	                             empty value disables artifacts) or mapped
+//	                             Accept media types
 //	GET    /v1/jobs              list jobs in submission order
 //	GET    /v1/jobs/{id}         job status (result summary when done)
 //	GET    /v1/jobs/{id}/report  the human report, byte-identical to the CLI
@@ -87,6 +92,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
+	negotiateArtifacts(r, &req)
 	job, err := s.Submit(req)
 	var qf *QueueFullError
 	switch {
@@ -98,6 +104,61 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJob(w, http.StatusAccepted, job)
+}
+
+// acceptArtifact maps Accept media types onto runner artifact names for
+// submissions that negotiate artifacts by content type instead of listing
+// them. Unmapped types (including */*) are simply ignored.
+var acceptArtifact = map[string]string{
+	"text/csv":                      "csv",
+	"text/x-vcd":                    "vcd",
+	"application/json":              "json",
+	"image/svg+xml":                 "svg",
+	"application/vnd.perfetto+json": "perfetto",
+	"application/vnd.metrics+json":  "metrics",
+	"application/openmetrics-text":  "prom",
+}
+
+// negotiateArtifacts resolves a simulate submission's artifact list when the
+// request body leaves it unset. Precedence: an explicit body list always
+// wins; then an ?artifacts= query (comma-separated names, an empty value
+// opting out of artifacts entirely); then artifact names mapped from Accept
+// media types; and finally the daemon default applied at validation. Unknown
+// names fail job validation exactly like a bad body list.
+func negotiateArtifacts(r *http.Request, req *Request) {
+	if req.Options.Artifacts != nil {
+		return
+	}
+	if req.Kind != "" && req.Kind != KindSimulate {
+		return
+	}
+	if vals, ok := r.URL.Query()["artifacts"]; ok {
+		list := []string{}
+		for _, v := range vals {
+			for _, name := range strings.Split(v, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					list = append(list, name)
+				}
+			}
+		}
+		req.Options.Artifacts = list
+		return
+	}
+	var list []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 { // drop q-value parameters
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if name, ok := acceptArtifact[mt]; ok && !seen[name] {
+			seen[name] = true
+			list = append(list, name)
+		}
+	}
+	if list != nil {
+		req.Options.Artifacts = list
+	}
 }
 
 // writeQueueFull renders the smart-backpressure 503: a Retry-After header

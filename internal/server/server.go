@@ -169,7 +169,8 @@ func New(cfg Config) (*Server, error) {
 	s.m.simulations = map[JobKind]*metrics.Counter{}
 	for _, k := range []JobKind{KindSimulate, KindSweep, KindExplore} {
 		s.m.simulations[k] = s.reg.Counter("rtossimd_simulations_total",
-			"simulation pipeline executions (cache hits run none)", metrics.L("kind", string(k)))
+			"simulation pipeline executions (cache hits run none; sweeps count per executed variant)",
+			metrics.L("kind", string(k)))
 	}
 	s.m.wallMS = s.reg.Histogram("rtossimd_job_wall_ms", "job wall time in milliseconds",
 		[]int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000})
@@ -452,7 +453,11 @@ func (s *Server) runJob(job *Job) {
 	s.busy[job.Shard] = true
 	s.m.running.Add(1)
 	s.m.workersBusy.Add(1)
-	s.m.simulations[job.Kind].Inc()
+	if job.Kind != KindSweep {
+		// Sweeps count simulations per executed variant, in the variant-cache
+		// lookup hook, so cached variants run (and count) nothing.
+		s.m.simulations[job.Kind].Inc()
+	}
 	s.pushEventLocked(job, Event{State: StateRunning})
 	progress := func(done, total int) {
 		s.mu.Lock()
@@ -475,6 +480,8 @@ func (s *Server) runJob(job *Job) {
 			Workers:  job.spec.Workers,
 			Progress: progress,
 			Context:  job.ctx,
+			Lookup:   s.sweepLookup(job),
+			Store:    s.sweepStore(job),
 		})
 	case KindExplore:
 		explore, err = runner.Explore(job.scenario, job.req.Explore, job.Hash[:12])

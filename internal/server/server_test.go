@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -249,6 +250,176 @@ func TestSweepJob(t *testing.T) {
 	var rows []map[string]any
 	if err := json.Unmarshal(results, &rows); err != nil || len(rows) != 4 {
 		t.Errorf("sweep results: %v, %d rows", err, len(rows))
+	}
+}
+
+// postJobAt submits a request to a specific path (query parameters allowed)
+// with optional headers, returning the accepted job.
+func postJobAt(t *testing.T, ts *httptest.Server, path string, req any, hdr map[string]string) Job {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit %s: status %d: %s", path, resp.StatusCode, out)
+	}
+	var job Job
+	if err := json.Unmarshal(out, &job); err != nil {
+		t.Fatalf("submit response: %v: %s", err, out)
+	}
+	return job
+}
+
+// artifactNames fetches a finished job and lists which artifacts it produced.
+func artifactNames(t *testing.T, ts *httptest.Server, id string) []string {
+	t.Helper()
+	job := waitTerminal(t, ts, id)
+	if job.State != StateDone {
+		t.Fatalf("job %s: state %s (%s)", id, job.State, job.Error)
+	}
+	if job.Result == nil {
+		t.Fatalf("job %s has no result", id)
+	}
+	var names []string
+	for _, name := range runner.KnownArtifacts {
+		if _, code := getBytes(t, ts, "/v1/jobs/"+id+"/artifacts/"+name); code == http.StatusOK {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// Artifact negotiation on submission: the ?artifacts= query and the Accept
+// header choose a simulate job's artifact set when the body does not, with
+// body > query > Accept > default precedence.
+func TestSubmitArtifactNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	data := readScenario(t, "figure6.json")
+
+	// Query list: exactly the named artifacts are produced.
+	job := postJobAt(t, ts, "/v1/jobs?artifacts=csv,vcd", Request{Scenario: data}, nil)
+	if got := artifactNames(t, ts, job.ID); !reflect.DeepEqual(got, []string{"csv", "vcd"}) {
+		t.Errorf("query negotiation produced %v, want [csv vcd]", got)
+	}
+
+	// Empty query value: opts out of artifacts entirely.
+	job = postJobAt(t, ts, "/v1/jobs?artifacts=", Request{Scenario: data}, nil)
+	if got := artifactNames(t, ts, job.ID); got != nil {
+		t.Errorf("empty artifacts query still produced %v", got)
+	}
+
+	// Accept media types map to artifact names (q-values ignored).
+	job = postJobAt(t, ts, "/v1/jobs", Request{Scenario: data},
+		map[string]string{"Accept": "text/csv;q=0.9, image/svg+xml"})
+	if got := artifactNames(t, ts, job.ID); !reflect.DeepEqual(got, []string{"csv", "svg"}) {
+		t.Errorf("accept negotiation produced %v, want [csv svg]", got)
+	}
+
+	// A body list wins over both query and header.
+	job = postJobAt(t, ts, "/v1/jobs?artifacts=csv", Request{Scenario: data,
+		Options: runner.Options{Artifacts: []string{"json"}}},
+		map[string]string{"Accept": "image/svg+xml"})
+	if got := artifactNames(t, ts, job.ID); !reflect.DeepEqual(got, []string{"json"}) {
+		t.Errorf("body list did not win: %v", got)
+	}
+
+	// An unmapped Accept header falls back to the daemon default.
+	job = postJobAt(t, ts, "/v1/jobs", Request{Scenario: data},
+		map[string]string{"Accept": "*/*"})
+	if got := artifactNames(t, ts, job.ID); !reflect.DeepEqual(got, []string{"perfetto", "metrics"}) {
+		t.Errorf("default negotiation produced %v, want [perfetto metrics]", got)
+	}
+
+	// Unknown names in the query fail validation like a bad body list.
+	body, _ := json.Marshal(Request{Scenario: data})
+	resp, err := http.Post(ts.URL+"/v1/jobs?artifacts=pdf", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown artifact name: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// Sweep jobs cache per variant: resubmitting a sweep runs zero simulations
+// and serves identical results, and a sweep sharing only some variants with
+// an earlier one simulates just the new ones. rtossimd_simulations_total
+// counts executed variants, so it pins all of this.
+func TestSweepVariantCacheSkipsSimulations(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := readScenario(t, "figure6.json")
+	req := Request{
+		Kind:     KindSweep,
+		Scenario: base,
+		Sweep:    json.RawMessage(`{"engines": ["procedural", "threaded"], "speeds": [1, 2]}`),
+	}
+
+	first := waitTerminal(t, ts, postJob(t, ts, req).ID)
+	if first.State != StateDone || first.SweepSummary == nil || first.SweepSummary.Runs != 4 {
+		t.Fatalf("first sweep: state %s, summary %+v", first.State, first.SweepSummary)
+	}
+	sims := promValue(t, ts, "rtossimd_simulations_total")
+	if sims != 4 {
+		t.Fatalf("simulations after first sweep = %v, want 4 (one per variant)", sims)
+	}
+
+	second := waitTerminal(t, ts, postJob(t, ts, req).ID)
+	if second.State != StateDone || second.SweepSummary == nil || second.SweepSummary.Runs != 4 {
+		t.Fatalf("second sweep: state %s, summary %+v", second.State, second.SweepSummary)
+	}
+	if got := promValue(t, ts, "rtossimd_simulations_total"); got != sims {
+		t.Errorf("repeated sweep re-simulated variants: counter %v -> %v", sims, got)
+	}
+	if hits := promValue(t, ts, "rtossimd_cache_hits_total"); hits != 4 {
+		t.Errorf("cache hits = %v, want 4", hits)
+	}
+	r1, _ := getBytes(t, ts, "/v1/jobs/"+first.ID+"/results")
+	r2, _ := getBytes(t, ts, "/v1/jobs/"+second.ID+"/results")
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("cached sweep results differ from original:\n--- first\n%s\n--- second\n%s", r1, r2)
+	}
+
+	// Overlapping sweep: speeds {1,3} shares the speed-1 variants with the
+	// first sweep, so only the speed-3 pair simulates.
+	third := waitTerminal(t, ts, postJob(t, ts, Request{
+		Kind:     KindSweep,
+		Scenario: base,
+		Sweep:    json.RawMessage(`{"engines": ["procedural", "threaded"], "speeds": [1, 3]}`),
+	}).ID)
+	if third.State != StateDone || third.SweepSummary == nil || third.SweepSummary.Runs != 4 {
+		t.Fatalf("third sweep: state %s, summary %+v", third.State, third.SweepSummary)
+	}
+	if got := promValue(t, ts, "rtossimd_simulations_total"); got != sims+2 {
+		t.Errorf("overlapping sweep simulated %v new variants, want 2", got-sims)
+	}
+
+	// A different spec horizon is a different simulation: nothing may hit.
+	fourth := waitTerminal(t, ts, postJob(t, ts, Request{
+		Kind:     KindSweep,
+		Scenario: base,
+		Sweep:    json.RawMessage(`{"engines": ["procedural"], "speeds": [1], "horizon": "40ms"}`),
+	}).ID)
+	if fourth.State != StateDone {
+		t.Fatalf("horizon sweep: state %s (%s)", fourth.State, fourth.Error)
+	}
+	if got := promValue(t, ts, "rtossimd_simulations_total"); got != sims+3 {
+		t.Errorf("horizon-overridden variant should miss the cache: counter %v, want %v", got, sims+3)
 	}
 }
 

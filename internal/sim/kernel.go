@@ -185,6 +185,18 @@ func (k *Kernel) timedRelease(e *timedEntry) {
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
+// NextActivity returns the timestamp of the earliest pending timed action
+// and true, or false when the timed queue is empty. Between bounded runs it
+// is the kernel's next possible instant of local progress; the sharded
+// multi-kernel engine uses it to tighten the conservative lookahead bound it
+// advertises to neighbouring shards.
+func (k *Kernel) NextActivity() (Time, bool) {
+	if e := k.timedPeek(); e != nil {
+		return e.at, true
+	}
+	return 0, false
+}
+
 // DeltaCount returns the number of delta cycles executed so far.
 func (k *Kernel) DeltaCount() uint64 { return k.deltaCount }
 

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmark set and records ns/op, B/op, allocs/op (and
-# switches/run or migrations/run where reported) into BENCH_PR7.json, next to
+# switches/run or migrations/run where reported) into BENCH_PR10.json, next to
 # the committed pre-optimization baseline from scripts/bench_baseline.json.
+# The host's CPU count is recorded too: BenchmarkParallelSoC's shards-N
+# variants only show speedup when free cores exist, so the number is
+# meaningless without it.
 #
 # The baseline was measured on the seed code; re-running this script only
 # refreshes the "optimized" side, so before/after stays comparable as long as
@@ -21,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_PR7.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 CPUPROFILE="${CPUPROFILE:-}"
 MEMPROFILE="${MEMPROFILE:-}"
 RAW="$(mktemp)"
@@ -41,12 +44,14 @@ bench() { # bench <pattern> <package>
 	bench 'BenchmarkTimedQueueOps$|BenchmarkTimedQueueCancel$' ./internal/sim/
 	bench 'BenchmarkSweep$' ./internal/batch/
 	bench 'BenchmarkExplore$|BenchmarkTraceCodec$' ./internal/explore/
+	bench 'BenchmarkParallelSoC' .
 } | tee "$RAW"
 
 # Fold the benchmark lines into a JSON object: with COUNT > 1 the last
 # repetition of each benchmark wins.
 {
-	printf '{\n  "benchtime": "%s",\n  "count": %s,\n  "baseline": ' "$BENCHTIME" "$COUNT"
+	CORES="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+	printf '{\n  "benchtime": "%s",\n  "count": %s,\n  "host_cores": %s,\n  "baseline": ' "$BENCHTIME" "$COUNT" "$CORES"
 	cat scripts/bench_baseline.json
 	# bench_pr4.json is the same-machine PR 4 snapshot (pre activation fast
 	# path / timing wheel) and bench_pr5.json the PR 5 one (pre continuation

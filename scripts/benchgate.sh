@@ -18,9 +18,28 @@ if [ $# -ne 2 ]; then
 fi
 THRESHOLD="${THRESHOLD_PCT:-15}"
 REPORT="$(mktemp)"
-trap 'rm -f "$REPORT"' EXIT
+HEAD_COMMON="$(mktemp)"
+trap 'rm -f "$REPORT" "$HEAD_COMMON"' EXIT
 
-benchstat "$1" "$2" | tee "$REPORT"
+# Only benchmarks present on both sides are comparable: one introduced by the
+# head commit has no baseline, and its one-sided rows would read as
+# missing-data regressions below. Filter the head file down to the base's
+# benchmark set (names compared without the -GOMAXPROCS suffix).
+awk '
+	NR == FNR {
+		if ($1 ~ /^Benchmark/) { n = $1; sub(/-[0-9]+$/, "", n); base[n] = 1 }
+		next
+	}
+	{
+		if ($1 ~ /^Benchmark/) {
+			n = $1; sub(/-[0-9]+$/, "", n)
+			if (!(n in base)) next
+		}
+		print
+	}
+' "$1" "$2" >"$HEAD_COMMON"
+
+benchstat "$1" "$HEAD_COMMON" | tee "$REPORT"
 
 awk -v thr="$THRESHOLD" '
 	# Unit headers precede each table; remember which metric the rows carry.
